@@ -1,0 +1,44 @@
+// Command kmatrixgen emits a synthetic power-train K-Matrix as CSV — the
+// deterministic stand-in for the proprietary communication matrix of the
+// paper's case study (see DESIGN.md for the substitution argument).
+//
+// Usage:
+//
+//	kmatrixgen [-seed n] [-messages n] [-ecus n] [-gateways n]
+//	           [-bitrate bps] [-shuffle f] [-known f] > matrix.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kmatrix"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed")
+	messages := flag.Int("messages", 0, "number of rows (0 = default 88)")
+	ecus := flag.Int("ecus", 0, "number of ECUs (0 = default 6)")
+	gateways := flag.Int("gateways", 0, "number of gateways (0 = default 2)")
+	bitrate := flag.Int("bitrate", 0, "bus bit rate (0 = default 500000)")
+	shuffle := flag.Float64("shuffle", 0, "priority noise strength (0 = default 0.6)")
+	known := flag.Float64("known", 0, "fraction of rows with supplier jitters (0 = default 0.25)")
+	name := flag.String("bus", "", "bus name (default powertrain)")
+	flag.Parse()
+
+	k := kmatrix.Powertrain(kmatrix.GenConfig{
+		Seed:                *seed,
+		BusName:             *name,
+		BitRate:             *bitrate,
+		ECUs:                *ecus,
+		Gateways:            *gateways,
+		Messages:            *messages,
+		KnownJitterFraction: *known,
+		IDShuffle:           *shuffle,
+	})
+	if err := k.EncodeCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kmatrixgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command symtago is the command-line front end of the reproduction: it
+// loads a K-Matrix (or the built-in case study), runs the analyses of
+// the paper and regenerates its figures.
+//
+// Usage:
+//
+//	symtago figures  [-fig 1..6|all] [-quick]
+//	symtago load     [-kmatrix file]
+//	symtago analyze  [-kmatrix file] [-scenario best|worst] [-jitter-scale s]
+//	symtago sensitivity [-kmatrix file]
+//	symtago loss     [-kmatrix file] [-scenario best|worst] [-csv]
+//	symtago optimize [-kmatrix file] [-seed n] [-generations n] [-out file]
+//	symtago simulate [-kmatrix file] [-duration d] [-controller full|basic] [-seed n]
+//	symtago contract requirements|guarantees|check ...
+//	symtago tolerance [-kmatrix file] [-operating s] [-top n]
+//	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
+//
+// A missing -kmatrix selects the built-in synthetic power-train matrix
+// (the case-study substitute documented in DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "figures":
+		err = cmdFigures(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "sensitivity":
+		err = cmdSensitivity(os.Args[2:])
+	case "loss":
+		err = cmdLoss(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "contract":
+		err = cmdContract(os.Args[2:])
+	case "tolerance":
+		err = cmdTolerance(os.Args[2:])
+	case "extend":
+		err = cmdExtend(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "symtago: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symtago:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `symtago — CAN network integration analysis (paper reproduction)
+
+commands:
+  figures      regenerate the paper's figures (-fig 1..6|all, -quick)
+  load         average bus-load analysis (Section 3.1)
+  analyze      worst-case response-time analysis of a K-Matrix
+  sensitivity  jitter sweep with robustness classification (Figure 4)
+  loss         message-loss curve over the jitter sweep (Figure 5)
+  optimize     genetic CAN-ID optimization (Section 4.3)
+  simulate     discrete-event bus simulation cross-check
+  contract     emit/check supply-chain data sheets and specs (Figure 6)
+  tolerance    per-message maximum send jitter (supplier requirements)
+  extend       how many more messages fit (Section 2's extensibility)`)
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	fig := fs.String("fig", "all", "figure number 1..6 or 'all'")
+	quick := fs.Bool("quick", false, "reduced GA budget for Figure 5")
+	csv := fs.Bool("csv", false, "emit the data series as CSV instead of charts (figures 4 and 5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	run := func(n string) error {
+		switch n {
+		case "1":
+			fmt.Println(experiments.RunFigure1().Render())
+		case "2":
+			f, err := experiments.RunFigure2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "3":
+			fmt.Println(experiments.RunFigure3().Render())
+		case "4":
+			f, err := experiments.RunFigure4()
+			if err != nil {
+				return err
+			}
+			if *csv {
+				return f.WriteCSV(os.Stdout)
+			}
+			fmt.Println(f.Render())
+		case "5":
+			f, err := experiments.RunFigure5(experiments.Figure5Params{Quick: *quick})
+			if err != nil {
+				return err
+			}
+			if *csv {
+				return f.WriteCSV(os.Stdout)
+			}
+			fmt.Println(f.Render())
+		case "6":
+			f, err := experiments.RunFigure6()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		default:
+			return fmt.Errorf("unknown figure %q", n)
+		}
+		return nil
+	}
+	if *fig == "all" {
+		for _, n := range []string{"1", "2", "3", "4", "5", "6"} {
+			if err := run(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(*fig)
+}

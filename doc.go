@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Richter, Jersak &
+// Ernst, "How OEMs and Suppliers can face the Network Integration
+// Challenges" (ERTS 2006): SymTA/S-style worst-case timing analysis for
+// automotive CAN networks, with the paper's case-study experiments —
+// load analysis, jitter sensitivity, error-aware message-loss bounds,
+// genetic CAN-ID optimization and the OEM/supplier contract duality.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); cmd/symtago is the command-line front end, and
+// bench_test.go in this directory regenerates every figure of the paper.
+package repro

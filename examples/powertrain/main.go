@@ -1,0 +1,77 @@
+// Powertrain: the paper's case study end to end (Sections 4.1-4.3).
+//
+// Loads the synthetic power-train K-Matrix (the stand-in for the
+// proprietary one, see DESIGN.md), then walks the paper's experiment
+// sequence:
+//
+//  1. zero jitters, no errors — verify all deadlines are met;
+//  2. jitter sweep — classify messages as robust or sensitive (Fig. 4);
+//  3. loss curves under best- and worst-case assumptions (Fig. 5,
+//     dotted lines);
+//  4. genetic CAN-ID optimization — eliminate the loss at 25% jitter
+//     (Fig. 5, solid lines).
+//
+// Run with: go run ./examples/powertrain  (takes a few seconds: it runs
+// the full GA).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+	"repro/internal/sensitivity"
+)
+
+func main() {
+	k := experiments.DefaultMatrix()
+	fmt.Printf("case study: bus %q, %d messages, %d nodes, %d supplier jitters known\n\n",
+		k.BusName, len(k.Messages), len(k.Nodes()),
+		len(k.Messages)-k.UnknownJitterCount())
+
+	// Experiment 1 — zero jitters, no errors: all deadlines met.
+	// "Such simplifications have a limited practical relevance. Very
+	// important is, however, the fact that we could do such what-if
+	// observations within minutes."
+	step1(k)
+
+	// Experiment 2 — sensitivity (Figure 4).
+	f4, err := experiments.RunFigure4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f4.Render())
+
+	// Experiments 3 and 4 — loss curves and optimization (Figure 5).
+	f5, err := experiments.RunFigure5(experiments.Figure5Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f5.Render())
+}
+
+func step1(k *kmatrix.KMatrix) {
+	zero := k.WithJitterScale(0, false)
+	rep, err := rta.Analyze(zero.ToRTA(), rta.Config{Bus: k.Bus()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment 1 (zero jitters, no errors): %d of %d messages meet their deadline\n",
+		len(rep.Results)-rep.MissCount(), len(rep.Results))
+	if !rep.AllSchedulable() {
+		log.Fatal("unexpected: baseline must be schedulable")
+	}
+
+	// The same question with an analysis sweep instead of test equipment:
+	// how far do the assumptions stretch before something breaks?
+	loss, err := sensitivity.Loss(k, sensitivity.SweepConfig{
+		Analysis: experiments.BestCaseAnalysis(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first loss under best-case assumptions at %.0f%% jitter\n\n",
+		100*sensitivity.FirstLossScale(loss))
+}

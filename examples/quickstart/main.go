@@ -1,0 +1,80 @@
+// Quickstart: why load analysis is not enough.
+//
+// Builds a small 6-message CAN bus, runs the average-load model of the
+// paper's Section 3.1 and then the worst-case response-time analysis of
+// Section 3.2 — showing a bus at a comfortable-looking 26% load in which
+// a message still misses its deadline once jitter enters the picture.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/kmatrix"
+	"repro/internal/load"
+	"repro/internal/report"
+	"repro/internal/rta"
+)
+
+func main() {
+	ms := time.Millisecond
+	k := &kmatrix.KMatrix{
+		BusName: "demo",
+		BitRate: can.Rate125k, // a slow body bus: 8-byte frames take 1.08ms
+		Messages: []kmatrix.Message{
+			{Name: "Airbag", ID: 0x050, DLC: 4, Period: 10 * ms, Sender: "ECU1"},
+			// Wiper and Locks run in low-priority OSEK tasks on a busy
+			// body controller; the supplier's data sheet reports large
+			// send jitters.
+			{Name: "Wiper", ID: 0x120, DLC: 8, Period: 20 * ms, Jitter: 16 * ms, JitterKnown: true, Sender: "ECU2"},
+			{Name: "Locks", ID: 0x200, DLC: 8, Period: 25 * ms, Jitter: 21 * ms, JitterKnown: true, Sender: "ECU2"},
+			{Name: "Lights", ID: 0x280, DLC: 8, Period: 25 * ms, Sender: "ECU3"},
+			{Name: "Mirror", ID: 0x2C0, DLC: 8, Period: 25 * ms, Sender: "ECU3"},
+			{Name: "Climate", ID: 0x300, DLC: 8, Period: 20 * ms, Deadline: 8 * ms, Sender: "ECU4"},
+		},
+	}
+	if err := k.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — the load model: everything looks fine.
+	fmt.Println("== Step 1: average bus load (the model everyone uses) ==")
+	fmt.Print(load.FromKMatrix(k, can.StuffingNominal))
+	lo, hi := load.CriticalLimits()
+	fmt.Printf("well below the %.0f-%.0f%% folklore limits — ship it?\n\n", 100*lo, 100*hi)
+
+	// Step 2 — worst-case response times: one message is in trouble.
+	fmt.Println("== Step 2: worst-case response-time analysis ==")
+	rep, err := rta.Analyze(k.ToRTA(), rta.Config{
+		Bus:      k.Bus(),
+		Stuffing: can.StuffingWorstCase,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows [][]string
+	for _, r := range rep.Results {
+		status := "ok"
+		if !r.Schedulable {
+			status = "MISSES DEADLINE"
+		}
+		rows = append(rows, []string{
+			r.Message.Name, r.Message.Frame.ID.String(),
+			r.WCRT.String(), r.Deadline.String(), status,
+		})
+	}
+	fmt.Print(report.Table([]string{"message", "id", "WCRT", "deadline", "status"}, rows))
+
+	fmt.Println()
+	if rep.AllSchedulable() {
+		fmt.Println("unexpected: everything schedulable")
+		return
+	}
+	fmt.Println("The load model hid this: in the worst corner case the jittery Wiper and")
+	fmt.Println("Locks messages each hit twice inside Climate's busy window, pushing it")
+	fmt.Println("past its 8ms deadline — at a bus load of barely a quarter.")
+}

@@ -1,0 +1,54 @@
+package can
+
+import (
+	"fmt"
+	"time"
+)
+
+// Standard CAN bit rates in bits per second.
+const (
+	Rate125k = 125_000
+	Rate250k = 250_000
+	Rate500k = 500_000
+	Rate1M   = 1_000_000
+)
+
+// Bus describes the physical bus: its name and bit rate. All timing
+// analysis converts frame bit counts to durations through the bus.
+type Bus struct {
+	// Name identifies the bus in reports (e.g. "powertrain").
+	Name string
+	// BitRate is the nominal bit rate in bits per second.
+	BitRate int
+}
+
+// Validate reports whether the bus parameters are usable.
+func (b Bus) Validate() error {
+	if b.BitRate <= 0 {
+		return fmt.Errorf("can: bus %q has non-positive bit rate %d", b.Name, b.BitRate)
+	}
+	return nil
+}
+
+// BitTime returns the duration of a single bit on the bus.
+func (b Bus) BitTime() time.Duration {
+	return time.Duration(int64(time.Second) / int64(b.BitRate))
+}
+
+// WireTime returns the bus occupation of the given number of bits.
+func (b Bus) WireTime(bits int) time.Duration {
+	return time.Duration(bits) * b.BitTime()
+}
+
+// FrameTime returns the bus occupation of a frame under the given
+// stuffing assumption.
+func (b Bus) FrameTime(f Frame, s Stuffing) time.Duration {
+	return b.WireTime(f.Bits(s))
+}
+
+// ErrorOverheadTime returns the worst-case bus occupation of one error
+// signalling sequence (error frame plus recovery), excluding the
+// retransmission itself.
+func (b Bus) ErrorOverheadTime() time.Duration {
+	return b.WireTime(ErrorFrameBits)
+}

@@ -1,0 +1,22 @@
+// Package can models the Controller Area Network protocol details that
+// worst-case timing analysis depends on: frame formats, identifiers,
+// bit-stuffing bounds, wire transmission times, and the fixed-priority
+// non-preemptive arbitration rule.
+//
+// The package is deliberately free of scheduling theory; it answers only
+// "how long does this frame occupy the bus" and "who wins arbitration".
+// Response-time analysis builds on it in package rta, and the
+// discrete-event simulator in package sim.
+//
+// Bit counts follow the CAN 2.0 specification in the notation of
+// Davis, Burns, Bril and Lukkien, "Controller Area Network (CAN)
+// schedulability analysis: Refuted, revisited and revised" (2007):
+// a standard (11-bit identifier) data frame with s payload bytes occupies
+//
+//	47 + 8s bits                         without stuff bits, and
+//	47 + 8s + floor((34+8s-1)/4) bits    in the worst case,
+//
+// because only 34+8s bits of the frame are subject to stuffing. Extended
+// (29-bit identifier) frames occupy 67+8s and 67+8s+floor((54+8s-1)/4)
+// bits respectively.
+package can

@@ -1,0 +1,428 @@
+// Package core is the compositional system-level analysis engine — the
+// SymTA/S methodology itself (Richter 2005, Jersak 2004): local
+// schedulability analyses per resource, coupled by standard event models
+// propagated along the communication flows until a global fixpoint is
+// reached.
+//
+// A System holds CAN buses (analysed by package rta) and ECUs (analysed
+// by package osek), plus links: "the output of task T activates message
+// M", "the arrival of message M activates gateway task G", and so on.
+// Analysis alternates local analyses with event-model propagation — each
+// element's output model (input model plus response-time jitter) becomes
+// the activation model of its successors. Jitters grow monotonically, so
+// iteration either converges or visibly diverges; divergence is reported,
+// not hidden.
+//
+// End-to-end paths (sensor task -> message -> gateway -> message ->
+// actuator task) are bounded by the sum of the from-arrival worst-case
+// responses along the path, the standard compositional latency bound.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+	"repro/internal/osek"
+	"repro/internal/rta"
+	"repro/internal/tdma"
+)
+
+// ElementRef names an element (message or task) on a resource.
+type ElementRef struct {
+	// Resource is the bus or ECU name.
+	Resource string
+	// Element is the message or task name.
+	Element string
+}
+
+// String renders the reference as resource/element.
+func (r ElementRef) String() string {
+	return r.Resource + "/" + r.Element
+}
+
+// Link propagates the output event model of From to the activation of To.
+type Link struct {
+	From, To ElementRef
+}
+
+// Path is a named end-to-end flow through the system.
+type Path struct {
+	// Name identifies the path in reports.
+	Name string
+	// Elements lists the traversed elements in order.
+	Elements []ElementRef
+}
+
+// System is a multi-resource model under compositional analysis.
+type System struct {
+	busNames  []string
+	buses     map[string]*busResource
+	ecuNames  []string
+	ecus      map[string]*ecuResource
+	tdmaNames []string
+	tdmas     map[string]*tdmaResource
+	links     []Link
+	paths     []Path
+}
+
+type busResource struct {
+	cfg  rta.Config
+	msgs []rta.Message
+}
+
+type ecuResource struct {
+	cfg   osek.Config
+	tasks []osek.Task
+}
+
+type tdmaResource struct {
+	sched    tdma.Schedule
+	bus      can.Bus
+	stuffing can.Stuffing
+	msgs     []tdma.Message
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		buses: map[string]*busResource{},
+		ecus:  map[string]*ecuResource{},
+		tdmas: map[string]*tdmaResource{},
+	}
+}
+
+// AddBus registers a CAN bus with its analysis configuration and
+// messages. The configuration's Bus.Name is overwritten with name.
+func (s *System) AddBus(name string, cfg rta.Config, msgs []rta.Message) error {
+	if name == "" {
+		return fmt.Errorf("core: bus without name")
+	}
+	if s.taken(name) {
+		return fmt.Errorf("core: duplicate resource %q", name)
+	}
+	cfg.Bus.Name = name
+	s.buses[name] = &busResource{cfg: cfg, msgs: append([]rta.Message(nil), msgs...)}
+	s.busNames = append(s.busNames, name)
+	return nil
+}
+
+// AddECU registers an ECU with its analysis configuration and tasks.
+func (s *System) AddECU(name string, cfg osek.Config, tasks []osek.Task) error {
+	if name == "" {
+		return fmt.Errorf("core: ECU without name")
+	}
+	if s.taken(name) {
+		return fmt.Errorf("core: duplicate resource %q", name)
+	}
+	s.ecus[name] = &ecuResource{cfg: cfg, tasks: append([]osek.Task(nil), tasks...)}
+	s.ecuNames = append(s.ecuNames, name)
+	return nil
+}
+
+// AddTDMABus registers a time-triggered bus with its static schedule.
+func (s *System) AddTDMABus(name string, sched tdma.Schedule, bus can.Bus,
+	stuffing can.Stuffing, msgs []tdma.Message) error {
+	if name == "" {
+		return fmt.Errorf("core: TDMA bus without name")
+	}
+	if s.taken(name) {
+		return fmt.Errorf("core: duplicate resource %q", name)
+	}
+	bus.Name = name
+	s.tdmas[name] = &tdmaResource{
+		sched: sched, bus: bus, stuffing: stuffing,
+		msgs: append([]tdma.Message(nil), msgs...),
+	}
+	s.tdmaNames = append(s.tdmaNames, name)
+	return nil
+}
+
+// taken reports whether a resource name is in use.
+func (s *System) taken(name string) bool {
+	return s.buses[name] != nil || s.ecus[name] != nil || s.tdmas[name] != nil
+}
+
+// Connect links the output of from to the activation of to.
+func (s *System) Connect(from, to ElementRef) error {
+	for _, ref := range []ElementRef{from, to} {
+		if _, err := s.findElement(ref); err != nil {
+			return err
+		}
+	}
+	s.links = append(s.links, Link{From: from, To: to})
+	return nil
+}
+
+// AddPath registers an end-to-end flow for latency reporting.
+func (s *System) AddPath(name string, elements ...ElementRef) error {
+	if name == "" {
+		return fmt.Errorf("core: path without name")
+	}
+	if len(elements) == 0 {
+		return fmt.Errorf("core: path %q has no elements", name)
+	}
+	for _, ref := range elements {
+		if _, err := s.findElement(ref); err != nil {
+			return fmt.Errorf("core: path %q: %w", name, err)
+		}
+	}
+	s.paths = append(s.paths, Path{Name: name, Elements: elements})
+	return nil
+}
+
+// findElement returns a pointer to the element's event model.
+func (s *System) findElement(ref ElementRef) (*eventmodel.Model, error) {
+	if b, ok := s.buses[ref.Resource]; ok {
+		for i := range b.msgs {
+			if b.msgs[i].Name == ref.Element {
+				return &b.msgs[i].Event, nil
+			}
+		}
+		return nil, fmt.Errorf("core: bus %q has no message %q", ref.Resource, ref.Element)
+	}
+	if e, ok := s.ecus[ref.Resource]; ok {
+		for i := range e.tasks {
+			if e.tasks[i].Name == ref.Element {
+				return &e.tasks[i].Event, nil
+			}
+		}
+		return nil, fmt.Errorf("core: ECU %q has no task %q", ref.Resource, ref.Element)
+	}
+	if t, ok := s.tdmas[ref.Resource]; ok {
+		for i := range t.msgs {
+			if t.msgs[i].Name == ref.Element {
+				return &t.msgs[i].Event, nil
+			}
+		}
+		return nil, fmt.Errorf("core: TDMA bus %q has no message %q", ref.Resource, ref.Element)
+	}
+	return nil, fmt.Errorf("core: unknown resource %q", ref.Resource)
+}
+
+// PathResult is the latency bound of one path.
+type PathResult struct {
+	// Name echoes the path name.
+	Name string
+	// Latency is the end-to-end worst-case bound, or Unbounded when any
+	// element on the path is unschedulable.
+	Latency time.Duration
+	// Hops breaks the bound down per element (from-arrival responses).
+	Hops []HopLatency
+}
+
+// HopLatency is one element's contribution to a path bound.
+type HopLatency struct {
+	Ref   ElementRef
+	Delay time.Duration
+}
+
+// Unbounded marks diverged or unschedulable results.
+const Unbounded = time.Duration(int64(eventmodel.Unbounded))
+
+// Analysis is the outcome of a compositional run.
+type Analysis struct {
+	// BusReports holds the final per-bus analyses.
+	BusReports map[string]*rta.Report
+	// ECUReports holds the final per-ECU analyses.
+	ECUReports map[string]*osek.Report
+	// TDMAReports holds the final per-TDMA-bus analyses.
+	TDMAReports map[string]*tdma.Report
+	// Iterations counts global propagation rounds.
+	Iterations int
+	// Converged reports whether event models reached a fixpoint.
+	Converged bool
+	// Paths holds end-to-end latency bounds.
+	Paths []PathResult
+}
+
+// AllSchedulable reports whether every message and task in the system
+// meets its deadline.
+func (a *Analysis) AllSchedulable() bool {
+	for _, rep := range a.BusReports {
+		if !rep.AllSchedulable() {
+			return false
+		}
+	}
+	for _, rep := range a.ECUReports {
+		if !rep.AllSchedulable() {
+			return false
+		}
+	}
+	for _, rep := range a.TDMAReports {
+		for _, r := range rep.Results {
+			if !r.Schedulable {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DefaultMaxIterations bounds global propagation rounds.
+const DefaultMaxIterations = 64
+
+// Analyze runs the compositional fixpoint: local analyses, propagate
+// output models along links, repeat until stable.
+func (s *System) Analyze(maxIterations int) (*Analysis, error) {
+	if maxIterations <= 0 {
+		maxIterations = DefaultMaxIterations
+	}
+	if len(s.buses)+len(s.ecus)+len(s.tdmas) == 0 {
+		return nil, fmt.Errorf("core: empty system")
+	}
+	a := &Analysis{
+		BusReports:  map[string]*rta.Report{},
+		ECUReports:  map[string]*osek.Report{},
+		TDMAReports: map[string]*tdma.Report{},
+	}
+	for iter := 1; iter <= maxIterations; iter++ {
+		a.Iterations = iter
+		if err := s.analyzeLocal(a); err != nil {
+			return nil, err
+		}
+		changed, err := s.propagate(a)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			a.Converged = true
+			break
+		}
+	}
+	if err := s.analyzeLocal(a); err != nil {
+		return nil, err
+	}
+	s.pathLatencies(a)
+	return a, nil
+}
+
+// analyzeLocal refreshes all per-resource reports.
+func (s *System) analyzeLocal(a *Analysis) error {
+	for _, name := range s.busNames {
+		b := s.buses[name]
+		rep, err := rta.Analyze(b.msgs, b.cfg)
+		if err != nil {
+			return fmt.Errorf("core: bus %s: %w", name, err)
+		}
+		a.BusReports[name] = rep
+	}
+	for _, name := range s.ecuNames {
+		e := s.ecus[name]
+		rep, err := osek.Analyze(e.tasks, e.cfg)
+		if err != nil {
+			return fmt.Errorf("core: ECU %s: %w", name, err)
+		}
+		a.ECUReports[name] = rep
+	}
+	for _, name := range s.tdmaNames {
+		t := s.tdmas[name]
+		rep, err := tdma.Analyze(t.msgs, t.sched, t.bus, t.stuffing)
+		if err != nil {
+			return fmt.Errorf("core: TDMA bus %s: %w", name, err)
+		}
+		a.TDMAReports[name] = rep
+	}
+	return nil
+}
+
+// propagate pushes output models along all links; reports whether any
+// activation model changed.
+func (s *System) propagate(a *Analysis) (bool, error) {
+	changed := false
+	for _, l := range s.links {
+		out, err := s.outputModel(a, l.From)
+		if err != nil {
+			return false, err
+		}
+		dst, err := s.findElement(l.To)
+		if err != nil {
+			return false, err
+		}
+		if *dst != out {
+			*dst = out
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// outputModel looks up the derived output event model of an element.
+func (s *System) outputModel(a *Analysis, ref ElementRef) (eventmodel.Model, error) {
+	if _, ok := s.buses[ref.Resource]; ok {
+		rep := a.BusReports[ref.Resource]
+		res := rep.ByName(ref.Element)
+		if res == nil {
+			return eventmodel.Model{}, fmt.Errorf("core: no analysis for %s", ref)
+		}
+		return res.OutputModel(), nil
+	}
+	if _, ok := s.tdmas[ref.Resource]; ok {
+		rep := a.TDMAReports[ref.Resource]
+		res := rep.ByName(ref.Element)
+		if res == nil {
+			return eventmodel.Model{}, fmt.Errorf("core: no analysis for %s", ref)
+		}
+		return res.OutputModel(), nil
+	}
+	rep := a.ECUReports[ref.Resource]
+	if rep == nil {
+		return eventmodel.Model{}, fmt.Errorf("core: no analysis for %s", ref)
+	}
+	res := rep.ByName(ref.Element)
+	if res == nil {
+		return eventmodel.Model{}, fmt.Errorf("core: no analysis for %s", ref)
+	}
+	return res.OutputModel(), nil
+}
+
+// pathLatencies fills in end-to-end bounds: the sum of from-arrival
+// worst-case responses (WCRT minus inherited activation jitter) along
+// the path.
+func (s *System) pathLatencies(a *Analysis) {
+	for _, p := range s.paths {
+		pr := PathResult{Name: p.Name}
+		total := time.Duration(0)
+		bounded := true
+		for _, ref := range p.Elements {
+			delay, ok := s.hopDelay(a, ref)
+			pr.Hops = append(pr.Hops, HopLatency{Ref: ref, Delay: delay})
+			if !ok {
+				bounded = false
+				continue
+			}
+			total += delay
+		}
+		if bounded {
+			pr.Latency = total
+		} else {
+			pr.Latency = Unbounded
+		}
+		a.Paths = append(a.Paths, pr)
+	}
+}
+
+// hopDelay returns an element's from-arrival worst-case response.
+func (s *System) hopDelay(a *Analysis, ref ElementRef) (time.Duration, bool) {
+	if _, ok := s.buses[ref.Resource]; ok {
+		res := a.BusReports[ref.Resource].ByName(ref.Element)
+		if res == nil || res.WCRT == rta.Unschedulable {
+			return Unbounded, false
+		}
+		return res.WCRT - res.Message.Event.Jitter, true
+	}
+	if _, ok := s.tdmas[ref.Resource]; ok {
+		res := a.TDMAReports[ref.Resource].ByName(ref.Element)
+		if res == nil || res.WCRT == tdma.Unschedulable {
+			return Unbounded, false
+		}
+		// TDMA responses are already measured from the arrival instant.
+		return res.WCRT, true
+	}
+	res := a.ECUReports[ref.Resource].ByName(ref.Element)
+	if res == nil || res.WCRT == osek.Unschedulable {
+		return Unbounded, false
+	}
+	return res.WCRT - res.Task.Event.Jitter, true
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+	"repro/internal/osek"
+	"repro/internal/rta"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+func busCfg(rate int) rta.Config {
+	return rta.Config{Bus: can.Bus{BitRate: rate}}
+}
+
+func busMsg(name string, id can.ID, dlc int, period time.Duration) rta.Message {
+	return rta.Message{
+		Name:  name,
+		Frame: can.Frame{ID: id, Format: can.Standard11Bit, DLC: dlc},
+		Event: eventmodel.Periodic(period),
+	}
+}
+
+func ecuTask(name string, prio int, wcet, bcet, period time.Duration) osek.Task {
+	return osek.Task{
+		Name: name, Priority: prio, WCET: wcet, BCET: bcet,
+		Event: eventmodel.Periodic(period), Kind: osek.Preemptive,
+	}
+}
+
+// gatewaySystem builds the canonical two-bus system: sensor task on ECU1
+// sends M1 over bus A; a gateway task forwards it as M2 over bus B; an
+// actuator task on ECU2 consumes it.
+func gatewaySystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	if err := s.AddECU("ECU1", osek.Config{}, []osek.Task{
+		ecuTask("sensor", 2, 1*ms, 500*us, 10*ms),
+		ecuTask("housekeeping", 1, 2*ms, 2*ms, 50*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("busA", busCfg(can.Rate500k), []rta.Message{
+		busMsg("M1", 0x100, 8, 10*ms),
+		busMsg("noiseA", 0x200, 8, 20*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("GW", osek.Config{}, []osek.Task{
+		ecuTask("forward", 1, 200*us, 100*us, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("busB", busCfg(can.Rate250k), []rta.Message{
+		busMsg("M2", 0x110, 8, 10*ms),
+		busMsg("noiseB", 0x210, 8, 25*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("ECU2", osek.Config{}, []osek.Task{
+		ecuTask("actuator", 1, 500*us, 500*us, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	links := []Link{
+		{From: ElementRef{"ECU1", "sensor"}, To: ElementRef{"busA", "M1"}},
+		{From: ElementRef{"busA", "M1"}, To: ElementRef{"GW", "forward"}},
+		{From: ElementRef{"GW", "forward"}, To: ElementRef{"busB", "M2"}},
+		{From: ElementRef{"busB", "M2"}, To: ElementRef{"ECU2", "actuator"}},
+	}
+	for _, l := range links {
+		if err := s.Connect(l.From, l.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddPath("sensor-to-actuator",
+		ElementRef{"ECU1", "sensor"},
+		ElementRef{"busA", "M1"},
+		ElementRef{"GW", "forward"},
+		ElementRef{"busB", "M2"},
+		ElementRef{"ECU2", "actuator"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGatewayConverges(t *testing.T) {
+	s := gatewaySystem(t)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatal("acyclic gateway system must converge")
+	}
+	if a.Iterations < 2 {
+		t.Errorf("iterations = %d; propagation should need at least 2 rounds", a.Iterations)
+	}
+	if !a.AllSchedulable() {
+		t.Error("lightly loaded system should be fully schedulable")
+	}
+}
+
+func TestJitterPropagatesAlongChain(t *testing.T) {
+	s := gatewaySystem(t)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M1's activation inherits the sensor's response jitter
+	// (WCRT - BCRT = 1ms - 0.5ms = 0.5ms; the lower-priority
+	// housekeeping task does not interfere with the top task).
+	m1 := a.BusReports["busA"].ByName("M1")
+	if m1.Message.Event.Jitter != 500*us {
+		t.Errorf("M1 activation jitter = %v, want 500us", m1.Message.Event.Jitter)
+	}
+	// Downstream jitters only accumulate.
+	m2 := a.BusReports["busB"].ByName("M2")
+	if m2.Message.Event.Jitter <= m1.Message.Event.Jitter {
+		t.Errorf("M2 jitter %v should exceed M1 jitter %v",
+			m2.Message.Event.Jitter, m1.Message.Event.Jitter)
+	}
+	fw := a.ECUReports["GW"].ByName("forward")
+	if fw.Task.Event.Jitter == 0 {
+		t.Error("gateway task should inherit bus jitter")
+	}
+}
+
+func TestPathLatency(t *testing.T) {
+	s := gatewaySystem(t)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(a.Paths))
+	}
+	p := a.Paths[0]
+	if p.Latency == Unbounded {
+		t.Fatal("path latency unbounded")
+	}
+	if len(p.Hops) != 5 {
+		t.Fatalf("hops = %d, want 5", len(p.Hops))
+	}
+	var sum time.Duration
+	for _, h := range p.Hops {
+		if h.Delay <= 0 {
+			t.Errorf("hop %s delay %v must be positive", h.Ref, h.Delay)
+		}
+		sum += h.Delay
+	}
+	if sum != p.Latency {
+		t.Errorf("latency %v != hop sum %v", p.Latency, sum)
+	}
+	// Sanity: the bound is at least the sum of raw execution and wire
+	// times (1ms + 540us + 0.2ms + 1.08ms+ + 0.5ms) and well below a
+	// second on this light system.
+	if p.Latency < 3*ms || p.Latency > 100*ms {
+		t.Errorf("latency %v outside plausible band", p.Latency)
+	}
+}
+
+func TestUnschedulablePathIsUnbounded(t *testing.T) {
+	s := NewSystem()
+	// Overloaded bus: three full frames every 500us at 500 kbit/s.
+	msgs := []rta.Message{
+		busMsg("A", 0x100, 8, 500*us),
+		busMsg("B", 0x200, 8, 500*us),
+		busMsg("C", 0x300, 8, 500*us),
+	}
+	if err := s.AddBus("bus", busCfg(can.Rate500k), msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath("doomed", ElementRef{"bus", "C"}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Paths[0].Latency != Unbounded {
+		t.Errorf("latency = %v, want Unbounded", a.Paths[0].Latency)
+	}
+	if a.AllSchedulable() {
+		t.Error("overloaded system reported schedulable")
+	}
+}
+
+func TestCyclicSystemDoesNotHang(t *testing.T) {
+	// Two tasks activating each other: jitter accumulates every round.
+	// The analysis must terminate — either saturating to a (diverged)
+	// fixpoint or stopping at the iteration cap — and must not report a
+	// healthy schedulable system.
+	s := NewSystem()
+	if err := s.AddECU("E1", osek.Config{}, []osek.Task{
+		ecuTask("a", 1, 2*ms, 1*ms, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("E2", osek.Config{}, []osek.Task{
+		ecuTask("b", 1, 2*ms, 1*ms, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(ElementRef{"E1", "a"}, ElementRef{"E2", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(ElementRef{"E2", "b"}, ElementRef{"E1", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Converged && a.AllSchedulable() {
+		t.Error("cyclic jitter amplification cannot be both converged and schedulable")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.Analyze(0); err == nil {
+		t.Error("empty system accepted")
+	}
+	if err := s.AddBus("", busCfg(can.Rate500k), nil); err == nil {
+		t.Error("unnamed bus accepted")
+	}
+	if err := s.AddBus("x", busCfg(can.Rate500k), []rta.Message{busMsg("M", 1, 8, 10*ms)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("x", busCfg(can.Rate500k), nil); err == nil {
+		t.Error("duplicate resource accepted")
+	}
+	if err := s.AddECU("x", osek.Config{}, nil); err == nil {
+		t.Error("ECU with bus name accepted")
+	}
+	if err := s.Connect(ElementRef{"x", "M"}, ElementRef{"x", "nope"}); err == nil {
+		t.Error("link to unknown element accepted")
+	}
+	if err := s.Connect(ElementRef{"ghost", "M"}, ElementRef{"x", "M"}); err == nil {
+		t.Error("link from unknown resource accepted")
+	}
+	if err := s.AddPath(""); err == nil {
+		t.Error("unnamed path accepted")
+	}
+	if err := s.AddPath("p"); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := s.AddPath("p", ElementRef{"x", "nope"}); err == nil {
+		t.Error("path with unknown element accepted")
+	}
+}
+
+func TestElementRefString(t *testing.T) {
+	r := ElementRef{"busA", "M1"}
+	if r.String() != "busA/M1" {
+		t.Errorf("String() = %q", r.String())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+	"repro/internal/osek"
+	"repro/internal/rta"
+	"repro/internal/tdma"
+)
+
+// hybridSystem models a CAN-to-backbone migration scenario: a sensor
+// message travels over CAN, a gateway task forwards it onto a
+// time-triggered bus (FlexRay-like static segment).
+func hybridSystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	if err := s.AddBus("canBus", busCfg(can.Rate500k), []rta.Message{
+		busMsg("M1", 0x100, 8, 10*ms),
+		busMsg("noise", 0x200, 8, 20*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("GW", osek.Config{}, []osek.Task{
+		ecuTask("forward", 1, 200*us, 100*us, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sched := tdma.Schedule{Slots: []tdma.Slot{
+		{Owner: "M1TT", Length: 1 * ms},
+		{Owner: "other", Length: 1 * ms},
+	}}
+	if err := s.AddTDMABus("backbone", sched,
+		can.Bus{BitRate: can.Rate500k}, can.StuffingWorstCase,
+		[]tdma.Message{{
+			Name:  "M1TT",
+			Frame: can.Frame{ID: 0x100, Format: can.Standard11Bit, DLC: 8},
+			Event: eventmodel.Periodic(10 * ms),
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []Link{
+		{From: ElementRef{"canBus", "M1"}, To: ElementRef{"GW", "forward"}},
+		{From: ElementRef{"GW", "forward"}, To: ElementRef{"backbone", "M1TT"}},
+	} {
+		if err := s.Connect(l.From, l.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddPath("can-to-backbone",
+		ElementRef{"canBus", "M1"},
+		ElementRef{"GW", "forward"},
+		ElementRef{"backbone", "M1TT"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHybridCANtoTDMAConverges(t *testing.T) {
+	s := hybridSystem(t)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatal("hybrid chain must converge")
+	}
+	if !a.AllSchedulable() {
+		t.Error("lightly loaded hybrid system should be schedulable")
+	}
+	// The TDMA message inherited jitter from the CAN + gateway chain.
+	tt := a.TDMAReports["backbone"].ByName("M1TT")
+	if tt == nil {
+		t.Fatal("backbone analysis missing")
+	}
+	if tt.Message.Event.Jitter == 0 {
+		t.Error("backbone message should inherit upstream jitter")
+	}
+	// Its TDMA output model is valid and carries at least the slot wait.
+	out := tt.OutputModel()
+	if err := out.Validate(); err != nil {
+		t.Errorf("TDMA output model invalid: %v", err)
+	}
+	if out.Jitter < tt.Message.Event.Jitter {
+		t.Error("output jitter below activation jitter")
+	}
+}
+
+func TestHybridPathLatency(t *testing.T) {
+	s := hybridSystem(t)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Paths[0]
+	if p.Latency == Unbounded {
+		t.Fatal("path latency unbounded")
+	}
+	// The backbone hop contributes at least one full cycle bound:
+	// 2ms cycle + 270us transmission.
+	var backboneHop time.Duration
+	for _, h := range p.Hops {
+		if h.Ref.Resource == "backbone" {
+			backboneHop = h.Delay
+		}
+	}
+	if backboneHop < 2*ms {
+		t.Errorf("backbone hop %v below the cycle bound", backboneHop)
+	}
+	var sum time.Duration
+	for _, h := range p.Hops {
+		sum += h.Delay
+	}
+	if sum != p.Latency {
+		t.Errorf("latency %v != hop sum %v", p.Latency, sum)
+	}
+}
+
+func TestTDMAOverloadSurfacesInSystem(t *testing.T) {
+	s := NewSystem()
+	sched := tdma.Schedule{Slots: []tdma.Slot{
+		{Owner: "fast", Length: 1 * ms},
+		{Owner: "pad", Length: 4 * ms},
+	}}
+	// Arrivals every 2ms against a 5ms cycle: unbounded backlog.
+	if err := s.AddTDMABus("tt", sched, can.Bus{BitRate: can.Rate500k},
+		can.StuffingWorstCase, []tdma.Message{{
+			Name:  "fast",
+			Frame: can.Frame{ID: 0x100, Format: can.Standard11Bit, DLC: 8},
+			Event: eventmodel.Periodic(2 * ms),
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath("p", ElementRef{"tt", "fast"}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AllSchedulable() {
+		t.Error("over-rate TDMA message reported schedulable")
+	}
+	if a.Paths[0].Latency != Unbounded {
+		t.Error("path over an unschedulable TDMA hop must be unbounded")
+	}
+}
+
+func TestTDMAResourceValidation(t *testing.T) {
+	s := NewSystem()
+	sched := tdma.Schedule{Slots: []tdma.Slot{{Owner: "m", Length: ms}}}
+	msgs := []tdma.Message{{
+		Name:  "m",
+		Frame: can.Frame{ID: 1, Format: can.Standard11Bit, DLC: 1},
+		Event: eventmodel.Periodic(10 * ms),
+	}}
+	if err := s.AddTDMABus("", sched, can.Bus{BitRate: can.Rate500k}, can.StuffingWorstCase, msgs); err == nil {
+		t.Error("unnamed TDMA bus accepted")
+	}
+	if err := s.AddTDMABus("tt", sched, can.Bus{BitRate: can.Rate500k}, can.StuffingWorstCase, msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("tt", busCfg(can.Rate500k), nil); err == nil {
+		t.Error("CAN bus with TDMA name accepted")
+	}
+	if err := s.Connect(ElementRef{"tt", "ghost"}, ElementRef{"tt", "m"}); err == nil {
+		t.Error("link from unknown TDMA message accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package errormodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const ms = time.Millisecond
+
+var ctx = Context{ErrorFrame: 62 * time.Microsecond, CMax: 270 * time.Microsecond}
+
+func TestNone(t *testing.T) {
+	if got := (None{}).Overhead(time.Hour, ctx); got != 0 {
+		t.Errorf("None overhead = %v", got)
+	}
+	if (None{}).Name() != "none" {
+		t.Error("None name")
+	}
+}
+
+func TestSporadicKnownValues(t *testing.T) {
+	m := Sporadic{Interval: 10 * ms}
+	per := ctx.ErrorFrame + ctx.CMax
+	tests := []struct {
+		t    time.Duration
+		want time.Duration
+	}{
+		{-1, 0},
+		{0, per},           // one error can always hit immediately
+		{9 * ms, per},      // still within the first interval
+		{10 * ms, 2 * per}, // second error possible at exactly T
+		{35 * ms, 4 * per},
+	}
+	for _, tt := range tests {
+		if got := m.Overhead(tt.t, ctx); got != tt.want {
+			t.Errorf("Overhead(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		b       Burst
+		wantErr bool
+	}{
+		{"ok", Burst{Interval: 100 * ms, Length: 3, Gap: ms}, false},
+		{"single error burst", Burst{Interval: 50 * ms, Length: 1}, false},
+		{"zero interval", Burst{Interval: 0, Length: 2, Gap: ms}, true},
+		{"zero length", Burst{Interval: 100 * ms, Length: 0, Gap: ms}, true},
+		{"negative gap", Burst{Interval: 100 * ms, Length: 2, Gap: -1}, true},
+		{"burst longer than interval", Burst{Interval: 2 * ms, Length: 5, Gap: ms}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.b.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBurstKnownValues(t *testing.T) {
+	m := Burst{Interval: 100 * ms, Length: 3, Gap: 1 * ms}
+	per := ctx.ErrorFrame + ctx.CMax
+	tests := []struct {
+		t    time.Duration
+		want time.Duration
+	}{
+		{0, 1 * per},                // burst starts, first error hits
+		{1 * ms, 2 * per},           // second error after one gap
+		{2 * ms, 3 * per},           // burst exhausted
+		{50 * ms, 3 * per},          // no new burst yet
+		{100 * ms, 4 * per},         // next burst starts
+		{102 * ms, 6 * per},         // next burst completes
+		{250 * ms, 2*3*per + 3*per}, // two full recurrences + full partial
+	}
+	for _, tt := range tests {
+		if got := m.Overhead(tt.t, ctx); got != tt.want {
+			t.Errorf("Overhead(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestBurstZeroGapChargesFullBurst(t *testing.T) {
+	m := Burst{Interval: 100 * ms, Length: 4, Gap: 0}
+	per := ctx.ErrorFrame + ctx.CMax
+	if got, want := m.Overhead(0, ctx), 4*per; got != want {
+		t.Errorf("Overhead(0) = %v, want %v", got, want)
+	}
+}
+
+func TestBurstDominatesSporadicAtSameRate(t *testing.T) {
+	// A burst model with k errors per interval T is never more optimistic
+	// than a sporadic model with interval T.
+	sp := Sporadic{Interval: 50 * ms}
+	bu := Burst{Interval: 50 * ms, Length: 2, Gap: ms}
+	for dt := time.Duration(0); dt < 500*ms; dt += 7 * ms {
+		if bu.Overhead(dt, ctx) < sp.Overhead(dt, ctx) {
+			t.Fatalf("burst overhead below sporadic at %v", dt)
+		}
+	}
+}
+
+func TestOverheadMonotone(t *testing.T) {
+	models := []Model{
+		Sporadic{Interval: 25 * ms},
+		Burst{Interval: 80 * ms, Length: 3, Gap: 500 * time.Microsecond},
+		Composite{Sporadic{Interval: 25 * ms}, Burst{Interval: 80 * ms, Length: 2, Gap: ms}},
+	}
+	for _, m := range models {
+		prop := func(aRaw, bRaw uint32) bool {
+			a := time.Duration(aRaw%1_000_000) * time.Microsecond
+			b := time.Duration(bRaw%1_000_000) * time.Microsecond
+			if a > b {
+				a, b = b, a
+			}
+			return m.Overhead(a, ctx) <= m.Overhead(b, ctx)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestOverheadScalesWithCMax(t *testing.T) {
+	small := Context{ErrorFrame: ctx.ErrorFrame, CMax: 100 * time.Microsecond}
+	large := Context{ErrorFrame: ctx.ErrorFrame, CMax: 300 * time.Microsecond}
+	m := Sporadic{Interval: 10 * ms}
+	if m.Overhead(25*ms, small) >= m.Overhead(25*ms, large) {
+		t.Error("overhead must grow with retransmission cost")
+	}
+}
+
+func TestFromBER(t *testing.T) {
+	// 1e-6 errors/bit at 500 kbit/s: one error per 2 seconds.
+	m, err := FromBER(1e-6, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interval != 2*time.Second {
+		t.Errorf("interval = %v, want 2s", m.Interval)
+	}
+	// Aggressive EMI: 1e-5 at 500k: 200ms.
+	m, err = FromBER(1e-5, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interval != 200*ms {
+		t.Errorf("interval = %v, want 200ms", m.Interval)
+	}
+	for _, bad := range []struct {
+		ber  float64
+		rate int
+	}{{0, 500_000}, {1, 500_000}, {-1e-6, 500_000}, {1e-6, 0}} {
+		if _, err := FromBER(bad.ber, bad.rate); err == nil {
+			t.Errorf("FromBER(%g, %d) accepted", bad.ber, bad.rate)
+		}
+	}
+}
+
+func TestCompositeSums(t *testing.T) {
+	a := Sporadic{Interval: 10 * ms}
+	b := Sporadic{Interval: 20 * ms}
+	c := Composite{a, b}
+	at := 15 * ms
+	if got, want := c.Overhead(at, ctx), a.Overhead(at, ctx)+b.Overhead(at, ctx); got != want {
+		t.Errorf("Composite overhead = %v, want %v", got, want)
+	}
+	if c.Name() != "composite(sporadic(T=10ms)+sporadic(T=20ms))" {
+		t.Errorf("Composite name = %q", c.Name())
+	}
+}

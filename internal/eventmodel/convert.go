@@ -1,0 +1,82 @@
+package eventmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// The event model interfaces (EMIFs) of Richter & Ernst (DATE 2002):
+// conversions between event model classes and the refinement order that
+// makes models exchangeable along a supply chain.
+
+// ToSporadic converts the model to the sporadic class, keeping only the
+// upper arrival curve: a sporadic stream with the model's effective
+// minimum distance as its minimum interarrival. The conversion is
+// lossless for eta+ in the single-event regime and drops the eta-
+// guarantee, which is exactly the EMIF "periodic -> sporadic" adapter.
+// It fails when the model admits simultaneous events (no positive
+// minimum distance).
+func (m Model) ToSporadic() (Model, error) {
+	d := m.EffectiveDMin()
+	if d <= 0 {
+		return Model{}, fmt.Errorf("eventmodel: %v has no positive minimum distance; cannot express as sporadic", m)
+	}
+	if m.Bursty() {
+		// Preserve the long-term rate bound as well as the burst bound.
+		return SporadicBurst(m.Period, m.Jitter, d), nil
+	}
+	return SporadicModel(d), nil
+}
+
+// ToPeriodicJitter reinterprets the model in the periodic-with-jitter
+// class. For sporadic streams this imposes arrivals that the original
+// model never guaranteed, so it fails; EMIF adapters in that direction
+// require an explicit assumption, expressed by AssumePeriodic.
+func (m Model) ToPeriodicJitter() (Model, error) {
+	if m.Sporadic {
+		return Model{}, fmt.Errorf("eventmodel: sporadic %v carries no lower arrival bound; use AssumePeriodic", m)
+	}
+	out := m
+	out.DMin = m.EffectiveDMin()
+	return out, nil
+}
+
+// AssumePeriodic turns a sporadic model into a periodic-with-jitter model
+// by assumption, documenting the jitter assumed. This mirrors the
+// "what-if" workflow of the paper: unknown dynamics are filled in with
+// assumed values that later become requirements.
+func (m Model) AssumePeriodic(assumedJitter time.Duration) Model {
+	out := m
+	out.Sporadic = false
+	out.Jitter = assumedJitter
+	if out.Jitter >= out.Period && out.DMin == 0 {
+		out.DMin = out.EffectiveDMin()
+		if out.DMin == 0 {
+			out.DMin = 1
+		}
+	}
+	return out
+}
+
+// Refines reports whether m is a contract-compatible tightening of r:
+// every behaviour admitted by m is admitted by r. A supplier whose
+// component emits events according to m satisfies a requirement stated
+// as r.
+//
+// The check is a sound sufficient condition on the model parameters:
+//
+//   - against a sporadic requirement, the supplier may promise any
+//     stream that arrives no more often (P >= P_r, J <= J_r, d >= d_r);
+//   - against a periodic requirement, the rate must match exactly and
+//     jitter/minimum distance must be at least as tight.
+func (m Model) Refines(r Model) bool {
+	if r.Sporadic {
+		return m.Period >= r.Period &&
+			m.Jitter <= r.Jitter &&
+			m.EffectiveDMin() >= r.EffectiveDMin()
+	}
+	return !m.Sporadic &&
+		m.Period == r.Period &&
+		m.Jitter <= r.Jitter &&
+		m.EffectiveDMin() >= r.EffectiveDMin()
+}

@@ -1,0 +1,179 @@
+package eventmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestToSporadic(t *testing.T) {
+	m := PeriodicJitter(10*ms, 3*ms)
+	s, err := m.ToSporadic()
+	if err != nil {
+		t.Fatalf("ToSporadic: %v", err)
+	}
+	if !s.Sporadic {
+		t.Error("result not sporadic")
+	}
+	if got, want := s.Period, 7*ms; got != want {
+		t.Errorf("sporadic min interarrival = %v, want %v", got, want)
+	}
+	// The sporadic view must admit at least as many events as the original
+	// guarantees, and bound arrivals soundly.
+	for _, dt := range []time.Duration{ms, 5 * ms, 50 * ms, 500 * ms} {
+		if s.EtaPlus(dt) < m.EtaPlus(dt) {
+			t.Errorf("sporadic EtaPlus(%v) below original", dt)
+		}
+		if s.EtaMinus(dt) != 0 {
+			t.Errorf("sporadic EtaMinus(%v) != 0", dt)
+		}
+	}
+}
+
+func TestToSporadicBurstKeepsRate(t *testing.T) {
+	m := PeriodicBurst(10*ms, 25*ms, 1*ms)
+	s, err := m.ToSporadic()
+	if err != nil {
+		t.Fatalf("ToSporadic: %v", err)
+	}
+	// The long-term rate bound must survive the conversion.
+	if got, orig := s.EtaPlus(time.Second), m.EtaPlus(time.Second); got < orig || got > orig+1 {
+		t.Errorf("sporadic burst EtaPlus(1s) = %d, original %d", got, orig)
+	}
+}
+
+func TestToSporadicRejectsZeroDistance(t *testing.T) {
+	m := Model{Period: 10 * ms, Jitter: 25 * ms} // invalid: no dmin
+	if _, err := m.ToSporadic(); err == nil {
+		t.Error("expected error for model without positive minimum distance")
+	}
+}
+
+func TestToPeriodicJitter(t *testing.T) {
+	m := PeriodicJitter(10*ms, 3*ms)
+	p, err := m.ToPeriodicJitter()
+	if err != nil {
+		t.Fatalf("ToPeriodicJitter: %v", err)
+	}
+	if p.Period != m.Period || p.Jitter != m.Jitter {
+		t.Error("periodic view changed P or J")
+	}
+	if _, err := SporadicModel(5 * ms).ToPeriodicJitter(); err == nil {
+		t.Error("sporadic -> periodic must fail without an assumption")
+	}
+}
+
+func TestAssumePeriodic(t *testing.T) {
+	s := SporadicModel(10 * ms)
+	p := s.AssumePeriodic(2 * ms)
+	if p.Sporadic {
+		t.Error("still sporadic after assumption")
+	}
+	if p.Jitter != 2*ms {
+		t.Errorf("assumed jitter = %v", p.Jitter)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("assumed model invalid: %v", err)
+	}
+	// Assuming a jitter beyond the period must still yield a valid model.
+	pb := s.AssumePeriodic(25 * ms)
+	if err := pb.Validate(); err != nil {
+		t.Errorf("assumed burst model invalid: %v", err)
+	}
+}
+
+func TestRefinesBasics(t *testing.T) {
+	req := PeriodicJitter(10*ms, 5*ms)
+	tests := []struct {
+		name string
+		m    Model
+		want bool
+	}{
+		{"identical", PeriodicJitter(10*ms, 5*ms), true},
+		{"tighter jitter", PeriodicJitter(10*ms, 2*ms), true},
+		{"zero jitter", Periodic(10 * ms), true},
+		{"looser jitter", PeriodicJitter(10*ms, 6*ms), false},
+		{"different period", PeriodicJitter(20*ms, 2*ms), false},
+		{"sporadic cannot meet periodic", SporadicModel(10 * ms), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.Refines(req); got != tt.want {
+				t.Errorf("Refines() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRefinesSporadicRequirement(t *testing.T) {
+	req := SporadicModel(10 * ms)
+	if !Periodic(10 * ms).Refines(req) {
+		t.Error("periodic at same rate should refine sporadic bound")
+	}
+	if !Periodic(20 * ms).Refines(req) {
+		t.Error("slower periodic should refine sporadic bound")
+	}
+	if Periodic(5 * ms).Refines(req) {
+		t.Error("faster periodic must not refine sporadic bound")
+	}
+	if PeriodicJitter(10*ms, 1*ms).Refines(req) {
+		t.Error("jittery stream violates pure sporadic minimum distance")
+	}
+}
+
+func TestRefinesIsPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	models := make([]Model, 40)
+	for i := range models {
+		m := Model{
+			Period: time.Duration(1+rng.Intn(50)) * time.Millisecond,
+			Jitter: time.Duration(rng.Intn(40)) * time.Millisecond,
+		}
+		if m.Jitter >= m.Period {
+			m.DMin = time.Duration(1+rng.Intn(int(m.Period/time.Millisecond))) * time.Millisecond
+		}
+		m.Sporadic = rng.Intn(3) == 0
+		models[i] = m
+	}
+	// Reflexivity.
+	for _, m := range models {
+		if !m.Refines(m) {
+			t.Errorf("model %v does not refine itself", m)
+		}
+	}
+	// Transitivity on sampled triples.
+	for i := 0; i < 2000; i++ {
+		a := models[rng.Intn(len(models))]
+		b := models[rng.Intn(len(models))]
+		c := models[rng.Intn(len(models))]
+		if a.Refines(b) && b.Refines(c) && !a.Refines(c) {
+			t.Fatalf("transitivity violated: %v ⊑ %v ⊑ %v but not %v ⊑ %v", a, b, c, a, c)
+		}
+	}
+}
+
+func TestRefinementPreservesEtaPlus(t *testing.T) {
+	// Semantic soundness: if m refines r, m may never produce more events
+	// in a window than r admits.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		p := time.Duration(1+rng.Intn(50)) * time.Millisecond
+		r := PeriodicJitter(p, time.Duration(rng.Intn(30))*time.Millisecond)
+		if r.Bursty() {
+			r.DMin = time.Millisecond
+		}
+		m := PeriodicJitter(p, time.Duration(rng.Intn(30))*time.Millisecond)
+		if m.Bursty() {
+			m.DMin = time.Millisecond
+		}
+		if !m.Refines(r) {
+			continue
+		}
+		for _, dt := range []time.Duration{ms, 7 * ms, 33 * ms, 210 * ms} {
+			if m.EtaPlus(dt) > r.EtaPlus(dt) {
+				t.Fatalf("%v refines %v but EtaPlus(%v): %d > %d",
+					m, r, dt, m.EtaPlus(dt), r.EtaPlus(dt))
+			}
+		}
+	}
+}

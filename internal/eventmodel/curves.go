@@ -1,0 +1,93 @@
+package eventmodel
+
+import "time"
+
+// EtaPlus returns the maximum number of events the stream can produce in
+// any half-open time window of length dt.
+//
+//	eta+(dt) = min( ceil((dt+J)/P), ceil(dt/dmin) )        for dt > 0
+//
+// where the second term applies only when a positive minimum distance
+// exists. EtaPlus(dt) is 0 for dt <= 0.
+func (m Model) EtaPlus(dt time.Duration) int {
+	if dt <= 0 {
+		return 0
+	}
+	n := ceilDiv(satAdd(dt, m.Jitter), m.Period)
+	if d := m.EffectiveDMin(); d > 0 {
+		if cap := ceilDiv(dt, d); cap < n {
+			n = cap
+		}
+	}
+	return n
+}
+
+// EtaMinus returns the minimum number of events the stream must produce
+// in any closed time window of length dt. Sporadic streams guarantee
+// nothing and return 0.
+//
+//	eta-(dt) = max(0, floor((dt-J)/P))
+func (m Model) EtaMinus(dt time.Duration) int {
+	if m.Sporadic || dt <= m.Jitter {
+		return 0
+	}
+	return int((dt - m.Jitter) / m.Period)
+}
+
+// DeltaMin returns the minimum possible time span covered by n
+// consecutive events:
+//
+//	delta-(n) = max( (n-1)*P - J, (n-1)*dmin )      for n >= 2
+//
+// and 0 for n < 2.
+func (m Model) DeltaMin(n int) time.Duration {
+	if n < 2 {
+		return 0
+	}
+	span := time.Duration(n-1)*m.Period - m.Jitter
+	if span < 0 {
+		span = 0
+	}
+	if d := m.DMin; d > 0 {
+		if byDist := time.Duration(n-1) * d; byDist > span {
+			span = byDist
+		}
+	}
+	return span
+}
+
+// DeltaMax returns the maximum possible time span covered by n
+// consecutive events, or Unbounded for sporadic streams:
+//
+//	delta+(n) = (n-1)*P + J      for n >= 2
+//
+// and 0 for n < 2.
+func (m Model) DeltaMax(n int) time.Duration {
+	if n < 2 {
+		return 0
+	}
+	if m.Sporadic {
+		return Unbounded
+	}
+	return satAdd(time.Duration(n-1)*m.Period, m.Jitter)
+}
+
+// MinReArrival returns the soonest instant after an event's nominal
+// activation at which the next instance of the same stream can arrive.
+// The paper uses this as the deadline under which an unconsumed message
+// is overwritten in the sender's buffer ("minimum re-arrival time").
+func (m Model) MinReArrival() time.Duration {
+	return m.EffectiveDMin()
+}
+
+// ceilDiv returns ceil(a/b) for positive b, treating a <= 0 as 0 events.
+// Saturated operands (propagated Unbounded jitters) must not overflow.
+func ceilDiv(a, b time.Duration) int {
+	if a <= 0 {
+		return 0
+	}
+	if a > Unbounded-b {
+		return int(Unbounded / b)
+	}
+	return int((a + b - 1) / b)
+}

@@ -1,0 +1,23 @@
+// Package eventmodel implements the standard event models of the SymTA/S
+// compositional analysis methodology (Richter, "Compositional Scheduling
+// Analysis Using Standard Event Models", 2005).
+//
+// An event model characterises a stream of activation events (task
+// activations, message queuings) by three parameters:
+//
+//   - P, the period (for sporadic streams: the minimum recurrence);
+//   - J, the jitter — each event may deviate from its nominal periodic
+//     instant by up to J;
+//   - Dmin, a lower bound on the distance of consecutive events, which
+//     becomes relevant once J > P and events form bursts.
+//
+// From the parameters the package derives the arrival curves eta+ and
+// eta- (most/fewest events in any half-open window of a given length) and
+// the pseudo-inverse distance functions DeltaMin/DeltaMax (smallest/largest
+// possible span of n consecutive events). These functions are what
+// response-time analysis consumes.
+//
+// The package also provides the event model interfaces (EMIFs) of
+// Richter & Ernst (DATE 2002): lossless conversions between model classes
+// and the refinement partial order used by the supply-chain contract layer.
+package eventmodel

@@ -1,0 +1,270 @@
+package eventmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Model
+		wantErr bool
+	}{
+		{"periodic ok", Periodic(10 * ms), false},
+		{"jitter ok", PeriodicJitter(10*ms, 3*ms), false},
+		{"burst ok", PeriodicBurst(10*ms, 25*ms, 1*ms), false},
+		{"sporadic ok", SporadicModel(5 * ms), false},
+		{"zero period", Model{}, true},
+		{"negative jitter", Model{Period: 10 * ms, Jitter: -1}, true},
+		{"negative dmin", Model{Period: 10 * ms, DMin: -1}, true},
+		{"dmin above period", Model{Period: 10 * ms, DMin: 11 * ms}, true},
+		{"burst without dmin", Model{Period: 10 * ms, Jitter: 10 * ms}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEtaPlusPeriodic(t *testing.T) {
+	m := Periodic(10 * ms)
+	tests := []struct {
+		dt   time.Duration
+		want int
+	}{
+		{0, 0},
+		{-5 * ms, 0},
+		{1 * ms, 1},
+		{10 * ms, 1},
+		{10*ms + 1, 2},
+		{20 * ms, 2},
+		{95 * ms, 10},
+	}
+	for _, tt := range tests {
+		if got := m.EtaPlus(tt.dt); got != tt.want {
+			t.Errorf("EtaPlus(%v) = %d, want %d", tt.dt, got, tt.want)
+		}
+	}
+}
+
+func TestEtaPlusWithJitter(t *testing.T) {
+	m := PeriodicJitter(10*ms, 4*ms)
+	// Window of 1ns can catch 1 event; jitter lets a second event slide
+	// in once dt+J exceeds P.
+	if got := m.EtaPlus(1); got != 1 {
+		t.Errorf("EtaPlus(1ns) = %d, want 1", got)
+	}
+	if got := m.EtaPlus(7 * ms); got != 2 { // 7+4 > 10
+		t.Errorf("EtaPlus(7ms) = %d, want 2", got)
+	}
+	if got := m.EtaPlus(6 * ms); got != 1 { // 6+4 = 10, ceil = 1
+		t.Errorf("EtaPlus(6ms) = %d, want 1", got)
+	}
+}
+
+func TestEtaPlusBurst(t *testing.T) {
+	// Jitter of 2.5 periods, bursts limited to 1ms spacing.
+	m := PeriodicBurst(10*ms, 25*ms, 1*ms)
+	// Without the DMin cap a tiny window would see ceil((0.001+25)/10)=3
+	// events; the distance bound allows only 1.
+	if got := m.EtaPlus(1); got != 1 {
+		t.Errorf("EtaPlus(1ns) = %d, want 1", got)
+	}
+	if got := m.EtaPlus(2 * ms); got != 2 {
+		t.Errorf("EtaPlus(2ms) = %d, want 2", got)
+	}
+	// Long windows revert to the periodic bound.
+	if got := m.EtaPlus(100 * ms); got != 13 { // ceil(125/10)
+		t.Errorf("EtaPlus(100ms) = %d, want 13", got)
+	}
+}
+
+func TestEtaMinus(t *testing.T) {
+	m := PeriodicJitter(10*ms, 4*ms)
+	tests := []struct {
+		dt   time.Duration
+		want int
+	}{
+		{0, 0},
+		{4 * ms, 0},
+		{14 * ms, 1},
+		{24 * ms, 2},
+		{13*ms + 999*time.Microsecond, 0},
+	}
+	for _, tt := range tests {
+		if got := m.EtaMinus(tt.dt); got != tt.want {
+			t.Errorf("EtaMinus(%v) = %d, want %d", tt.dt, got, tt.want)
+		}
+	}
+	if got := SporadicModel(10 * ms).EtaMinus(time.Hour); got != 0 {
+		t.Errorf("sporadic EtaMinus = %d, want 0", got)
+	}
+}
+
+func TestDeltaMinMax(t *testing.T) {
+	m := PeriodicJitter(10*ms, 4*ms)
+	if got := m.DeltaMin(1); got != 0 {
+		t.Errorf("DeltaMin(1) = %v, want 0", got)
+	}
+	if got, want := m.DeltaMin(2), 6*ms; got != want {
+		t.Errorf("DeltaMin(2) = %v, want %v", got, want)
+	}
+	if got, want := m.DeltaMax(2), 14*ms; got != want {
+		t.Errorf("DeltaMax(2) = %v, want %v", got, want)
+	}
+	if got, want := m.DeltaMin(4), 26*ms; got != want {
+		t.Errorf("DeltaMin(4) = %v, want %v", got, want)
+	}
+	if got := SporadicModel(10 * ms).DeltaMax(2); got != Unbounded {
+		t.Errorf("sporadic DeltaMax = %v, want Unbounded", got)
+	}
+}
+
+func TestDeltaMinBurstFloor(t *testing.T) {
+	m := PeriodicBurst(10*ms, 25*ms, 2*ms)
+	// (n-1)*P - J is negative for n=2; the distance bound takes over.
+	if got, want := m.DeltaMin(2), 2*ms; got != want {
+		t.Errorf("DeltaMin(2) = %v, want %v", got, want)
+	}
+	if got, want := m.DeltaMin(3), 4*ms; got != want {
+		t.Errorf("DeltaMin(3) = %v, want %v", got, want)
+	}
+	// For large n the periodic bound dominates the burst bound again:
+	// max(4*10-25, 4*2) = 15ms.
+	if got, want := m.DeltaMin(5), 15*ms; got != want {
+		t.Errorf("DeltaMin(5) = %v, want %v", got, want)
+	}
+}
+
+func TestEffectiveDMin(t *testing.T) {
+	if got, want := PeriodicJitter(10*ms, 3*ms).EffectiveDMin(), 7*ms; got != want {
+		t.Errorf("EffectiveDMin = %v, want %v", got, want)
+	}
+	if got, want := PeriodicBurst(10*ms, 25*ms, 2*ms).EffectiveDMin(), 2*ms; got != want {
+		t.Errorf("EffectiveDMin burst = %v, want %v", got, want)
+	}
+	if got, want := Periodic(10*ms).EffectiveDMin(), 10*ms; got != want {
+		t.Errorf("EffectiveDMin periodic = %v, want %v", got, want)
+	}
+}
+
+func TestMinReArrival(t *testing.T) {
+	// The deadline model of the paper: next instance can arrive P-J after
+	// the nominal activation.
+	if got, want := PeriodicJitter(20*ms, 5*ms).MinReArrival(), 15*ms; got != want {
+		t.Errorf("MinReArrival = %v, want %v", got, want)
+	}
+}
+
+func TestOutputModel(t *testing.T) {
+	in := PeriodicJitter(10*ms, 2*ms)
+	out := in.OutputModel(3*ms, 1*ms)
+	if out.Period != in.Period {
+		t.Error("output period changed")
+	}
+	if got, want := out.Jitter, 5*ms; got != want {
+		t.Errorf("output jitter = %v, want %v", got, want)
+	}
+	if got, want := out.DMin, 5*ms; got != want { // 8ms effective - 3ms, floored at 1ms
+		t.Errorf("output dmin = %v, want %v", got, want)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("output model invalid: %v", err)
+	}
+}
+
+func TestOutputModelLargeJitterStaysValid(t *testing.T) {
+	in := Periodic(10 * ms)
+	out := in.OutputModel(50*ms, 500*time.Microsecond)
+	if err := out.Validate(); err != nil {
+		t.Errorf("burst output model invalid: %v", err)
+	}
+	if !out.Bursty() {
+		t.Error("expected bursty output")
+	}
+}
+
+func TestEtaDeltaConsistency(t *testing.T) {
+	// Pseudo-inverse property: a window barely longer than DeltaMin(n)
+	// must admit at least n events by EtaPlus.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		m := Model{
+			Period: time.Duration(1+rng.Intn(1000)) * time.Millisecond,
+			Jitter: time.Duration(rng.Intn(2000)) * time.Millisecond,
+		}
+		if m.Jitter >= m.Period {
+			m.DMin = time.Duration(1+rng.Intn(int(m.Period/time.Millisecond))) * time.Millisecond
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("generator produced invalid model: %v", err)
+		}
+		for n := 2; n <= 6; n++ {
+			window := m.DeltaMin(n) + 1
+			if got := m.EtaPlus(window); got < n {
+				t.Fatalf("model %v: EtaPlus(DeltaMin(%d)+1) = %d < %d", m, n, got, n)
+			}
+		}
+	}
+}
+
+func TestEtaPlusMonotone(t *testing.T) {
+	prop := func(pRaw, jRaw uint16, a, b uint32) bool {
+		p := time.Duration(pRaw%1000+1) * time.Millisecond
+		j := time.Duration(jRaw%500) * time.Millisecond
+		m := PeriodicJitter(p, j)
+		if m.Bursty() {
+			m.DMin = time.Millisecond
+		}
+		da := time.Duration(a) * time.Microsecond
+		db := time.Duration(b) * time.Microsecond
+		if da > db {
+			da, db = db, da
+		}
+		return m.EtaPlus(da) <= m.EtaPlus(db)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEtaMinusNeverExceedsEtaPlus(t *testing.T) {
+	prop := func(pRaw, jRaw uint16, dtRaw uint32) bool {
+		p := time.Duration(pRaw%1000+1) * time.Millisecond
+		j := time.Duration(jRaw%500) * time.Millisecond
+		m := PeriodicJitter(p, j)
+		if m.Bursty() {
+			m.DMin = time.Millisecond
+		}
+		dt := time.Duration(dtRaw) * time.Microsecond
+		return m.EtaMinus(dt) <= m.EtaPlus(dt)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		m    Model
+		want string
+	}{
+		{Periodic(10 * ms), "periodic(P=10ms)"},
+		{PeriodicJitter(10*ms, 2*ms), "periodic(P=10ms, J=2ms)"},
+		{PeriodicBurst(10*ms, 25*ms, 1*ms), "periodic(P=10ms, J=25ms, d=1ms)"},
+		{SporadicModel(5 * ms), "sporadic(P=5ms)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package eventmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomModel draws a valid model.
+func randomModel(rng *rand.Rand) Model {
+	m := Model{
+		Period:   time.Duration(1+rng.Intn(500)) * time.Millisecond,
+		Jitter:   time.Duration(rng.Intn(1000)) * time.Millisecond,
+		Sporadic: rng.Intn(4) == 0,
+	}
+	if m.Jitter >= m.Period {
+		m.DMin = time.Duration(1+rng.Intn(int(m.Period/time.Millisecond))) * time.Millisecond
+	}
+	return m
+}
+
+// DeltaMax always dominates DeltaMin, and both are monotone in n.
+func TestDeltaOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		m := randomModel(rng)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		prevMin, prevMax := time.Duration(0), time.Duration(0)
+		for n := 2; n <= 8; n++ {
+			dmin, dmax := m.DeltaMin(n), m.DeltaMax(n)
+			if dmax != Unbounded && dmax < dmin {
+				t.Fatalf("%v: DeltaMax(%d)=%v below DeltaMin(%d)=%v", m, n, dmax, n, dmin)
+			}
+			if dmin < prevMin {
+				t.Fatalf("%v: DeltaMin not monotone at n=%d", m, n)
+			}
+			if dmax != Unbounded && dmax < prevMax {
+				t.Fatalf("%v: DeltaMax not monotone at n=%d", m, n)
+			}
+			prevMin = dmin
+			if dmax != Unbounded {
+				prevMax = dmax
+			}
+		}
+	}
+}
+
+// OutputModel is sound: the output admits at least as many events in
+// any window as the input guarantees, and stays valid.
+func TestOutputModelSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	windows := []time.Duration{
+		time.Millisecond, 7 * time.Millisecond, 50 * time.Millisecond, 400 * time.Millisecond,
+	}
+	for trial := 0; trial < 300; trial++ {
+		in := randomModel(rng)
+		rj := time.Duration(rng.Intn(40)) * time.Millisecond
+		// The dominance property holds when the resource's completion
+		// spacing does not exceed the input's own spacing; a slower
+		// resource legitimately smooths bursts (fewer deliveries per
+		// window), which is correct but breaks naive dominance.
+		maxSpacing := in.EffectiveDMin()
+		if maxSpacing > 2*time.Millisecond {
+			maxSpacing = 2 * time.Millisecond
+		}
+		if maxSpacing < time.Microsecond {
+			maxSpacing = time.Microsecond
+		}
+		spacing := time.Duration(1 + rng.Int63n(int64(maxSpacing)))
+		out := in.OutputModel(rj, spacing)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: output of %v invalid: %v", trial, in, err)
+		}
+		if out.Period != in.Period {
+			t.Fatalf("trial %d: period changed", trial)
+		}
+		for _, w := range windows {
+			// Every input behaviour is an output behaviour delayed by a
+			// bounded amount, so the output's upper curve must dominate
+			// the input's upper curve.
+			if out.EtaPlus(w) < in.EtaPlus(w) {
+				t.Fatalf("trial %d: EtaPlus shrank through OutputModel(%v): in %d, out %d (window %v)",
+					trial, rj, in.EtaPlus(w), out.EtaPlus(w), w)
+			}
+		}
+	}
+}
+
+// Refinement is sound against the curves for randomly drawn pairs (a
+// broader randomised variant of the directed test in convert_test.go).
+func TestRefinementCurveSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	windows := []time.Duration{
+		500 * time.Microsecond, 3 * time.Millisecond, 31 * time.Millisecond, 250 * time.Millisecond,
+	}
+	checked := 0
+	for trial := 0; trial < 3000 && checked < 200; trial++ {
+		a, b := randomModel(rng), randomModel(rng)
+		if !a.Refines(b) {
+			continue
+		}
+		checked++
+		for _, w := range windows {
+			if a.EtaPlus(w) > b.EtaPlus(w) {
+				t.Fatalf("%v refines %v but EtaPlus(%v): %d > %d",
+					a, b, w, a.EtaPlus(w), b.EtaPlus(w))
+			}
+			if a.EtaMinus(w) < b.EtaMinus(w) {
+				t.Fatalf("%v refines %v but EtaMinus(%v): %d < %d",
+					a, b, w, a.EtaMinus(w), b.EtaMinus(w))
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d refining pairs sampled; generator too strict", checked)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure4CSV(t *testing.T) {
+	f, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Header plus one row per sweep scale.
+	if want := 1 + len(f.Sweep.Scales); len(lines) != want {
+		t.Fatalf("csv has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "jitter_percent,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// One column per selected curve plus the x column.
+	if got, want := strings.Count(lines[0], ","), len(f.Selected); got != want {
+		t.Errorf("header has %d commas, want %d", got, want)
+	}
+}
+
+func TestFigure5CSV(t *testing.T) {
+	f, err := RunFigure5(Figure5Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "jitter_percent,best case,worst case,optimized best case,optimized worst case\n") {
+		t.Errorf("header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 1 + len(f.Best); len(lines) != want {
+		t.Fatalf("csv has %d lines, want %d", len(lines), want)
+	}
+	// The zero-jitter row must be all zeros.
+	if lines[1] != "0,0,0,0,0" {
+		t.Errorf("zero-jitter row = %q", lines[1])
+	}
+}

@@ -1,0 +1,72 @@
+// Package experiments contains one driver per figure of the paper. Each
+// driver returns structured data plus a Render method producing the
+// text/chart form; the CLI (cmd/symtago), the benchmark harness
+// (bench_test.go) and EXPERIMENTS.md all run the same code.
+//
+// The case-study workload is the synthetic power-train matrix of
+// package kmatrix (seed 1), substituting for the paper's proprietary
+// K-Matrix; see DESIGN.md for the substitution argument.
+//
+// Scenario conventions, fixed across all experiments:
+//
+//   - Best case (the paper's "ignoring bus errors"): nominal frame
+//     lengths, no errors.
+//   - Worst case: worst-case bit stuffing plus the Punnekkat-style burst
+//     error model (bursts of 3 errors, 100us apart, recurring every
+//     10ms).
+//   - Loss criterion (both cases): an instance is lost when it is still
+//     in the sender buffer as its successor arrives. With the jittered
+//     response R measured from the nominal activation this is exactly
+//     R > T — the "minimum re-arrival time as a deadline" of the paper,
+//     expressed at the nominal instant (rta.DeadlineImplicit).
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/errormodel"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+)
+
+// CaseStudySeed pins the synthetic power-train matrix used everywhere.
+const CaseStudySeed = 1
+
+// DefaultMatrix returns the case-study communication matrix.
+func DefaultMatrix() *kmatrix.KMatrix {
+	return kmatrix.Powertrain(kmatrix.GenConfig{Seed: CaseStudySeed})
+}
+
+// WorstBurst is the burst error model of the worst-case experiments.
+func WorstBurst() errormodel.Model {
+	return errormodel.Burst{
+		Interval: 10 * time.Millisecond,
+		Length:   3,
+		Gap:      100 * time.Microsecond,
+	}
+}
+
+// BestCaseAnalysis is the error-free, nominal-stuffing configuration.
+func BestCaseAnalysis() rta.Config {
+	return rta.Config{
+		Stuffing:      can.StuffingNominal,
+		DeadlineModel: rta.DeadlineImplicit,
+	}
+}
+
+// WorstCaseAnalysis is the burst-error, worst-case-stuffing
+// configuration.
+func WorstCaseAnalysis() rta.Config {
+	return rta.Config{
+		Stuffing:      can.StuffingWorstCase,
+		Errors:        WorstBurst(),
+		DeadlineModel: rta.DeadlineImplicit,
+	}
+}
+
+// ChartWidth and ChartHeight size the rendered ASCII figures.
+const (
+	ChartWidth  = 72
+	ChartHeight = 18
+)

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sensitivity"
+)
+
+func TestFigure1(t *testing.T) {
+	f := RunFigure1()
+	if got := f.Paper.Utilization(); math.Abs(got-0.36) > 1e-9 {
+		t.Errorf("paper example utilisation = %v, want 0.36", got)
+	}
+	if f.CaseWorst.Utilization() <= f.CaseNominal.Utilization() {
+		t.Error("worst-case load must exceed nominal")
+	}
+	out := f.Render()
+	for _, want := range []string{"36%", "Figure 1", "nominal stuffing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	f, err := RunFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Result.Errors == 0 {
+		t.Error("the trace scenario must show error signalling")
+	}
+	// The bursting stream must actually burst: more released than the
+	// periodic count alone, with overwrite losses possible.
+	engine := f.Result.StatsByName("engine")
+	if engine == nil || engine.Retransmissions == 0 && f.Result.Errors < 2 {
+		t.Error("expected retransmissions in the window")
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 2", "#", "x error", "retransmits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Determinism: the figure is a regression artefact.
+	again, err := RunFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Render() != out {
+		t.Error("Figure 2 is not deterministic")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	f := RunFigure3()
+	if f.Known == 0 || f.Unknown == 0 {
+		t.Errorf("known/unknown split = %d/%d; both must be populated", f.Known, f.Unknown)
+	}
+	if f.Known+f.Unknown != len(f.Matrix.Messages) {
+		t.Error("split does not cover the matrix")
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 3", "K-Matrix", "send jitters", "error model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	f, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Counts[sensitivity.Robust] == 0 {
+		t.Error("no robust messages — Figure 4 needs both ends of the spectrum")
+	}
+	if f.Counts[sensitivity.Sensitive]+f.Counts[sensitivity.VerySensitive] == 0 {
+		t.Error("no sensitive messages")
+	}
+	if len(f.Selected) < 3 {
+		t.Errorf("selected %d representative curves, want >= 3", len(f.Selected))
+	}
+	// The robust representative's delay curve must be much flatter than
+	// the most sensitive one's.
+	robust := f.Sweep.CurveByName(f.Selected[0])
+	steep := f.Sweep.CurveByName(f.Selected[len(f.Selected)-1])
+	if robust.Growth() >= steep.Growth() {
+		t.Errorf("robust growth %v not below sensitive growth %v",
+			robust.Growth(), steep.Growth())
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 4", "robust", "very sensitive", "jitter in %"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	f, err := RunFigure5(Figure5Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper experiment 1: zero jitters, no errors — no loss.
+	if f.Best[0].MissRatio != 0 {
+		t.Error("best case must lose nothing at zero jitter")
+	}
+	// Worst case dominates best case pointwise.
+	for i := range f.Best {
+		if f.Worst[i].MissRatio < f.Best[i].MissRatio {
+			t.Errorf("worst below best at scale %v", f.Best[i].Scale)
+		}
+	}
+	// Worst case loses earlier than best case.
+	if sensitivity.FirstLossScale(f.Worst) >= sensitivity.FirstLossScale(f.Best) {
+		t.Error("worst case should lose earlier than best case")
+	}
+	// The headline: optimized worst case loses nothing through 25%.
+	for _, p := range f.OptWorst {
+		if p.Scale <= 0.251 && p.MissRatio > 0 {
+			t.Errorf("optimized worst case loses %.0f%% at %.0f%%", 100*p.MissRatio, 100*p.Scale)
+		}
+	}
+	// And the GA never regresses below the original.
+	if f.GA.Best.Objectives.Misses > f.GA.Original.Objectives.Misses {
+		t.Error("GA best worse than original")
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 5", "best case", "worst case", "optimized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	f, err := RunFigure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FirstCheck.OK() {
+		t.Error("first supplier design must violate the OEM requirement")
+	}
+	if !f.SecondCheck.OK() {
+		t.Error("refined design must satisfy the OEM requirement")
+	}
+	if !f.ArrivalCheck.OK() {
+		t.Error("OEM arrival guarantees must satisfy the consumer")
+	}
+	if len(f.Steps) < 6 {
+		t.Errorf("transcript has %d steps, want >= 6", len(f.Steps))
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 6", "OEM", "supplier", "guarantee"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

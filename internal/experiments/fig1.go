@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/can"
+	"repro/internal/load"
+)
+
+// Figure1 is the load-analysis example of the paper's Section 3.1: four
+// ECUs contributing 100/50/20/10 kbit/s to a 500 kbit/s bus, 36% total,
+// contrasted with the load of the case-study matrix under both stuffing
+// assumptions.
+type Figure1 struct {
+	// Paper is the exact Figure 1 scenario.
+	Paper *load.Report
+	// CaseNominal and CaseWorst are the case-study matrix loads under
+	// nominal and worst-case stuffing.
+	CaseNominal, CaseWorst *load.Report
+}
+
+// RunFigure1 computes the load reports.
+func RunFigure1() *Figure1 {
+	k := DefaultMatrix()
+	return &Figure1{
+		Paper:       load.Figure1Example(),
+		CaseNominal: load.FromKMatrix(k, can.StuffingNominal),
+		CaseWorst:   load.FromKMatrix(k, can.StuffingWorstCase),
+	}
+}
+
+// Render produces the textual figure.
+func (f *Figure1) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — simple load analysis (paper example)\n\n")
+	b.WriteString(f.Paper.String())
+	lo, hi := load.CriticalLimits()
+	fmt.Fprintf(&b, "\nOEM folklore limits: %.0f%%-%.0f%% — \"much variation among the OEMs\"\n",
+		100*lo, 100*hi)
+	fmt.Fprintf(&b, "\nCase-study matrix (%.0f kbit/s):\n", f.CaseNominal.BusBitsPerSecond/1000)
+	fmt.Fprintf(&b, "  nominal stuffing:    %5.1f%%\n", 100*f.CaseNominal.Utilization())
+	fmt.Fprintf(&b, "  worst-case stuffing: %5.1f%%\n", 100*f.CaseWorst.Utilization())
+	b.WriteString("\nThe load model says nothing about deadlines; see Figures 4 and 5.\n")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/report"
+	"repro/internal/rta"
+	"repro/internal/sensitivity"
+)
+
+// Figure4 reproduces the jitter-sensitivity plot: worst-case response
+// time (from-arrival delay) versus jitter scale for selected messages,
+// with the robust / medium / sensitive / very sensitive classification.
+type Figure4 struct {
+	// Sweep is the full sweep result.
+	Sweep *sensitivity.Result
+	// Classes maps every message to its class.
+	Classes map[string]sensitivity.Class
+	// Counts tallies the classes.
+	Counts map[sensitivity.Class]int
+	// Selected lists the representative messages plotted, one per class
+	// where available.
+	Selected []string
+}
+
+// RunFigure4 sweeps the case-study matrix with worst-case stuffing and
+// no errors (sensitivity is a structural property; errors shift the
+// curves but not the classification story).
+func RunFigure4() (*Figure4, error) {
+	k := DefaultMatrix()
+	cfg := sensitivity.SweepConfig{
+		Analysis: rta.Config{
+			Stuffing:      can.StuffingWorstCase,
+			DeadlineModel: rta.DeadlineImplicit,
+		},
+	}
+	res, err := sensitivity.Sweep(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure4{
+		Sweep:   res,
+		Classes: res.Classification(sensitivity.ClassifyConfig{}),
+		Counts:  res.ClassCounts(sensitivity.ClassifyConfig{}),
+	}
+	f.Selected = selectRepresentatives(res, f.Classes)
+	return f, nil
+}
+
+// selectRepresentatives picks, per class, the message with the largest
+// final delay — the most legible curve of its class.
+func selectRepresentatives(res *sensitivity.Result, classes map[string]sensitivity.Class) []string {
+	best := map[sensitivity.Class]string{}
+	bestDelay := map[sensitivity.Class]time.Duration{}
+	for i := range res.Curves {
+		c := &res.Curves[i]
+		cl := classes[c.Message]
+		last := c.Points[len(c.Points)-1].Delay
+		if last == rta.Unschedulable {
+			continue
+		}
+		if cur, ok := bestDelay[cl]; !ok || last > cur {
+			best[cl] = c.Message
+			bestDelay[cl] = last
+		}
+	}
+	var out []string
+	for _, cl := range []sensitivity.Class{
+		sensitivity.Robust, sensitivity.Medium,
+		sensitivity.Sensitive, sensitivity.VerySensitive,
+	} {
+		if name, ok := best[cl]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Series converts the selected curves to chart series.
+func (f *Figure4) Series() []report.Series {
+	glyphs := []rune{'o', '+', '*', '@'}
+	var out []report.Series
+	for i, name := range f.Selected {
+		c := f.Sweep.CurveByName(name)
+		s := report.Series{
+			Name:  fmt.Sprintf("%s (%s)", name, f.Classes[name]),
+			Glyph: glyphs[i%len(glyphs)],
+		}
+		for _, p := range c.Points {
+			s.X = append(s.X, p.Scale*100)
+			s.Y = append(s.Y, float64(p.Delay)/float64(time.Millisecond))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteCSV emits the selected curves as CSV (jitter % vs. delay in ms).
+func (f *Figure4) WriteCSV(w io.Writer) error {
+	series := f.Series()
+	xs := make([]float64, 0, len(f.Sweep.Scales))
+	for _, s := range f.Sweep.Scales {
+		xs = append(xs, 100*s)
+	}
+	return report.WriteSeriesCSV(w, "jitter_percent", xs, series)
+}
+
+// Render produces the chart plus the class tally.
+func (f *Figure4) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — jitter-sensitive and robust messages\n\n")
+	b.WriteString(report.Chart("worst-case delay vs. jitter",
+		"jitter in % of message period", "response time in ms",
+		ChartWidth, ChartHeight, f.Series()))
+	b.WriteString("\n")
+	var rows [][]string
+	classes := []sensitivity.Class{
+		sensitivity.Robust, sensitivity.Medium,
+		sensitivity.Sensitive, sensitivity.VerySensitive,
+	}
+	for _, cl := range classes {
+		rows = append(rows, []string{cl.String(), fmt.Sprint(f.Counts[cl])})
+	}
+	b.WriteString(report.Table([]string{"class", "messages"}, rows))
+
+	// The per-class growth summary, sorted for determinism.
+	names := make([]string, 0, len(f.Classes))
+	for n := range f.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sensitive := 0
+	for _, n := range names {
+		if f.Classes[n] >= sensitivity.Sensitive {
+			sensitive++
+		}
+	}
+	fmt.Fprintf(&b, "\n%d of %d messages are sensitive or worse; their jitters become\nsupplier requirements (see Figure 6).\n",
+		sensitive, len(names))
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/kmatrix"
+	"repro/internal/optimize"
+	"repro/internal/report"
+	"repro/internal/sensitivity"
+)
+
+// Figure5 reproduces the message-loss experiment: the fraction of
+// messages missing their deadline over the jitter sweep, under best-case
+// and worst-case assumptions, before and after the genetic CAN-ID
+// optimization.
+type Figure5 struct {
+	// Best and Worst are the loss curves of the original matrix.
+	Best, Worst []sensitivity.LossPoint
+	// OptBest and OptWorst are the curves of the optimized matrix.
+	OptBest, OptWorst []sensitivity.LossPoint
+	// GA is the optimizer outcome.
+	GA *optimize.Result
+	// Optimized is the matrix with the GA's identifier assignment.
+	Optimized *kmatrix.KMatrix
+}
+
+// Figure5Params tunes the run; the zero value is the full experiment.
+type Figure5Params struct {
+	// Quick shrinks the GA budget for tests; the full budget is used by
+	// the CLI and benchmarks.
+	Quick bool
+	// Seed overrides the GA seed (default 1).
+	Seed int64
+}
+
+// RunFigure5 runs the complete Figure 5 pipeline: sweep the original
+// matrix under both scenarios, optimize the CAN IDs against the
+// worst-case configuration at the paper's 25% jitter target, and sweep
+// the optimized matrix again.
+func RunFigure5(p Figure5Params) (*Figure5, error) {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	k := DefaultMatrix()
+	f := &Figure5{}
+
+	bestCfg := sensitivity.SweepConfig{Analysis: BestCaseAnalysis()}
+	worstCfg := sensitivity.SweepConfig{Analysis: WorstCaseAnalysis()}
+
+	var err error
+	if f.Best, err = sensitivity.Loss(k, bestCfg); err != nil {
+		return nil, err
+	}
+	if f.Worst, err = sensitivity.Loss(k, worstCfg); err != nil {
+		return nil, err
+	}
+
+	gaCfg := optimize.Config{
+		Seed:       p.Seed,
+		EvalScales: []float64{0, 0.125, 0.25},
+		// Robustness is scored beyond the miss target so the optimizer
+		// "favors robust configurations over sensitive ones" instead of
+		// stopping at the first zero-loss assignment.
+		RobustnessScale: 0.40,
+		Analysis:        WorstCaseAnalysis(),
+		StopOnZeroMiss:  true,
+		MinGenerations:  15,
+	}
+	if p.Quick {
+		gaCfg.Population, gaCfg.Archive, gaCfg.Generations = 16, 8, 12
+		gaCfg.MinGenerations = 2
+	}
+	if f.GA, err = optimize.Run(k, gaCfg); err != nil {
+		return nil, err
+	}
+	f.Optimized = optimize.Apply(k, f.GA.Best.Assignment)
+
+	if f.OptBest, err = sensitivity.Loss(f.Optimized, bestCfg); err != nil {
+		return nil, err
+	}
+	if f.OptWorst, err = sensitivity.Loss(f.Optimized, worstCfg); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Series converts the four curves to chart series.
+func (f *Figure5) Series() []report.Series {
+	mk := func(name string, glyph rune, pts []sensitivity.LossPoint) report.Series {
+		s := report.Series{Name: name, Glyph: glyph}
+		for _, p := range pts {
+			s.X = append(s.X, p.Scale*100)
+			s.Y = append(s.Y, p.MissRatio*100)
+		}
+		return s
+	}
+	return []report.Series{
+		mk("best case", 'b', f.Best),
+		mk("worst case", 'W', f.Worst),
+		mk("optimized best case", 'o', f.OptBest),
+		mk("optimized worst case", '*', f.OptWorst),
+	}
+}
+
+// LossAt returns the miss ratio of a curve at the given scale, or -1.
+func LossAt(pts []sensitivity.LossPoint, scale float64) float64 {
+	for _, p := range pts {
+		if p.Scale == scale {
+			return p.MissRatio
+		}
+	}
+	return -1
+}
+
+// WriteCSV emits the four loss curves as CSV (jitter % vs. loss %).
+func (f *Figure5) WriteCSV(w io.Writer) error {
+	series := f.Series()
+	xs := make([]float64, 0, len(f.Best))
+	for _, p := range f.Best {
+		xs = append(xs, 100*p.Scale)
+	}
+	return report.WriteSeriesCSV(w, "jitter_percent", xs, series)
+}
+
+// Render produces the chart and the optimization summary.
+func (f *Figure5) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — message loss due to jitter before and after optimization\n\n")
+	b.WriteString(report.Chart("messages missing their deadline vs. jitter",
+		"jitter in % of message period", "% of messages in the K-Matrix",
+		ChartWidth, ChartHeight, f.Series()))
+	b.WriteString("\n")
+	rows := [][]string{
+		{"original", f.GA.Original.Objectives.String()},
+		{"optimized (GA best)", f.GA.Best.Objectives.String()},
+	}
+	b.WriteString(report.Table([]string{"configuration", "objectives (misses over {0,12.5,25}% sweep)"}, rows))
+	fmt.Fprintf(&b, "\nGA: %d generations, Pareto front of %d; ",
+		f.GA.Generations, len(f.GA.Front))
+	fmt.Fprintf(&b, "worst-case loss at 25%% jitter: %.0f%% -> %.0f%%\n",
+		100*LossAt(f.Worst, 0.25), 100*LossAt(f.OptWorst, 0.25))
+	if LossAt(f.OptWorst, 0.25) == 0 {
+		b.WriteString("The optimized system loses no message at 25% jitter, even with burst\nerrors and worst-case stuffing — the paper's headline result.\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rta"
+	"repro/internal/sim"
+)
+
+// TestSimulationNeverExceedsAnalysisOnCaseStudy is the repository's
+// central soundness check at full scale: on the 88-message case-study
+// matrix, across several seeds and jitter levels, no simulated response
+// may exceed the analytic worst case. This is the property that lets
+// the paper replace test equipment with analysis.
+func TestSimulationNeverExceedsAnalysisOnCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long validation test")
+	}
+	for _, scale := range []float64{0, 0.25} {
+		k := DefaultMatrix().WithJitterScale(scale, false)
+		cfg := rta.Config{Bus: k.Bus()} // worst-case stuffing, no errors
+		rep, err := rta.Analyze(k.ToRTA(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := make([]sim.MessageSpec, len(k.Messages))
+		for i, m := range k.Messages {
+			specs[i] = sim.MessageSpec{
+				Name: m.Name, Frame: m.Frame(), Event: m.EventModel(), Node: m.Sender,
+			}
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := sim.Run(specs, sim.Config{
+				Bus: k.Bus(), Duration: 5 * time.Second, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range res.Stats {
+				bound := rep.ByName(st.Name).WCRT
+				if bound == rta.Unschedulable {
+					continue
+				}
+				if st.MaxResponse > bound {
+					t.Errorf("scale %.2f seed %d: %s observed %v > bound %v",
+						scale, seed, st.Name, st.MaxResponse, bound)
+				}
+			}
+			// The bound must also be reasonably tight for the bus to be
+			// considered modelled, not just padded: the busiest message
+			// should reach a meaningful fraction of its bound.
+			var bestRatio float64
+			for _, st := range res.Stats {
+				bound := rep.ByName(st.Name).WCRT
+				if bound == rta.Unschedulable || st.Sent == 0 {
+					continue
+				}
+				if r := float64(st.MaxResponse) / float64(bound); r > bestRatio {
+					bestRatio = r
+				}
+			}
+			if bestRatio < 0.25 {
+				t.Errorf("scale %.2f seed %d: tightest observed/bound ratio %.2f — bound looks padded",
+					scale, seed, bestRatio)
+			}
+		}
+	}
+}
+
+// TestFiguresAreDeterministic pins the exact rendering of the cheap
+// figures across runs — the experiment harness must be reproducible.
+func TestFiguresAreDeterministic(t *testing.T) {
+	if r1, r2 := RunFigure1().Render(), RunFigure1().Render(); r1 != r2 {
+		t.Error("Figure 1 not deterministic")
+	}
+	f4a, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4b, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4a.Render() != f4b.Render() {
+		t.Error("Figure 4 not deterministic")
+	}
+}

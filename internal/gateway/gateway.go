@@ -1,0 +1,274 @@
+// Package gateway analyses store-and-forward gateways between buses:
+// queue backlog bounds, queueing delays, buffer dimensioning and
+// overflow/overwrite loss — the "gatewaying strategies ... provide many
+// parameters that can be tuned such as queue configuration" of the
+// paper's Section 5.
+//
+// The analysis is arrival-curve based: the incoming flows' eta+ curves
+// (package eventmodel) are summed and compared against the forwarding
+// task's guaranteed service (its eta- curve times the batch size). The
+// worst-case backlog
+//
+//	B = max_{dt} ( sum_i eta+_i(dt) − batch·eta-_service(dt) )
+//
+// bounds the queue occupancy; a queue shallower than B can overflow —
+// precisely the silent message loss that "N out of M" designs paper
+// over, which the paper argues should be analysed instead of tolerated.
+//
+// Two queue organisations are covered, mirroring the CAN controller
+// split: a shared FIFO of configurable depth, and per-message buffers
+// where a fresh instance overwrites a stale one (loss visible as
+// overwrite instead of overflow).
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/eventmodel"
+)
+
+// Policy selects the queue organisation of a gateway.
+type Policy int
+
+const (
+	// SharedFIFO queues all forwarded messages in one buffer of
+	// QueueDepth entries; overflow drops messages.
+	SharedFIFO Policy = iota
+	// PerMessageBuffer holds one entry per message; a newer instance
+	// overwrites an unforwarded older one.
+	PerMessageBuffer
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PerMessageBuffer {
+		return "per-message buffers"
+	}
+	return "shared FIFO"
+}
+
+// Flow is one message stream traversing the gateway.
+type Flow struct {
+	// Name identifies the flow.
+	Name string
+	// Arrival is the event model of the flow at the gateway input (the
+	// output model of the message on the source bus).
+	Arrival eventmodel.Model
+}
+
+// Config describes the gateway's forwarding service.
+type Config struct {
+	// Name identifies the gateway in reports.
+	Name string
+	// Service is the activation model of the forwarding task, typically
+	// periodic (its period is the gateway's polling interval). Jitter on
+	// the service model weakens the service guarantee.
+	Service eventmodel.Model
+	// Batch is the number of queued messages forwarded per activation
+	// (default 1).
+	Batch int
+	// Policy selects the queue organisation.
+	Policy Policy
+	// QueueDepth is the shared FIFO capacity; ignored for per-message
+	// buffers. Zero means "to be dimensioned" — the analysis then
+	// reports the required depth without flagging overflow.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
+	return c
+}
+
+// Validate reports whether the configuration is analysable.
+func (c Config) Validate() error {
+	if err := c.Service.Validate(); err != nil {
+		return fmt.Errorf("gateway %s: service: %w", c.Name, err)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("gateway %s: negative batch %d", c.Name, c.Batch)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("gateway %s: negative queue depth %d", c.Name, c.QueueDepth)
+	}
+	return nil
+}
+
+// FlowResult is the per-flow outcome.
+type FlowResult struct {
+	// Flow echoes the input.
+	Flow Flow
+	// Delay bounds the queueing delay of the flow through the gateway
+	// (arrival to start of forwarding slot).
+	Delay time.Duration
+	// OverwriteLoss reports, under PerMessageBuffer, whether a newer
+	// instance can overwrite an unforwarded one (Delay exceeding the
+	// minimum re-arrival distance).
+	OverwriteLoss bool
+}
+
+// Report is the outcome of a gateway analysis.
+type Report struct {
+	// Backlog is the worst-case total queue occupancy.
+	Backlog int
+	// RequiredDepth is the FIFO depth that avoids overflow (= Backlog).
+	RequiredDepth int
+	// Overflow reports whether the configured depth can overflow.
+	Overflow bool
+	// Delay bounds the queueing delay of the aggregate (FIFO) or the
+	// slowest flow (per-message buffers).
+	Delay time.Duration
+	// Flows holds per-flow results.
+	Flows []FlowResult
+	// Config echoes the configuration.
+	Config Config
+}
+
+// Unbounded marks analyses where the service rate cannot keep up with
+// the arrivals.
+const Unbounded = time.Duration(int64(eventmodel.Unbounded))
+
+// Analyze bounds backlog and delay for the flow set through the
+// gateway.
+func Analyze(flows []Flow, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("gateway %s: no flows", cfg.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range flows {
+		if f.Name == "" {
+			return nil, fmt.Errorf("gateway %s: flow without name", cfg.Name)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("gateway %s: duplicate flow %q", cfg.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if err := f.Arrival.Validate(); err != nil {
+			return nil, fmt.Errorf("gateway %s: flow %s: %w", cfg.Name, f.Name, err)
+		}
+	}
+
+	rep := &Report{Config: cfg}
+
+	// Long-run rate check: service must outpace arrivals eventually.
+	// Rates per second, computed on a long window to wash out jitter.
+	const window = 100 * time.Second
+	arrivals := 0
+	for _, f := range flows {
+		arrivals += f.Arrival.EtaPlus(window)
+	}
+	service := cfg.Batch * cfg.Service.EtaMinus(window)
+	if service < arrivals {
+		rep.Backlog = int(^uint(0) >> 1) // effectively unbounded
+		rep.RequiredDepth = rep.Backlog
+		rep.Overflow = true
+		rep.Delay = Unbounded
+		for _, f := range flows {
+			rep.Flows = append(rep.Flows, FlowResult{Flow: f, Delay: Unbounded, OverwriteLoss: true})
+		}
+		return rep, nil
+	}
+
+	// Backlog: evaluate the arrival/service gap at the breakpoints of
+	// both curve families.
+	horizon := backlogHorizon(flows, cfg, window)
+	points := breakpoints(flows, cfg, horizon)
+	for _, dt := range points {
+		in := 0
+		for _, f := range flows {
+			in += f.Arrival.EtaPlus(dt)
+		}
+		out := cfg.Batch * cfg.Service.EtaMinus(dt)
+		if b := in - out; b > rep.Backlog {
+			rep.Backlog = b
+		}
+	}
+	rep.RequiredDepth = rep.Backlog
+	rep.Overflow = cfg.Policy == SharedFIFO && cfg.QueueDepth > 0 && rep.Backlog > cfg.QueueDepth
+
+	// Delay: the whole backlog must drain through the batched service;
+	// with worst-case service alignment each batch takes one service
+	// period plus the service jitter once.
+	batches := (rep.Backlog + cfg.Batch - 1) / cfg.Batch
+	rep.Delay = time.Duration(batches)*cfg.Service.Period + cfg.Service.Jitter
+
+	for _, f := range flows {
+		fr := FlowResult{Flow: f, Delay: rep.Delay}
+		if cfg.Policy == PerMessageBuffer {
+			fr.OverwriteLoss = fr.Delay > f.Arrival.MinReArrival()
+		}
+		rep.Flows = append(rep.Flows, fr)
+	}
+	return rep, nil
+}
+
+// backlogHorizon returns the window length beyond which the service has
+// provably caught up with the arrivals.
+func backlogHorizon(flows []Flow, cfg Config, max time.Duration) time.Duration {
+	for dt := cfg.Service.Period; dt < max; dt *= 2 {
+		in := 0
+		for _, f := range flows {
+			in += f.Arrival.EtaPlus(dt)
+		}
+		if cfg.Batch*cfg.Service.EtaMinus(dt) >= in {
+			return dt
+		}
+	}
+	return max
+}
+
+// breakpoints samples every instant where either curve family changes
+// value: just after each flow's n-th earliest arrival and just after
+// each guaranteed service completion.
+func breakpoints(flows []Flow, cfg Config, horizon time.Duration) []time.Duration {
+	var pts []time.Duration
+	for _, f := range flows {
+		for n := 1; ; n++ {
+			at := f.Arrival.DeltaMin(n) + 1
+			if at > horizon {
+				break
+			}
+			pts = append(pts, at)
+		}
+	}
+	// Service steps: eta-(dt) increments at J + n*P.
+	for n := 1; ; n++ {
+		at := cfg.Service.Jitter + time.Duration(n)*cfg.Service.Period
+		if at > horizon {
+			break
+		}
+		pts = append(pts, at, at+1)
+	}
+	pts = append(pts, horizon)
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	return pts
+}
+
+// OutFlow derives the event model of a flow on the destination bus: the
+// arrival model with the gateway's delay variation added as jitter. The
+// service period floors the spacing of consecutive forwards of one flow.
+func (r *Report) OutFlow(name string) (eventmodel.Model, error) {
+	for _, fr := range r.Flows {
+		if fr.Flow.Name != name {
+			continue
+		}
+		if fr.Delay == Unbounded {
+			return eventmodel.Model{
+				Period:   fr.Flow.Arrival.Period,
+				Jitter:   eventmodel.Unbounded,
+				DMin:     r.Config.Service.Period,
+				Sporadic: fr.Flow.Arrival.Sporadic,
+			}, nil
+		}
+		return fr.Flow.Arrival.OutputModel(fr.Delay, r.Config.Service.EffectiveDMin()), nil
+	}
+	return eventmodel.Model{}, fmt.Errorf("gateway %s: unknown flow %q", r.Config.Name, name)
+}

@@ -1,0 +1,226 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/eventmodel"
+)
+
+const ms = time.Millisecond
+
+func TestBacklogTwoPeriodicFlows(t *testing.T) {
+	flows := []Flow{
+		{Name: "a", Arrival: eventmodel.Periodic(10 * ms)},
+		{Name: "b", Arrival: eventmodel.Periodic(10 * ms)},
+	}
+	cfg := Config{Name: "gw", Service: eventmodel.Periodic(5 * ms)}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both flows can arrive simultaneously before the first service
+	// slot: backlog 2, drained at one per 5ms: delay 10ms.
+	if rep.Backlog != 2 {
+		t.Errorf("backlog = %d, want 2", rep.Backlog)
+	}
+	if rep.RequiredDepth != 2 {
+		t.Errorf("required depth = %d, want 2", rep.RequiredDepth)
+	}
+	if rep.Delay != 10*ms {
+		t.Errorf("delay = %v, want 10ms", rep.Delay)
+	}
+	if rep.Overflow {
+		t.Error("undimensioned queue must not flag overflow")
+	}
+}
+
+func TestOverflowFlag(t *testing.T) {
+	flows := []Flow{
+		{Name: "a", Arrival: eventmodel.Periodic(10 * ms)},
+		{Name: "b", Arrival: eventmodel.Periodic(10 * ms)},
+	}
+	cfg := Config{Name: "gw", Service: eventmodel.Periodic(5 * ms), QueueDepth: 1}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Overflow {
+		t.Error("depth 1 below backlog 2 must overflow")
+	}
+	cfg.QueueDepth = 2
+	rep, err = Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overflow {
+		t.Error("depth 2 suffices")
+	}
+}
+
+func TestBurstBacklog(t *testing.T) {
+	// A 3-deep burst (J = 2.5 periods at 1ms spacing) against a 2ms
+	// service: hand-computed worst backlog 2.
+	flows := []Flow{
+		{Name: "bursty", Arrival: eventmodel.PeriodicBurst(10*ms, 25*ms, 1*ms)},
+	}
+	cfg := Config{Name: "gw", Service: eventmodel.Periodic(2 * ms)}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backlog != 2 {
+		t.Errorf("backlog = %d, want 2", rep.Backlog)
+	}
+}
+
+func TestBatchService(t *testing.T) {
+	// Four simultaneous flows, service every 5ms with batch 2: backlog 4,
+	// drained in 2 service periods.
+	var flows []Flow
+	for _, n := range []string{"a", "b", "c", "d"} {
+		flows = append(flows, Flow{Name: n, Arrival: eventmodel.Periodic(20 * ms)})
+	}
+	cfg := Config{Name: "gw", Service: eventmodel.Periodic(5 * ms), Batch: 2}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backlog != 4 {
+		t.Errorf("backlog = %d, want 4", rep.Backlog)
+	}
+	if rep.Delay != 10*ms {
+		t.Errorf("delay = %v, want 10ms", rep.Delay)
+	}
+}
+
+func TestServiceJitterWeakensGuarantee(t *testing.T) {
+	flows := []Flow{{Name: "a", Arrival: eventmodel.Periodic(10 * ms)}}
+	tight := Config{Name: "gw", Service: eventmodel.Periodic(5 * ms)}
+	loose := Config{Name: "gw", Service: eventmodel.PeriodicJitter(5*ms, 4*ms)}
+	rt, err := Analyze(flows, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Analyze(flows, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Delay <= rt.Delay {
+		t.Errorf("jittery service delay %v should exceed tight %v", rl.Delay, rt.Delay)
+	}
+	if rl.Backlog < rt.Backlog {
+		t.Error("jittery service cannot shrink the backlog")
+	}
+}
+
+func TestUnderProvisionedServiceUnbounded(t *testing.T) {
+	flows := []Flow{
+		{Name: "a", Arrival: eventmodel.Periodic(2 * ms)},
+		{Name: "b", Arrival: eventmodel.Periodic(2 * ms)},
+	}
+	cfg := Config{Name: "gw", Service: eventmodel.Periodic(3 * ms)}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delay != Unbounded || !rep.Overflow {
+		t.Error("under-provisioned gateway must report unbounded backlog")
+	}
+	out, err := rep.OutFlow("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Jitter != eventmodel.Unbounded {
+		t.Error("out-flow of an unbounded gateway must carry unbounded jitter")
+	}
+}
+
+func TestOverwriteLossPerMessageBuffer(t *testing.T) {
+	// A fast flow through a slow gateway: the 10ms flow waits up to 24ms,
+	// so fresh instances overwrite stale ones.
+	flows := []Flow{
+		{Name: "fast", Arrival: eventmodel.Periodic(10 * ms)},
+		{Name: "slow", Arrival: eventmodel.Periodic(100 * ms)},
+	}
+	cfg := Config{
+		Name:    "gw",
+		Service: eventmodel.Periodic(8 * ms),
+		Policy:  PerMessageBuffer,
+	}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fast *FlowResult
+	for i := range rep.Flows {
+		if rep.Flows[i].Flow.Name == "fast" {
+			fast = &rep.Flows[i]
+		}
+	}
+	if fast == nil {
+		t.Fatal("fast flow missing")
+	}
+	if fast.Delay <= 10*ms {
+		t.Skipf("delay %v too small to force overwrite in this configuration", fast.Delay)
+	}
+	if !fast.OverwriteLoss {
+		t.Errorf("delay %v beyond the 10ms re-arrival must flag overwrite loss", fast.Delay)
+	}
+}
+
+func TestOutFlowModel(t *testing.T) {
+	flows := []Flow{{Name: "a", Arrival: eventmodel.PeriodicJitter(10*ms, 2*ms)}}
+	cfg := Config{Name: "gw", Service: eventmodel.Periodic(4 * ms)}
+	rep, err := Analyze(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.OutFlow("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Period != 10*ms {
+		t.Errorf("out period = %v", out.Period)
+	}
+	if out.Jitter != 2*ms+rep.Delay {
+		t.Errorf("out jitter = %v, want arrival jitter + delay %v", out.Jitter, 2*ms+rep.Delay)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("out model invalid: %v", err)
+	}
+	if _, err := rep.OutFlow("ghost"); err == nil {
+		t.Error("unknown flow accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := Flow{Name: "a", Arrival: eventmodel.Periodic(10 * ms)}
+	service := eventmodel.Periodic(5 * ms)
+	tests := []struct {
+		name  string
+		flows []Flow
+		cfg   Config
+	}{
+		{"no flows", nil, Config{Service: service}},
+		{"bad service", []Flow{good}, Config{}},
+		{"negative batch", []Flow{good}, Config{Service: service, Batch: -1}},
+		{"negative depth", []Flow{good}, Config{Service: service, QueueDepth: -1}},
+		{"unnamed flow", []Flow{{Arrival: eventmodel.Periodic(10 * ms)}}, Config{Service: service}},
+		{"duplicate flow", []Flow{good, good}, Config{Service: service}},
+		{"bad arrival", []Flow{{Name: "x"}}, Config{Service: service}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Analyze(tt.flows, tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if SharedFIFO.String() != "shared FIFO" || PerMessageBuffer.String() != "per-message buffers" {
+		t.Error("policy names")
+	}
+}

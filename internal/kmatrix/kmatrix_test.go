@@ -1,0 +1,318 @@
+package kmatrix
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+)
+
+const ms = time.Millisecond
+
+func validMessage() Message {
+	return Message{
+		Name:      "EngineTorque",
+		ID:        0x100,
+		DLC:       8,
+		Period:    10 * ms,
+		Sender:    "ECU1",
+		Receivers: []string{"ECU2", "GW1"},
+	}
+}
+
+func TestMessageValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Message)
+		wantErr bool
+	}{
+		{"valid", func(m *Message) {}, false},
+		{"no name", func(m *Message) { m.Name = "" }, true},
+		{"bad dlc", func(m *Message) { m.DLC = 12 }, true},
+		{"zero period", func(m *Message) { m.Period = 0 }, true},
+		{"negative jitter", func(m *Message) { m.Jitter = -ms }, true},
+		{"negative deadline", func(m *Message) { m.Deadline = -ms }, true},
+		{"no sender", func(m *Message) { m.Sender = "" }, true},
+		{"standard id overflow", func(m *Message) { m.ID = 0x900 }, true},
+		{"extended ok", func(m *Message) { m.ID = 0x1ABCDE; m.Extended = true }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := validMessage()
+			tt.mutate(&m)
+			if err := m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMessageFrameAndFormat(t *testing.T) {
+	m := validMessage()
+	if m.Format() != can.Standard11Bit {
+		t.Error("default format should be standard")
+	}
+	m.Extended = true
+	if m.Format() != can.Extended29Bit {
+		t.Error("extended flag ignored")
+	}
+	f := m.Frame()
+	if f.ID != m.ID || f.DLC != m.DLC || f.Format != can.Extended29Bit {
+		t.Error("Frame() lost fields")
+	}
+}
+
+func TestMessageEventModel(t *testing.T) {
+	m := validMessage()
+	m.Jitter = 3 * ms
+	ev := m.EventModel()
+	if ev.Period != 10*ms || ev.Jitter != 3*ms {
+		t.Errorf("EventModel = %v", ev)
+	}
+	if err := ev.Validate(); err != nil {
+		t.Errorf("event model invalid: %v", err)
+	}
+	// Jitters at or above the period must still produce a valid model.
+	m.Jitter = 15 * ms
+	if err := m.EventModel().Validate(); err != nil {
+		t.Errorf("bursty event model invalid: %v", err)
+	}
+}
+
+func TestKMatrixValidate(t *testing.T) {
+	k := &KMatrix{BusName: "pt", BitRate: can.Rate500k}
+	a := validMessage()
+	b := validMessage()
+	b.Name, b.ID = "Other", 0x200
+	k.Messages = []Message{a, b}
+	if err := k.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+
+	dupName := k.Clone()
+	dupName.Messages[1].Name = a.Name
+	if err := dupName.Validate(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	dupID := k.Clone()
+	dupID.Messages[1].ID = a.ID
+	if err := dupID.Validate(); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	badBus := k.Clone()
+	badBus.BitRate = 0
+	if err := badBus.Validate(); err == nil {
+		t.Error("bad bus accepted")
+	}
+}
+
+func TestKMatrixCloneIsDeep(t *testing.T) {
+	k := &KMatrix{BusName: "pt", BitRate: can.Rate500k, Messages: []Message{validMessage()}}
+	c := k.Clone()
+	c.Messages[0].Name = "changed"
+	c.Messages[0].Receivers[0] = "changed"
+	if k.Messages[0].Name == "changed" || k.Messages[0].Receivers[0] == "changed" {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestKMatrixQueries(t *testing.T) {
+	a := validMessage()
+	b := validMessage()
+	b.Name, b.ID, b.Sender = "B", 0x200, "GW1"
+	b.JitterKnown = true
+	k := &KMatrix{BusName: "pt", BitRate: can.Rate500k, Messages: []Message{a, b}}
+
+	if k.ByName("B") == nil || k.ByName("nope") != nil {
+		t.Error("ByName lookup wrong")
+	}
+	nodes := k.Nodes()
+	want := []string{"ECU1", "ECU2", "GW1"}
+	if len(nodes) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+	if got := len(k.SentBy("GW1")); got != 1 {
+		t.Errorf("SentBy(GW1) = %d rows", got)
+	}
+	if got := k.UnknownJitterCount(); got != 1 {
+		t.Errorf("UnknownJitterCount = %d, want 1", got)
+	}
+}
+
+func TestWithJitterScale(t *testing.T) {
+	a := validMessage()
+	b := validMessage()
+	b.Name, b.ID = "Known", 0x200
+	b.Jitter, b.JitterKnown = 2*ms, true
+	k := &KMatrix{BusName: "pt", BitRate: can.Rate500k, Messages: []Message{a, b}}
+
+	all := k.WithJitterScale(0.25, false)
+	if got := all.ByName("EngineTorque").Jitter; got != 2500*time.Microsecond {
+		t.Errorf("scaled jitter = %v, want 2.5ms", got)
+	}
+	if got := all.ByName("Known").Jitter; got != 2500*time.Microsecond {
+		t.Errorf("scaled known jitter = %v, want 2.5ms", got)
+	}
+
+	only := k.WithJitterScale(0.25, true)
+	if got := only.ByName("Known").Jitter; got != 2*ms {
+		t.Errorf("known jitter should be preserved, got %v", got)
+	}
+	// The original must be untouched.
+	if k.ByName("EngineTorque").Jitter != 0 {
+		t.Error("WithJitterScale mutated the original")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	k := Powertrain(GenConfig{Seed: 11})
+	var buf strings.Builder
+	if err := k.EncodeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BusName != k.BusName || back.BitRate != k.BitRate {
+		t.Error("bus metadata lost in round trip")
+	}
+	if len(back.Messages) != len(k.Messages) {
+		t.Fatalf("row count %d != %d", len(back.Messages), len(k.Messages))
+	}
+	for i, want := range k.Messages {
+		got := back.Messages[i]
+		if got.Name != want.Name || got.ID != want.ID || got.Extended != want.Extended ||
+			got.DLC != want.DLC || got.Period != want.Period || got.Jitter != want.Jitter ||
+			got.JitterKnown != want.JitterKnown || got.Deadline != want.Deadline ||
+			got.Sender != want.Sender || len(got.Receivers) != len(want.Receivers) {
+			t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no bus row", "name,id\nA,0x1\n"},
+		{"bad bitrate", "#bus,pt,fast\n" + strings.Join(csvHeader, ",") + "\n"},
+		{"bad header", "#bus,pt,500000\nname,id\n"},
+		{"bad id", "#bus,pt,500000\n" + strings.Join(csvHeader, ",") + "\nA,zz,standard,8,10000,0,false,0,ECU1,\n"},
+		{"bad format", "#bus,pt,500000\n" + strings.Join(csvHeader, ",") + "\nA,0x1,weird,8,10000,0,false,0,ECU1,\n"},
+		{"bad dlc", "#bus,pt,500000\n" + strings.Join(csvHeader, ",") + "\nA,0x1,standard,x,10000,0,false,0,ECU1,\n"},
+		{"invalid row", "#bus,pt,500000\n" + strings.Join(csvHeader, ",") + "\nA,0x1,standard,8,0,0,false,0,ECU1,\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected decode error")
+			}
+		})
+	}
+}
+
+func TestPowertrainDeterministic(t *testing.T) {
+	a := Powertrain(GenConfig{Seed: 42})
+	b := Powertrain(GenConfig{Seed: 42})
+	if len(a.Messages) != len(b.Messages) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Messages {
+		am, bm := a.Messages[i], b.Messages[i]
+		if am.Name != bm.Name || am.ID != bm.ID || am.Period != bm.Period ||
+			am.Jitter != bm.Jitter || am.Sender != bm.Sender {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+	c := Powertrain(GenConfig{Seed: 43})
+	same := true
+	for i := range a.Messages {
+		if a.Messages[i].ID != c.Messages[i].ID || a.Messages[i].Period != c.Messages[i].Period {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestPowertrainMatchesPaperStatistics(t *testing.T) {
+	k := Powertrain(GenConfig{Seed: 1})
+	if err := k.Validate(); err != nil {
+		t.Fatalf("generated matrix invalid: %v", err)
+	}
+	if len(k.Messages) <= 50 {
+		t.Errorf("case study needs more than 50 messages, got %d", len(k.Messages))
+	}
+	if got := len(k.Nodes()); got < 6 {
+		t.Errorf("expected several ECUs plus gateways, got %d nodes", got)
+	}
+	known := 0
+	for _, m := range k.Messages {
+		if !m.JitterKnown {
+			if m.Jitter != 0 {
+				t.Errorf("%s: unknown jitter should start at 0", m.Name)
+			}
+			continue
+		}
+		known++
+		lo := time.Duration(0.10 * float64(m.Period))
+		hi := time.Duration(0.30 * float64(m.Period))
+		if m.Jitter < lo || m.Jitter > hi {
+			t.Errorf("%s: known jitter %v outside 10-30%% of period %v", m.Name, m.Jitter, m.Period)
+		}
+	}
+	if known == 0 || known > len(k.Messages)/2 {
+		t.Errorf("known jitters = %d of %d; paper knew 'only a few'", known, len(k.Messages))
+	}
+}
+
+func TestPowertrainUtilizationBand(t *testing.T) {
+	// The default matrix must land in the pressure band where the paper's
+	// Figure 5 shapes appear: nominal utilisation near the folklore 60%
+	// limit, worst-case (stuffed) utilisation clearly below saturation.
+	for seed := int64(1); seed <= 5; seed++ {
+		k := Powertrain(GenConfig{Seed: seed})
+		bus := k.Bus()
+		var worst, nominal float64
+		for _, m := range k.Messages {
+			worst += float64(bus.FrameTime(m.Frame(), can.StuffingWorstCase)) / float64(m.Period)
+			nominal += float64(bus.FrameTime(m.Frame(), can.StuffingNominal)) / float64(m.Period)
+		}
+		if worst < 0.55 || worst > 0.90 {
+			t.Errorf("seed %d: worst-case utilisation %.2f outside [0.55,0.90]", seed, worst)
+		}
+		if nominal >= worst {
+			t.Errorf("seed %d: nominal utilisation %.2f not below worst-case %.2f", seed, nominal, worst)
+		}
+	}
+}
+
+func TestPowertrainIDsNotPerfectlyRateMonotonic(t *testing.T) {
+	// The generator must leave optimisation headroom: the ID order should
+	// not coincide with the period order everywhere.
+	k := Powertrain(GenConfig{Seed: 1})
+	msgs := k.Clone().Messages
+	inversions := 0
+	for i := range msgs {
+		for j := i + 1; j < len(msgs); j++ {
+			a, b := msgs[i], msgs[j]
+			if a.ID < b.ID && a.Period > b.Period {
+				inversions++
+			}
+		}
+	}
+	if inversions == 0 {
+		t.Error("generated matrix is perfectly rate monotonic; GA has nothing to do")
+	}
+}

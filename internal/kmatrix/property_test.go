@@ -1,0 +1,82 @@
+package kmatrix
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Random generator configurations always produce valid matrices that
+// survive the CSV round trip bit-exactly.
+func TestGeneratorCSVRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		cfg := GenConfig{
+			Seed:                rng.Int63(),
+			Messages:            20 + rng.Intn(100),
+			ECUs:                2 + rng.Intn(8),
+			Gateways:            1 + rng.Intn(3),
+			KnownJitterFraction: 0.05 + 0.5*rng.Float64(),
+			IDShuffle:           0.1 + rng.Float64(),
+		}
+		k := Powertrain(cfg)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("trial %d: generated matrix invalid: %v", trial, err)
+		}
+		var buf strings.Builder
+		if err := k.EncodeCSV(&buf); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		back, err := DecodeCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(back.Messages) != len(k.Messages) {
+			t.Fatalf("trial %d: row count changed", trial)
+		}
+		for i := range k.Messages {
+			a, b := k.Messages[i], back.Messages[i]
+			if a.Name != b.Name || a.ID != b.ID || a.Period != b.Period ||
+				a.Jitter != b.Jitter || a.DLC != b.DLC || a.Sender != b.Sender {
+				t.Fatalf("trial %d row %d: %+v != %+v", trial, i, a, b)
+			}
+		}
+		// And a second encode of the decoded matrix is byte-identical.
+		var buf2 strings.Builder
+		if err := back.EncodeCSV(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != buf2.String() {
+			t.Fatalf("trial %d: CSV not canonical", trial)
+		}
+	}
+}
+
+// WithJitterScale at scale zero clears all assumed jitters and is
+// idempotent; known jitters survive only in only-unknown mode.
+func TestWithJitterScaleProperties(t *testing.T) {
+	k := Powertrain(GenConfig{Seed: 5})
+	zero := k.WithJitterScale(0, false)
+	for _, m := range zero.Messages {
+		if m.Jitter != 0 {
+			t.Fatalf("%s: jitter %v after zero scale", m.Name, m.Jitter)
+		}
+	}
+	again := zero.WithJitterScale(0, false)
+	for i := range zero.Messages {
+		a, b := zero.Messages[i], again.Messages[i]
+		if a.Jitter != b.Jitter || a.ID != b.ID || a.Period != b.Period {
+			t.Fatal("zero scaling not idempotent")
+		}
+	}
+	only := k.WithJitterScale(0.3, true)
+	for i, m := range only.Messages {
+		orig := k.Messages[i]
+		if orig.JitterKnown && m.Jitter != orig.Jitter {
+			t.Fatalf("%s: known jitter changed in only-unknown mode", m.Name)
+		}
+		if !orig.JitterKnown && m.Jitter == 0 {
+			t.Fatalf("%s: assumed jitter not scaled", m.Name)
+		}
+	}
+}

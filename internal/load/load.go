@@ -1,0 +1,96 @@
+// Package load implements the simple average bus-load model the paper
+// reviews in Section 3.1 (Figure 1): per-message traffic is frequency
+// times frame length, summed and divided by the bus bandwidth.
+//
+// The paper's point — and this package's doc-level warning — is that the
+// load model says nothing about deadlines or buffer overflows. It is the
+// baseline against which response-time analysis (package rta) is shown
+// to matter: utilisation figures of 36% can hide messages that miss
+// every deadline once jitters and errors enter the picture.
+package load
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/can"
+	"repro/internal/kmatrix"
+)
+
+// Entry is the traffic contribution of one node.
+type Entry struct {
+	// Node is the sending ECU.
+	Node string
+	// BitsPerSecond is the node's aggregate traffic.
+	BitsPerSecond float64
+}
+
+// Report is the outcome of a load analysis.
+type Report struct {
+	// Entries lists per-node traffic, sorted by node name.
+	Entries []Entry
+	// TotalBitsPerSecond is the accumulated traffic of all nodes.
+	TotalBitsPerSecond float64
+	// BusBitsPerSecond is the bus bandwidth.
+	BusBitsPerSecond float64
+}
+
+// Utilization returns the relative bus load in [0..], e.g. 0.36 for the
+// paper's Figure 1 example.
+func (r *Report) Utilization() float64 {
+	if r.BusBitsPerSecond == 0 {
+		return 0
+	}
+	return r.TotalBitsPerSecond / r.BusBitsPerSecond
+}
+
+// String renders the report in the style of Figure 1.
+func (r *Report) String() string {
+	s := ""
+	for _, e := range r.Entries {
+		s += fmt.Sprintf("%-8s %8.1f kbit/s\n", e.Node, e.BitsPerSecond/1000)
+	}
+	s += fmt.Sprintf("%-8s %8.1f kbit/s on %.0f kbit/s bus = %.0f%%\n",
+		"total", r.TotalBitsPerSecond/1000, r.BusBitsPerSecond/1000, 100*r.Utilization())
+	return s
+}
+
+// FromRates builds a report from abstract per-node traffic rates, as in
+// the paper's Figure 1 where ECUs contribute 100/50/20/10 kbit/s.
+func FromRates(rates map[string]float64, busBitsPerSecond float64) *Report {
+	r := &Report{BusBitsPerSecond: busBitsPerSecond}
+	for node, bps := range rates {
+		r.Entries = append(r.Entries, Entry{Node: node, BitsPerSecond: bps})
+		r.TotalBitsPerSecond += bps
+	}
+	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Node < r.Entries[j].Node })
+	return r
+}
+
+// FromKMatrix computes the load of a communication matrix under the
+// given bit-stuffing assumption.
+func FromKMatrix(k *kmatrix.KMatrix, stuffing can.Stuffing) *Report {
+	rates := make(map[string]float64)
+	for _, m := range k.Messages {
+		bits := float64(m.Frame().Bits(stuffing))
+		rates[m.Sender] += bits / m.Period.Seconds()
+	}
+	return FromRates(rates, float64(k.BitRate))
+}
+
+// Figure1Example returns the exact scenario of the paper's Figure 1:
+// four ECUs producing 100, 50, 20 and 10 kbit/s on a 500 kbit/s CAN bus,
+// accumulating to 180 kbit/s or 36% utilisation.
+func Figure1Example() *Report {
+	return FromRates(map[string]float64{
+		"ECU1": 100_000,
+		"ECU2": 50_000,
+		"ECU3": 20_000,
+		"ECU4": 10_000,
+	}, can.Rate500k)
+}
+
+// CriticalLimits returns the spread of critical bus-load limits the paper
+// reports OEMs using ("some say 40%, others say 60%"), for annotating
+// reports.
+func CriticalLimits() (low, high float64) { return 0.40, 0.60 }

@@ -1,0 +1,91 @@
+package load
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/kmatrix"
+)
+
+func TestFigure1Example(t *testing.T) {
+	r := Figure1Example()
+	if got := r.TotalBitsPerSecond; got != 180_000 {
+		t.Errorf("total = %v bit/s, want 180000", got)
+	}
+	if got := r.Utilization(); math.Abs(got-0.36) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.36", got)
+	}
+	if len(r.Entries) != 4 {
+		t.Errorf("entries = %d, want 4", len(r.Entries))
+	}
+	// Entries are sorted by node name.
+	for i := 1; i < len(r.Entries); i++ {
+		if r.Entries[i-1].Node > r.Entries[i].Node {
+			t.Error("entries not sorted")
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "36%") {
+		t.Errorf("String() should mention 36%%:\n%s", out)
+	}
+}
+
+func TestFromRatesEmpty(t *testing.T) {
+	r := FromRates(nil, can.Rate500k)
+	if r.Utilization() != 0 || r.TotalBitsPerSecond != 0 {
+		t.Error("empty rates should produce zero load")
+	}
+	zero := FromRates(map[string]float64{"a": 10}, 0)
+	if zero.Utilization() != 0 {
+		t.Error("zero bandwidth must not divide by zero")
+	}
+}
+
+func TestFromKMatrix(t *testing.T) {
+	k := &kmatrix.KMatrix{
+		BusName: "pt",
+		BitRate: can.Rate500k,
+		Messages: []kmatrix.Message{
+			{Name: "A", ID: 0x100, DLC: 8, Period: 10 * time.Millisecond, Sender: "ECU1"},
+			{Name: "B", ID: 0x200, DLC: 8, Period: 10 * time.Millisecond, Sender: "ECU1"},
+			{Name: "C", ID: 0x300, DLC: 8, Period: 20 * time.Millisecond, Sender: "ECU2"},
+		},
+	}
+	r := FromKMatrix(k, can.StuffingNominal)
+	// A and B: 111 bits / 10ms = 11100 bit/s each; C: 111/20ms = 5550.
+	if got, want := r.TotalBitsPerSecond, 27750.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("total = %v, want %v", got, want)
+	}
+	if got := len(r.Entries); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	if r.Entries[0].Node != "ECU1" || math.Abs(r.Entries[0].BitsPerSecond-22200) > 1e-6 {
+		t.Errorf("ECU1 entry = %+v", r.Entries[0])
+	}
+
+	// Worst-case stuffing increases the figure.
+	wc := FromKMatrix(k, can.StuffingWorstCase)
+	if wc.TotalBitsPerSecond <= r.TotalBitsPerSecond {
+		t.Error("worst-case load should exceed nominal")
+	}
+}
+
+func TestLoadSaysNothingAboutDeadlines(t *testing.T) {
+	// The paper's core observation, encoded as a regression: a bus at a
+	// "safe" 36% average load can still be badly unschedulable if the
+	// traffic is bursty. Load analysis must not be trusted as a
+	// schedulability proxy. Here we only pin the load number itself; the
+	// rta tests demonstrate the deadline misses.
+	k := kmatrix.Powertrain(kmatrix.GenConfig{Seed: 1})
+	r := FromKMatrix(k, can.StuffingNominal)
+	lo, hi := CriticalLimits()
+	if u := r.Utilization(); u < lo-0.15 || u > hi+0.05 {
+		t.Errorf("default matrix load %.2f should sit near the contested 40-60%% band", u)
+	}
+	if lo >= hi {
+		t.Error("critical limits inverted")
+	}
+}

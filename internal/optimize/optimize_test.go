@@ -1,0 +1,344 @@
+package optimize
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/errormodel"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+)
+
+const ms = time.Millisecond
+
+// stressedMatrix builds a small bus whose as-given IDs are badly inverted
+// (slow messages hold the high priorities), so both heuristics and GA
+// have real work to do.
+func stressedMatrix() *kmatrix.KMatrix {
+	mk := func(name string, id can.ID, period time.Duration) kmatrix.Message {
+		return kmatrix.Message{Name: name, ID: id, DLC: 8, Period: period, Sender: "ECU1"}
+	}
+	return &kmatrix.KMatrix{
+		BusName: "test",
+		BitRate: can.Rate125k, // 1080us per 8-byte frame: pressure at ms periods
+		Messages: []kmatrix.Message{
+			mk("slow1", 0x100, 100*ms),
+			mk("slow2", 0x110, 100*ms),
+			mk("mid1", 0x120, 20*ms),
+			mk("mid2", 0x130, 20*ms),
+			mk("fast1", 0x140, 10*ms),
+			mk("fast2", 0x150, 10*ms),
+			mk("fast3", 0x160, 5*ms),
+		},
+	}
+}
+
+func analysisConfig() rta.Config {
+	return rta.Config{DeadlineModel: rta.DeadlineImplicit}
+}
+
+func missesOf(t *testing.T, k *kmatrix.KMatrix, a Assignment, scale float64) int {
+	t.Helper()
+	applied := Apply(k, a).WithJitterScale(scale, false)
+	rep, err := rta.Analyze(applied.ToRTA(), rta.Config{Bus: k.Bus(), DeadlineModel: rta.DeadlineImplicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.MissCount()
+}
+
+func TestApplyAndOriginal(t *testing.T) {
+	k := stressedMatrix()
+	orig := Original(k)
+	if len(orig) != len(k.Messages) {
+		t.Fatalf("Original has %d entries", len(orig))
+	}
+	a := Assignment{"fast3": 0x080}
+	applied := Apply(k, a)
+	if applied.ByName("fast3").ID != 0x080 {
+		t.Error("Apply did not set the new ID")
+	}
+	if applied.ByName("fast1").ID != 0x140 {
+		t.Error("Apply changed an unlisted message")
+	}
+	if k.ByName("fast3").ID != 0x160 {
+		t.Error("Apply mutated the original matrix")
+	}
+}
+
+func TestAssignmentsPermuteIDInventory(t *testing.T) {
+	k := stressedMatrix()
+	for name, a := range map[string]Assignment{
+		"dm": DeadlineMonotonic(k, rta.DeadlineImplicit),
+		"rm": RateMonotonic(k),
+	} {
+		seen := map[can.ID]bool{}
+		for _, id := range a {
+			if seen[id] {
+				t.Errorf("%s: duplicate ID %s", name, id)
+			}
+			seen[id] = true
+		}
+		for _, m := range k.Messages {
+			if !seen[m.ID] {
+				t.Errorf("%s: inventory ID %s unused", name, m.ID)
+			}
+		}
+	}
+}
+
+func TestDeadlineMonotonicOrders(t *testing.T) {
+	k := stressedMatrix()
+	a := DeadlineMonotonic(k, rta.DeadlineImplicit)
+	// fast3 (5ms) must receive the smallest ID of the inventory (0x100).
+	if a["fast3"] != 0x100 {
+		t.Errorf("fast3 ID = %s, want 0x100", a["fast3"])
+	}
+	// slow messages get the largest IDs.
+	if a["slow1"] != 0x150 && a["slow1"] != 0x160 {
+		t.Errorf("slow1 ID = %s, want one of the two largest", a["slow1"])
+	}
+	// DM fixes the inversion: fewer misses than the original under load.
+	if missesOf(t, k, a, 0.3) > missesOf(t, k, Original(k), 0.3) {
+		t.Error("DM should not be worse than the inverted original")
+	}
+}
+
+func TestAudsleyFindsFeasible(t *testing.T) {
+	k := stressedMatrix()
+	a, feasible, err := Audsley(k, analysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible {
+		t.Fatal("Audsley should find a feasible assignment for this bus")
+	}
+	if got := missesOf(t, k, a, 0); got != 0 {
+		t.Errorf("Audsley assignment misses %d messages at zero jitter", got)
+	}
+	// Assignment is a permutation of the inventory.
+	seen := map[can.ID]bool{}
+	for _, id := range a {
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAudsleyReportsInfeasible(t *testing.T) {
+	// Three full frames every 500us on 500k: utilisation > 1, hopeless.
+	k := &kmatrix.KMatrix{
+		BusName: "over",
+		BitRate: can.Rate500k,
+		Messages: []kmatrix.Message{
+			{Name: "A", ID: 0x100, DLC: 8, Period: 500 * time.Microsecond, Sender: "E"},
+			{Name: "B", ID: 0x200, DLC: 8, Period: 500 * time.Microsecond, Sender: "E"},
+			{Name: "C", ID: 0x300, DLC: 8, Period: 500 * time.Microsecond, Sender: "E"},
+		},
+	}
+	a, feasible, err := Audsley(k, analysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible {
+		t.Error("overloaded bus reported feasible")
+	}
+	if len(a) != len(k.Messages) {
+		t.Error("partial assignment must still cover all messages")
+	}
+}
+
+func TestObjectivesDominance(t *testing.T) {
+	a := Objectives{Misses: 0, NegRobustness: -0.5}
+	b := Objectives{Misses: 1, NegRobustness: -0.9}
+	c := Objectives{Misses: 0, NegRobustness: -0.9}
+	if !a.Dominates(b) && !b.Dominates(a) {
+		// a has fewer misses, b more robustness: incomparable.
+	} else {
+		t.Error("a and b should be incomparable")
+	}
+	if !c.Dominates(a) {
+		t.Error("c dominates a (equal misses, more robustness)")
+	}
+	if c.Dominates(c) {
+		t.Error("dominance must be irreflexive")
+	}
+	if !a.Better(b) || !c.Better(a) {
+		t.Error("lexicographic preference wrong")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	k := stressedMatrix()
+	cfg := Config{Seed: 7, Population: 10, Archive: 6, Generations: 6, Analysis: analysisConfig()}
+	r1, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best.Objectives != r2.Best.Objectives {
+		t.Errorf("same seed, different best: %v vs %v", r1.Best.Objectives, r2.Best.Objectives)
+	}
+	for name, id := range r1.Best.Assignment {
+		if r2.Best.Assignment[name] != id {
+			t.Fatalf("same seed, different assignment at %s", name)
+		}
+	}
+}
+
+func TestRunImprovesStressedMatrix(t *testing.T) {
+	k := stressedMatrix()
+	cfg := Config{
+		Seed:        1,
+		Population:  16,
+		Archive:     8,
+		Generations: 20,
+		EvalScales:  []float64{0, 0.25},
+		Analysis:    analysisConfig(),
+	}
+	res, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Objectives.Misses > res.Original.Objectives.Misses {
+		t.Errorf("GA best (%v) worse than original (%v)",
+			res.Best.Objectives, res.Original.Objectives)
+	}
+	if res.Best.Objectives.Misses != 0 {
+		t.Errorf("GA should reach zero misses on this bus, got %v", res.Best.Objectives)
+	}
+	if len(res.Front) == 0 || len(res.History) != res.Generations {
+		t.Error("front or history malformed")
+	}
+	// The best candidate must be a valid permutation of the inventory.
+	seen := map[can.ID]bool{}
+	for _, id := range res.Best.Assignment {
+		if seen[id] {
+			t.Fatalf("duplicate ID %s in best assignment", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRunNeverWorseThanOriginal(t *testing.T) {
+	// Even with a tiny budget and no heuristic seeds the reported best
+	// must not regress below the original configuration.
+	k := stressedMatrix()
+	res, err := Run(k, Config{
+		Seed: 3, Population: 6, Archive: 4, Generations: 2,
+		NoSeedHeuristics: true,
+		Analysis:         analysisConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Original.Objectives.Better(res.Best.Objectives) {
+		t.Errorf("best %v regressed below original %v", res.Best.Objectives, res.Original.Objectives)
+	}
+}
+
+func TestRunStopOnZeroMiss(t *testing.T) {
+	k := stressedMatrix()
+	res, err := Run(k, Config{
+		Seed: 1, Population: 12, Archive: 6, Generations: 50,
+		StopOnZeroMiss: true, MinGenerations: 3,
+		EvalScales: []float64{0},
+		Analysis:   analysisConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations == 50 {
+		t.Error("expected early stop well before 50 generations")
+	}
+	if res.Best.Objectives.Misses != 0 {
+		t.Errorf("early stop without zero-miss best: %v", res.Best.Objectives)
+	}
+}
+
+func TestRunRejectsTinyInput(t *testing.T) {
+	k := &kmatrix.KMatrix{BusName: "x", BitRate: can.Rate500k,
+		Messages: []kmatrix.Message{{Name: "A", ID: 1, DLC: 1, Period: ms, Sender: "E"}}}
+	if _, err := Run(k, Config{}); err == nil {
+		t.Error("single-message matrix accepted")
+	}
+}
+
+func TestOrderCrossoverProducesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		a, b := rng.Perm(n), rng.Perm(n)
+		child := make([]int, n)
+		orderCrossover(rng, a, b, child)
+		seen := make([]bool, n)
+		for _, g := range child {
+			if g < 0 || g >= n || seen[g] {
+				t.Fatalf("invalid child %v from %v x %v", child, a, b)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestMutateSwapsPreservesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		p := rng.Perm(n)
+		mutateSwaps(rng, p, 2)
+		seen := make([]bool, n)
+		for _, g := range p {
+			if seen[g] {
+				t.Fatalf("mutation broke permutation: %v", p)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestGAMatchesAudsleyOnFeasibility(t *testing.T) {
+	// Integration: on the power-train matrix under the worst-case
+	// configuration, Audsley proves zero loss at 25% jitter is feasible
+	// and the GA (seeded with heuristics) finds such a configuration too.
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	k := kmatrix.Powertrain(kmatrix.GenConfig{Seed: 1})
+	worst := rta.Config{
+		Stuffing:      can.StuffingWorstCase,
+		Errors:        errormodel.Burst{Interval: 10 * ms, Length: 3, Gap: 100 * time.Microsecond},
+		DeadlineModel: rta.DeadlineImplicit,
+	}
+	scaled := k.WithJitterScale(0.25, false)
+	audsley, feasible, err := Audsley(scaled, worst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible {
+		t.Fatal("Audsley cannot schedule the power-train matrix at 25% jitter; workload tuning broken")
+	}
+	_ = audsley
+
+	res, err := Run(k, Config{
+		Seed: 1, Population: 24, Archive: 12, Generations: 40,
+		EvalScales:     []float64{0, 0.25},
+		Analysis:       worst,
+		StopOnZeroMiss: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Objectives.Misses != 0 {
+		t.Errorf("GA did not reach zero loss at 25%% jitter: %v", res.Best.Objectives)
+	}
+	if res.Original.Objectives.Misses == 0 {
+		t.Error("original configuration unexpectedly loss-free; experiment loses its point")
+	}
+}

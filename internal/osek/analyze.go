@@ -1,0 +1,222 @@
+package osek
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// maxIterations caps fixpoint loops; the iterated functions are monotone,
+// so hitting the cap means divergence.
+const maxIterations = 100_000
+
+// Analyze computes worst-case response times for all tasks and ISRs of
+// one ECU.
+func Analyze(tasks []Task, cfg Config) (*Report, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("osek: no tasks")
+	}
+	names := map[string]bool{}
+	taskPrio := map[int]string{}
+	isrPrio := map[int]string{}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("osek: duplicate task %q", t.Name)
+		}
+		names[t.Name] = true
+		class := taskPrio
+		if t.ISR {
+			class = isrPrio
+		}
+		if prev, ok := class[t.Priority]; ok {
+			return nil, fmt.Errorf("osek: tasks %q and %q share priority %d", prev, t.Name, t.Priority)
+		}
+		class[t.Priority] = t.Name
+	}
+
+	// Order: ISRs by decreasing priority, then tasks by decreasing
+	// priority — the global preemption order.
+	ordered := make([]Task, len(tasks))
+	copy(ordered, tasks)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].ISR != ordered[j].ISR {
+			return ordered[i].ISR
+		}
+		return ordered[i].Priority > ordered[j].Priority
+	})
+
+	rep := &Report{Results: make([]Result, len(ordered))}
+	charged := make([]time.Duration, len(ordered))
+	for i, t := range ordered {
+		charged[i] = t.WCET + cfg.Overheads.perActivation()
+		rep.Utilization += float64(charged[i]) / float64(t.Event.Period)
+	}
+	for i := range ordered {
+		rep.Results[i] = analyzeTask(ordered, charged, i, cfg)
+	}
+	return rep, nil
+}
+
+// analyzeTask computes the response time of ordered[i]; indices below i
+// have strictly higher preemption rank.
+func analyzeTask(ordered []Task, charged []time.Duration, i int, cfg Config) Result {
+	t := ordered[i]
+	horizon := cfg.horizon()
+	res := Result{
+		Task:     t,
+		C:        charged[i],
+		BCRT:     t.BCET + cfg.Overheads.perActivation(),
+		Deadline: t.Event.Period,
+	}
+	if t.Deadline > 0 {
+		res.Deadline = t.Deadline
+	}
+	res.Blocking = blockingOf(ordered, charged, i)
+
+	markUnschedulable := func() Result {
+		res.WCRT = Unschedulable
+		res.Schedulable = false
+		return res
+	}
+
+	// Level-i busy period.
+	L := res.Blocking + res.C
+	for iter := 0; ; iter++ {
+		next := res.Blocking
+		for k := 0; k <= i; k++ {
+			next += time.Duration(ordered[k].Event.EtaPlus(L)) * charged[k]
+		}
+		if next == L {
+			break
+		}
+		if next > horizon || iter >= maxIterations {
+			return markUnschedulable()
+		}
+		L = next
+	}
+	instances := t.Event.EtaPlus(L)
+	if instances < 1 {
+		instances = 1
+	}
+	res.Instances = instances
+
+	var wcrt time.Duration
+	for q := 0; q < instances; q++ {
+		f, ok := completion(ordered, charged, i, q, res.Blocking, cfg, horizon)
+		if !ok {
+			return markUnschedulable()
+		}
+		r := t.Event.Jitter + f - time.Duration(q)*t.Event.Period
+		if r > wcrt {
+			wcrt = r
+		}
+	}
+	res.WCRT = wcrt
+	res.Schedulable = res.WCRT <= res.Deadline
+	return res
+}
+
+// completion returns the completion time of the q-th instance relative
+// to the start of the level-i busy period.
+func completion(ordered []Task, charged []time.Duration, i, q int,
+	blocking time.Duration, cfg Config, horizon time.Duration) (time.Duration, bool) {
+
+	t := ordered[i]
+	if runsToCompletion(t) {
+		// Start-time analysis: the instance begins once blocking, its
+		// own earlier instances and all preemption-rank-superior
+		// interference up to the start instant are done.
+		base := blocking + time.Duration(q)*charged[i]
+		s := base
+		for iter := 0; ; iter++ {
+			next := base
+			for k := 0; k < i; k++ {
+				// Every higher-rank task or ISR holds off a waiting task.
+				next += time.Duration(ordered[k].Event.EtaPlus(s+1)) * charged[k]
+			}
+			if next == s {
+				break
+			}
+			if next > horizon || iter >= maxIterations {
+				return 0, false
+			}
+			s = next
+		}
+		// After the start only ISRs can stretch a cooperative task; a
+		// non-preemptive task locks interrupts.
+		if t.Kind == NonPreemptive {
+			return s + charged[i], true
+		}
+		f := s + charged[i]
+		for iter := 0; ; iter++ {
+			next := s + charged[i]
+			for k := 0; k < i; k++ {
+				if !ordered[k].ISR {
+					continue
+				}
+				// ISR arrivals in (s, f] prolong execution; arrivals up
+				// to s are already in the start-time equation.
+				extra := ordered[k].Event.EtaPlus(f) - ordered[k].Event.EtaPlus(s+1)
+				if extra > 0 {
+					next += time.Duration(extra) * charged[k]
+				}
+			}
+			if next == f {
+				return f, true
+			}
+			if next > horizon || iter >= maxIterations {
+				return 0, false
+			}
+			f = next
+		}
+	}
+
+	// Fully preemptive (tasks and ISRs, which nest by priority):
+	// interference through completion.
+	base := blocking + time.Duration(q+1)*charged[i]
+	f := base
+	for iter := 0; ; iter++ {
+		next := base
+		for k := 0; k < i; k++ {
+			next += time.Duration(ordered[k].Event.EtaPlus(f)) * charged[k]
+		}
+		if next == f {
+			return f, true
+		}
+		if next > horizon || iter >= maxIterations {
+			return 0, false
+		}
+		f = next
+	}
+}
+
+// runsToCompletion reports whether the task cannot be preempted by other
+// tasks once started. ISRs are excluded: they nest preemptively by
+// priority.
+func runsToCompletion(t Task) bool {
+	return !t.ISR && (t.Kind == Cooperative || t.Kind == NonPreemptive)
+}
+
+// blockingOf returns the blocking of ordered[i] by lower-rank entities:
+// the longest charged execution among lower-rank tasks that run to
+// completion (for tasks), or among non-preemptive tasks (for ISRs, which
+// are otherwise unblockable).
+func blockingOf(ordered []Task, charged []time.Duration, i int) time.Duration {
+	var b time.Duration
+	for k := i + 1; k < len(ordered); k++ {
+		t := ordered[k]
+		blocks := false
+		if ordered[i].ISR {
+			blocks = !t.ISR && t.Kind == NonPreemptive
+		} else {
+			blocks = !t.ISR && (t.Kind == Cooperative || t.Kind == NonPreemptive)
+		}
+		if blocks && charged[k] > b {
+			b = charged[k]
+		}
+	}
+	return b
+}

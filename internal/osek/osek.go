@@ -1,0 +1,214 @@
+// Package osek implements fixed-priority response-time analysis for
+// OSEK-style ECUs: preemptive and cooperative tasks plus hardware
+// interrupt service routines, with operating-system overheads — the
+// ECU-side analysis the paper mentions in Section 5.2 ("considers
+// operating system (OSEK) overhead, complex priority schemes with
+// cooperative and preemptive tasks as well as hardware interrupts").
+//
+// Its role in the reproduction is to close the supply-chain loop of
+// Figure 6: a supplier analyses its ECU with this package, derives the
+// send jitter of every message the ECU emits (response-time interval of
+// the producing task), and publishes that as a guarantee which the OEM
+// feeds into the bus analysis of package rta.
+//
+// Scheduling model:
+//
+//   - ISRs always beat tasks; among ISRs, Priority orders preemption.
+//   - Preemptive tasks are preempted by higher-priority tasks and ISRs.
+//   - Cooperative tasks cannot be preempted by other tasks (they yield
+//     only at completion here — the coarsest cooperative granularity)
+//     but remain preemptable by ISRs.
+//   - Non-preemptive tasks run to completion with interrupts locked,
+//     blocking even ISRs.
+//
+// Every activation is charged the OS overheads: C' = Activate + C +
+// Terminate + 2*ContextSwitch, the classic inflation used in practice.
+package osek
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/eventmodel"
+)
+
+// Unschedulable is the sentinel for unbounded response times.
+const Unschedulable time.Duration = math.MaxInt64
+
+// Preemption selects the preemption behaviour of a task.
+type Preemption int
+
+const (
+	// Preemptive tasks can be preempted by higher-priority tasks and
+	// ISRs at any time (OSEK "full preemptive").
+	Preemptive Preemption = iota
+	// Cooperative tasks yield to other tasks only at completion but can
+	// be interrupted by ISRs.
+	Cooperative
+	// NonPreemptive tasks run to completion with interrupts disabled.
+	NonPreemptive
+)
+
+// String names the preemption kind.
+func (p Preemption) String() string {
+	switch p {
+	case Cooperative:
+		return "cooperative"
+	case NonPreemptive:
+		return "non-preemptive"
+	default:
+		return "preemptive"
+	}
+}
+
+// Task is one schedulable entity on the ECU.
+type Task struct {
+	// Name identifies the task.
+	Name string
+	// Priority orders tasks (and ISRs among themselves); larger numbers
+	// win, the OSEK convention. Priorities must be unique within the
+	// task class and within the ISR class.
+	Priority int
+	// WCET and BCET bound the execution time per activation.
+	WCET, BCET time.Duration
+	// Event is the activation model.
+	Event eventmodel.Model
+	// Kind selects the preemption behaviour (ignored for ISRs, which
+	// behave preemptively among themselves).
+	Kind Preemption
+	// ISR marks interrupt service routines.
+	ISR bool
+	// Deadline, when positive, overrides the implicit deadline (the
+	// period).
+	Deadline time.Duration
+}
+
+// Validate reports whether the task is analysable.
+func (t Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("osek: task without name")
+	}
+	if t.WCET <= 0 {
+		return fmt.Errorf("osek: task %s: WCET %v must be positive", t.Name, t.WCET)
+	}
+	if t.BCET < 0 || t.BCET > t.WCET {
+		return fmt.Errorf("osek: task %s: BCET %v outside [0, WCET]", t.Name, t.BCET)
+	}
+	if err := t.Event.Validate(); err != nil {
+		return fmt.Errorf("osek: task %s: %w", t.Name, err)
+	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("osek: task %s: negative deadline", t.Name)
+	}
+	return nil
+}
+
+// Overheads models the operating system costs per activation.
+type Overheads struct {
+	// Activate is charged when the task is released.
+	Activate time.Duration
+	// Terminate is charged when the task completes.
+	Terminate time.Duration
+	// ContextSwitch is charged twice per activation (in and out).
+	ContextSwitch time.Duration
+}
+
+// perActivation returns the total overhead added to each execution.
+func (o Overheads) perActivation() time.Duration {
+	return o.Activate + o.Terminate + 2*o.ContextSwitch
+}
+
+// Config parameterises the ECU analysis.
+type Config struct {
+	// Overheads is added to every activation.
+	Overheads Overheads
+	// Horizon bounds fixpoint iteration (default 10s).
+	Horizon time.Duration
+}
+
+func (c Config) horizon() time.Duration {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	return 10 * time.Second
+}
+
+// Result is the per-task outcome.
+type Result struct {
+	// Task echoes the analysed task.
+	Task Task
+	// C is the charged execution time including overheads.
+	C time.Duration
+	// Blocking is the lower-priority blocking.
+	Blocking time.Duration
+	// Instances is the number of activations examined in the busy
+	// period.
+	Instances int
+	// WCRT and BCRT bound the response time (activation to completion).
+	WCRT, BCRT time.Duration
+	// Deadline is the deadline judged against.
+	Deadline time.Duration
+	// Schedulable reports WCRT <= Deadline.
+	Schedulable bool
+}
+
+// ResponseJitter returns WCRT - BCRT: the total completion-time jitter
+// of the task, and thus the send jitter of anything it emits at
+// completion (the activation jitter is contained in WCRT).
+func (r Result) ResponseJitter() time.Duration {
+	if r.WCRT == Unschedulable {
+		return Unschedulable
+	}
+	return r.WCRT - r.BCRT
+}
+
+// OutputModel derives the event model of a message queued at this task's
+// completion — the send-jitter guarantee a supplier publishes. The
+// resulting jitter equals ResponseJitter.
+func (r Result) OutputModel() eventmodel.Model {
+	if r.WCRT == Unschedulable {
+		return eventmodel.Model{
+			Period:   r.Task.Event.Period,
+			Jitter:   eventmodel.Unbounded,
+			DMin:     r.BCRT,
+			Sporadic: r.Task.Event.Sporadic,
+		}
+	}
+	// WCRT already contains the activation jitter; the delay variation
+	// from the arrival instant is WCRT - J - BCRT.
+	variation := r.WCRT - r.Task.Event.Jitter - r.BCRT
+	if variation < 0 {
+		variation = 0
+	}
+	return r.Task.Event.OutputModel(variation, r.BCRT)
+}
+
+// Report is the outcome of analysing one ECU.
+type Report struct {
+	// Results holds one entry per task, ISRs first, then tasks, each by
+	// decreasing priority.
+	Results []Result
+	// Utilization is the CPU utilisation including overheads.
+	Utilization float64
+}
+
+// ByName returns the result of the named task, or nil.
+func (r *Report) ByName(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Task.Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// AllSchedulable reports whether every task meets its deadline.
+func (r *Report) AllSchedulable() bool {
+	for i := range r.Results {
+		if !r.Results[i].Schedulable {
+			return false
+		}
+	}
+	return true
+}

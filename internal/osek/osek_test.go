@@ -1,0 +1,305 @@
+package osek
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/eventmodel"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+func task(name string, prio int, wcet, period time.Duration) Task {
+	return Task{
+		Name:     name,
+		Priority: prio,
+		WCET:     wcet,
+		BCET:     wcet,
+		Event:    eventmodel.Periodic(period),
+		Kind:     Preemptive,
+	}
+}
+
+// The classic Joseph & Pandya example: C = (1, 2, 3), T = (4, 6, 12),
+// preemptive, no overheads. Known responses: 1, 3, 10.
+func TestAnalyzeClassicPreemptive(t *testing.T) {
+	tasks := []Task{
+		task("t1", 3, 1*ms, 4*ms),
+		task("t2", 2, 2*ms, 6*ms),
+		task("t3", 1, 3*ms, 12*ms),
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]time.Duration{"t1": 1 * ms, "t2": 3 * ms, "t3": 10 * ms}
+	for name, w := range want {
+		r := rep.ByName(name)
+		if r == nil {
+			t.Fatalf("task %s missing", name)
+		}
+		if r.WCRT != w {
+			t.Errorf("WCRT(%s) = %v, want %v", name, r.WCRT, w)
+		}
+		if !r.Schedulable {
+			t.Errorf("%s should be schedulable", name)
+		}
+	}
+}
+
+func TestAnalyzeCooperativeBlocking(t *testing.T) {
+	// A cooperative low-priority task blocks the highest task for its
+	// whole execution: R(t1) = 3 + 1 = 4ms.
+	tasks := []Task{
+		task("t1", 3, 1*ms, 4*ms),
+		task("t2", 2, 2*ms, 6*ms),
+		{Name: "t3", Priority: 1, WCET: 3 * ms, BCET: 3 * ms,
+			Event: eventmodel.Periodic(12 * ms), Kind: Cooperative},
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ByName("t1").WCRT; got != 4*ms {
+		t.Errorf("WCRT(t1) = %v, want 4ms", got)
+	}
+	if got := rep.ByName("t1").Blocking; got != 3*ms {
+		t.Errorf("Blocking(t1) = %v, want 3ms", got)
+	}
+	// Preemptive lower tasks do not block.
+	preempt, err := Analyze([]Task{
+		task("t1", 3, 1*ms, 4*ms),
+		task("t3", 1, 3*ms, 12*ms),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := preempt.ByName("t1").Blocking; got != 0 {
+		t.Errorf("preemptive lower task blocked t1 by %v", got)
+	}
+}
+
+func TestAnalyzeCooperativeISRStretch(t *testing.T) {
+	// Hand-computed: ISR (C=0.5ms, T=5ms); cooperative task (C=2ms,
+	// T=6ms); non-preemptive background task (C=3ms, T=20ms).
+	// ISR: blocked by the NP task: R = 3 + 0.5 = 3.5ms.
+	// Cooperative: blocked 3ms, starts at 3.5ms after one ISR, runs 2ms
+	// stretched by one further ISR arrival at 5ms: R = 6ms.
+	tasks := []Task{
+		{Name: "isr", Priority: 1, WCET: 500 * us, BCET: 500 * us,
+			Event: eventmodel.Periodic(5 * ms), ISR: true},
+		{Name: "coop", Priority: 2, WCET: 2 * ms, BCET: 2 * ms,
+			Event: eventmodel.Periodic(6 * ms), Kind: Cooperative},
+		{Name: "np", Priority: 1, WCET: 3 * ms, BCET: 3 * ms,
+			Event: eventmodel.Periodic(20 * ms), Kind: NonPreemptive},
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ByName("isr").WCRT; got != 3500*us {
+		t.Errorf("WCRT(isr) = %v, want 3.5ms", got)
+	}
+	if got := rep.ByName("coop").WCRT; got != 6*ms {
+		t.Errorf("WCRT(coop) = %v, want 6ms", got)
+	}
+}
+
+func TestAnalyzeNonPreemptiveLocksISRs(t *testing.T) {
+	// A non-preemptive task is not stretched by ISRs once started.
+	tasks := []Task{
+		{Name: "isr", Priority: 1, WCET: 500 * us, BCET: 500 * us,
+			Event: eventmodel.Periodic(2 * ms), ISR: true},
+		{Name: "np", Priority: 1, WCET: 3 * ms, BCET: 3 * ms,
+			Event: eventmodel.Periodic(20 * ms), Kind: NonPreemptive},
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// np starts after pending ISR work: s = eta_isr(s)*0.5 -> s = 0.5
+	// (one ISR at t=0), then runs 3ms uninterrupted: R = 3.5ms. ISRs at
+	// 2ms and 4ms wait.
+	if got := rep.ByName("np").WCRT; got != 3500*us {
+		t.Errorf("WCRT(np) = %v, want 3.5ms", got)
+	}
+}
+
+func TestAnalyzeOverheads(t *testing.T) {
+	tasks := []Task{task("t", 1, 1*ms, 10*ms)}
+	cfg := Config{Overheads: Overheads{
+		Activate: 100 * us, Terminate: 100 * us, ContextSwitch: 50 * us,
+	}}
+	rep, err := Analyze(tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C' = 1ms + 100us + 100us + 2*50us = 1.3ms.
+	if got := rep.Results[0].WCRT; got != 1300*us {
+		t.Errorf("WCRT = %v, want 1.3ms", got)
+	}
+	if rep.Utilization <= 0.1 {
+		t.Errorf("utilisation %v should include overheads (> 0.1)", rep.Utilization)
+	}
+}
+
+func TestAnalyzeJitterPropagation(t *testing.T) {
+	tasks := []Task{
+		{Name: "t", Priority: 1, WCET: 1 * ms, BCET: 500 * us,
+			Event: eventmodel.PeriodicJitter(10*ms, 2*ms), Kind: Preemptive},
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	// WCRT includes the activation jitter.
+	if r.WCRT != 3*ms {
+		t.Errorf("WCRT = %v, want 3ms (J + C)", r.WCRT)
+	}
+	if r.BCRT != 500*us {
+		t.Errorf("BCRT = %v, want 500us", r.BCRT)
+	}
+	out := r.OutputModel()
+	// Output jitter = WCRT - BCRT: completions range from nominal+BCRT
+	// (earliest arrival, best delay) to nominal+WCRT (latest arrival,
+	// worst delay). The activation jitter is already inside WCRT.
+	if got, want := out.Jitter, 3*ms-500*us; got != want {
+		t.Errorf("output jitter = %v, want %v", got, want)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("output model invalid: %v", err)
+	}
+}
+
+func TestAnalyzeOverloadUnschedulable(t *testing.T) {
+	tasks := []Task{
+		task("a", 2, 6*ms, 10*ms),
+		task("b", 1, 6*ms, 10*ms),
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByName("b").WCRT != Unschedulable {
+		t.Error("overloaded low-priority task must be unschedulable")
+	}
+	if rep.AllSchedulable() {
+		t.Error("AllSchedulable must be false")
+	}
+	if rep.ByName("b").ResponseJitter() != Unschedulable {
+		t.Error("unschedulable response jitter must be unbounded")
+	}
+	out := rep.ByName("b").OutputModel()
+	if out.Jitter != eventmodel.Unbounded {
+		t.Error("unschedulable output jitter must be unbounded")
+	}
+}
+
+func TestAnalyzeISRsBeatTasks(t *testing.T) {
+	// An ISR with numerically tiny priority still preempts the highest
+	// task.
+	tasks := []Task{
+		{Name: "isr", Priority: -100, WCET: 1 * ms, BCET: 1 * ms,
+			Event: eventmodel.Periodic(10 * ms), ISR: true},
+		task("task", 1000, 1*ms, 10*ms),
+	}
+	rep, err := Analyze(tasks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Task.Name != "isr" {
+		t.Error("ISR should rank first")
+	}
+	if got := rep.ByName("task").WCRT; got != 2*ms {
+		t.Errorf("WCRT(task) = %v, want 2ms (ISR + own)", got)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	valid := task("a", 1, 1*ms, 10*ms)
+	tests := []struct {
+		name  string
+		tasks []Task
+	}{
+		{"empty", nil},
+		{"no name", []Task{{Priority: 1, WCET: ms, Event: eventmodel.Periodic(10 * ms)}}},
+		{"zero wcet", []Task{{Name: "x", WCET: 0, Event: eventmodel.Periodic(10 * ms)}}},
+		{"bcet above wcet", []Task{{Name: "x", WCET: ms, BCET: 2 * ms, Event: eventmodel.Periodic(10 * ms)}}},
+		{"bad event", []Task{{Name: "x", WCET: ms, BCET: ms}}},
+		{"negative deadline", []Task{{Name: "x", WCET: ms, BCET: ms, Event: eventmodel.Periodic(10 * ms), Deadline: -1}}},
+		{"duplicate name", []Task{valid, valid}},
+		{"duplicate priority", []Task{valid, task("b", 1, 1*ms, 10*ms)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Analyze(tt.tasks, Config{}); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// Same priority in different classes is fine.
+	_, err := Analyze([]Task{
+		valid,
+		{Name: "i", Priority: 1, WCET: ms, BCET: ms, Event: eventmodel.Periodic(10 * ms), ISR: true},
+	}, Config{})
+	if err != nil {
+		t.Errorf("task and ISR may share a priority number: %v", err)
+	}
+}
+
+func TestCooperativePreemptiveTradeoffs(t *testing.T) {
+	// Making every task cooperative shifts delay between priority levels:
+	// the highest-priority task gains blocking and can only get slower,
+	// while the task itself may finish earlier (deferred preemption —
+	// once started nobody interrupts it). Both directions are invariants
+	// worth pinning, plus the universal floor R >= B + C.
+	rng := rand.New(rand.NewSource(21))
+	periods := []time.Duration{5 * ms, 10 * ms, 20 * ms, 50 * ms}
+	for trial := 0; trial < 30; trial++ {
+		var pre, coop []Task
+		count := 3 + rng.Intn(4)
+		for i := 0; i < count; i++ {
+			tk := task(string(rune('a'+i)), count-i, time.Duration(1+rng.Intn(3))*ms,
+				periods[rng.Intn(len(periods))])
+			pre = append(pre, tk)
+			tk.Kind = Cooperative
+			coop = append(coop, tk)
+		}
+		pr, err := Analyze(pre, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := Analyze(coop, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Highest-priority task: cooperative peers only add blocking.
+		top := pr.Results[0].Task.Name
+		if cw, pw := cr.ByName(top).WCRT, pr.ByName(top).WCRT; cw != Unschedulable && pw != Unschedulable && cw < pw {
+			t.Errorf("trial %d: top task %s got faster under cooperation (%v < %v)",
+				trial, top, cw, pw)
+		}
+		// Universal floor.
+		for _, r := range cr.Results {
+			if r.WCRT == Unschedulable {
+				continue
+			}
+			if r.WCRT < r.Blocking+r.C {
+				t.Errorf("trial %d: %s WCRT %v below blocking+C %v",
+					trial, r.Task.Name, r.WCRT, r.Blocking+r.C)
+			}
+		}
+	}
+}
+
+func TestPreemptionStrings(t *testing.T) {
+	if Preemptive.String() != "preemptive" || Cooperative.String() != "cooperative" ||
+		NonPreemptive.String() != "non-preemptive" {
+		t.Error("preemption names")
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Gantt renders a simulator trace as one row per message over a binned
+// time axis — the reproduction of the paper's Figure 2 communication
+// pattern. '#' marks successful transmission, 'x' error signalling and
+// recovery, '.' idle.
+func Gantt(trace []sim.Event, messages []string, start, end time.Duration, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if end <= start {
+		return "(empty window)\n"
+	}
+	span := end - start
+	bin := func(t time.Duration) int {
+		return int(int64(t-start) * int64(width) / int64(span))
+	}
+	rows := make(map[string][]rune, len(messages))
+	nameW := 0
+	for _, m := range messages {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[m] = row
+		if len(m) > nameW {
+			nameW = len(m)
+		}
+	}
+	for _, ev := range trace {
+		row, ok := rows[ev.Message]
+		if !ok {
+			continue
+		}
+		if ev.Time+ev.Duration <= start || ev.Time >= end {
+			continue
+		}
+		glyph := '#'
+		if ev.Kind == sim.EventError {
+			glyph = 'x'
+		}
+		lo, hi := bin(ev.Time), bin(ev.Time+ev.Duration)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			row[c] = glyph
+		}
+	}
+	var b strings.Builder
+	for _, m := range messages {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, m, string(rows[m]))
+	}
+	fmt.Fprintf(&b, "%-*s  %v%*v\n", nameW, "", start, width-len(fmt.Sprint(start)), end)
+	b.WriteString(fmt.Sprintf("%-*s  # transmission   x error + recovery   . idle/off-bus\n", nameW, ""))
+	return b.String()
+}

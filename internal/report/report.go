@@ -1,0 +1,171 @@
+// Package report renders analysis results as aligned text tables, ASCII
+// line charts (for regenerating the paper's figures in a terminal), CSV
+// series (for external plotting), and Gantt-style bus traces (Figure 2).
+// Everything is plain text on purpose: the experiment harness must run
+// without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one line of a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Glyph marks the series' points.
+	Glyph rune
+	// X and Y hold the data; lengths must match.
+	X, Y []float64
+}
+
+// Chart renders series onto a w x h grid with axes and a legend.
+// Non-finite Y values are skipped.
+func Chart(title, xLabel, yLabel string, w, h int, series []Series) string {
+	if w < 16 {
+		w = 16
+	}
+	if h < 5 {
+		h = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y-axis anchored at 0, like the paper
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no finite data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	plot := func(x, y float64, glyph rune) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		row := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = glyph
+		}
+	}
+	for _, s := range series {
+		// Connect consecutive points with interpolated glyphs so curves
+		// read as lines.
+		prevOK := false
+		var px, py float64
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				prevOK = false
+				continue
+			}
+			if prevOK {
+				steps := 2 * w
+				for t := 0; t <= steps; t++ {
+					f := float64(t) / float64(steps)
+					plot(px+f*(s.X[i]-px), py+f*(s.Y[i]-py), s.Glyph)
+				}
+			}
+			plot(s.X[i], s.Y[i], s.Glyph)
+			px, py, prevOK = s.X[i], s.Y[i], true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	yw := 8
+	for r := 0; r < h; r++ {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%*.2f |", yw, yVal)
+		b.WriteString(string(grid[r]))
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", yw+1) + "+" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&b, "%*s  %-*.2f%*.2f\n", yw, "", w/2, minX, w-w/2, maxX)
+	fmt.Fprintf(&b, "%*s  x: %s, y: %s\n", yw, "", xLabel, yLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", yw, "", s.Glyph, s.Name)
+	}
+	return b.String()
+}
+
+// WriteSeriesCSV emits an x column followed by one column per series.
+// All series must be sampled on the same x grid.
+func WriteSeriesCSV(w io.Writer, xName string, x []float64, series []Series) error {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, xName)
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range x {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%g", x[i]))
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

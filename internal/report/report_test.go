@@ -1,0 +1,111 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator widths differ: %q vs %q", lines[0], lines[1])
+	}
+	if !strings.Contains(lines[2], "short") || !strings.Contains(lines[3], "22") {
+		t.Error("cells missing")
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{
+		{Name: "up", Glyph: '*', X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+		{Name: "flat", Glyph: 'o', X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}},
+	}
+	out := Chart("test chart", "x", "y", 40, 10, s)
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o flat") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs not plotted")
+	}
+	if !strings.Contains(out, "x: x, y: y") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	s := []Series{{Name: "partial", Glyph: '*',
+		X: []float64{0, 1, 2}, Y: []float64{1, math.Inf(1), 2}}}
+	out := Chart("c", "x", "y", 30, 8, s)
+	if strings.Contains(out, "Inf") {
+		t.Error("infinite value leaked into the chart")
+	}
+	empty := Chart("c", "x", "y", 30, 8, []Series{{Name: "none", Glyph: '*',
+		X: []float64{0}, Y: []float64{math.NaN()}}})
+	if !strings.Contains(empty, "no finite data") {
+		t.Error("all-NaN series should render a placeholder")
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	s := []Series{{Name: "p", Glyph: '*', X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := Chart("c", "x", "y", 1, 1, s)
+	if out == "" {
+		t.Error("degenerate dimensions must still render")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeriesCSV(&b, "scale", []float64{0, 0.5},
+		[]Series{
+			{Name: "best", Y: []float64{0, 1}},
+			{Name: "worst", Y: []float64{2}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "scale,best,worst\n0,0,2\n0.5,1,\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	trace := []sim.Event{
+		{Kind: sim.EventTransmit, Time: 0, Duration: 270 * time.Microsecond, Message: "A"},
+		{Kind: sim.EventError, Time: 300 * time.Microsecond, Duration: 100 * time.Microsecond, Message: "B"},
+		{Kind: sim.EventTransmit, Time: 400 * time.Microsecond, Duration: 270 * time.Microsecond, Message: "B"},
+		{Kind: sim.EventTransmit, Time: 2 * time.Millisecond, Duration: 270 * time.Microsecond, Message: "ignored"},
+	}
+	out := Gantt(trace, []string{"A", "B"}, 0, time.Millisecond, 50)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("rows missing")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("transmissions not drawn")
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("errors not drawn")
+	}
+	if strings.Contains(out, "ignored") {
+		t.Error("unlisted message appeared")
+	}
+	if Gantt(nil, []string{"A"}, 0, 0, 40) != "(empty window)\n" {
+		t.Error("empty window handling")
+	}
+}

@@ -1,0 +1,180 @@
+package rta
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/errormodel"
+)
+
+// maxIterations caps every fixpoint loop. The iterated functions are
+// monotone and quantised to bit times, so a well-behaved system converges
+// in a handful of steps; hitting the cap means the busy period is
+// diverging and the message is reported unschedulable.
+const maxIterations = 100_000
+
+// Analyze computes worst-case response times for all messages on one bus.
+// Messages are prioritised by their CAN identifiers (lower wins); the
+// input order is irrelevant. Analyze fails on invalid input (bad frames,
+// invalid event models, duplicate identifiers).
+func Analyze(msgs []Message, cfg Config) (*Report, error) {
+	if err := cfg.Bus.Validate(); err != nil {
+		return nil, err
+	}
+	if b, ok := cfg.Errors.(errormodel.Burst); ok {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range msgs {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ordered := make([]Message, len(msgs))
+	copy(ordered, msgs)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Frame.ID.HigherPriorityThan(
+			ordered[j].Frame.ID, ordered[i].Frame.Format, ordered[j].Frame.Format)
+	})
+	for i := 1; i < len(ordered); i++ {
+		a, b := ordered[i-1], ordered[i]
+		if a.Frame.ID == b.Frame.ID && a.Frame.Format == b.Frame.Format {
+			return nil, fmt.Errorf("rta: messages %q and %q share identifier %s",
+				a.Name, b.Name, a.Frame.ID)
+		}
+	}
+
+	rep := &Report{
+		Results: make([]Result, len(ordered)),
+		Config:  cfg,
+	}
+	wire := make([]time.Duration, len(ordered)) // wire times under cfg.Stuffing
+	for i, m := range ordered {
+		wire[i] = cfg.Bus.FrameTime(m.Frame, cfg.Stuffing)
+		rep.Utilization += float64(wire[i]) / float64(m.Event.Period)
+	}
+	for i := range ordered {
+		rep.Results[i] = analyzeOne(ordered, wire, i, cfg)
+		rep.Results[i].Priority = i
+	}
+	return rep, nil
+}
+
+// analyzeOne computes the response time of the message at index i of the
+// priority-ordered slice.
+func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config) Result {
+	m := ordered[i]
+	horizon := cfg.horizon()
+	errs := cfg.errors()
+
+	res := Result{
+		Message:  m,
+		C:        wire[i],
+		BCRT:     cfg.Bus.FrameTime(m.Frame, can.StuffingNominal),
+		Deadline: cfg.DeadlineModel.Deadline(m),
+	}
+	// Blocking: the longest lower-priority frame that can have just won
+	// arbitration when m is queued.
+	for k := i + 1; k < len(ordered); k++ {
+		if wire[k] > res.Blocking {
+			res.Blocking = wire[k]
+		}
+	}
+	// Error context: any frame at this priority level or above may be the
+	// one that needs retransmission.
+	ectx := errormodel.Context{ErrorFrame: cfg.Bus.ErrorOverheadTime()}
+	for k := 0; k <= i; k++ {
+		if wire[k] > ectx.CMax {
+			ectx.CMax = wire[k]
+		}
+	}
+
+	markUnschedulable := func() Result {
+		res.BusyPeriod = Unschedulable
+		res.WCRT = Unschedulable
+		res.Schedulable = false
+		return res
+	}
+
+	if cfg.ClassicSingleInstance {
+		res.Instances = 1
+		res.BusyPeriod = res.Blocking + res.C
+		w, ok := queueingDelay(ordered, wire, i, 0, res.Blocking, cfg, ectx, horizon)
+		if !ok {
+			return markUnschedulable()
+		}
+		res.WCRT = m.Event.Jitter + w + res.C
+		res.Schedulable = res.WCRT <= res.Deadline
+		return res
+	}
+
+	// Level-i busy period: fixpoint of
+	// L = B + E(L) + sum_{k<=i} eta_k+(L) * C_k.
+	L := res.Blocking + res.C
+	for iter := 0; ; iter++ {
+		next := res.Blocking + errs.Overhead(L, ectx)
+		for k := 0; k <= i; k++ {
+			next += time.Duration(ordered[k].Event.EtaPlus(L)) * wire[k]
+		}
+		if next == L {
+			break
+		}
+		if next > horizon || iter >= maxIterations {
+			return markUnschedulable()
+		}
+		L = next
+	}
+	res.BusyPeriod = L
+	res.Instances = m.Event.EtaPlus(L)
+	if res.Instances < 1 {
+		res.Instances = 1
+	}
+
+	// Examine every instance inside the busy period; the worst response
+	// is not necessarily the first (Davis et al.).
+	var wcrt time.Duration
+	for q := 0; q < res.Instances; q++ {
+		w, ok := queueingDelay(ordered, wire, i, q, res.Blocking, cfg, ectx, horizon)
+		if !ok {
+			return markUnschedulable()
+		}
+		r := m.Event.Jitter + w + res.C - time.Duration(q)*m.Event.Period
+		if r > wcrt {
+			wcrt = r
+		}
+	}
+	res.WCRT = wcrt
+	res.Schedulable = res.WCRT <= res.Deadline
+	return res
+}
+
+// queueingDelay solves the fixpoint
+//
+//	w = B + q*C_m + E(w + C_m) + sum_{k < i} eta_k+(w + tau_bit) * C_k
+//
+// returning (w, true) or (0, false) if the iteration diverges.
+func queueingDelay(ordered []Message, wire []time.Duration, i, q int,
+	blocking time.Duration, cfg Config, ectx errormodel.Context,
+	horizon time.Duration) (time.Duration, bool) {
+
+	errs := cfg.errors()
+	bitTime := cfg.Bus.BitTime()
+	base := blocking + time.Duration(q)*wire[i]
+	w := base
+	for iter := 0; ; iter++ {
+		next := base + errs.Overhead(w+wire[i], ectx)
+		for k := 0; k < i; k++ {
+			next += time.Duration(ordered[k].Event.EtaPlus(w+bitTime)) * wire[k]
+		}
+		if next == w {
+			return w, true
+		}
+		if next > horizon || iter >= maxIterations {
+			return 0, false
+		}
+		w = next
+	}
+}

@@ -1,0 +1,429 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/errormodel"
+	"repro/internal/eventmodel"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+var bus500k = can.Bus{Name: "test", BitRate: can.Rate500k}
+
+// msg builds a standard-format test message.
+func msg(name string, id can.ID, dlc int, period, jitter time.Duration) Message {
+	return Message{
+		Name:  name,
+		Frame: can.Frame{ID: id, Format: can.Standard11Bit, DLC: dlc},
+		Event: eventmodel.PeriodicJitter(period, jitter),
+	}
+}
+
+// Three 8-byte messages at 500 kbit/s, worst-case stuffing: C = 270us each.
+// Hand-computed responses: A = 540us, B = 810us, C = 810us.
+func TestAnalyzeHandComputedThreeMessages(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 10*ms, 0),
+		msg("B", 0x200, 8, 20*ms, 0),
+		msg("C", 0x300, 8, 50*ms, 0),
+	}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]time.Duration{"A": 540 * us, "B": 810 * us, "C": 810 * us}
+	for name, w := range want {
+		r := rep.ByName(name)
+		if r == nil {
+			t.Fatalf("message %s missing from report", name)
+		}
+		if r.WCRT != w {
+			t.Errorf("WCRT(%s) = %v, want %v", name, r.WCRT, w)
+		}
+		if !r.Schedulable {
+			t.Errorf("%s should be schedulable", name)
+		}
+	}
+	// Blocking: A and B are blocked by a 270us lower-priority frame;
+	// C has nothing below it.
+	if got := rep.ByName("A").Blocking; got != 270*us {
+		t.Errorf("Blocking(A) = %v, want 270us", got)
+	}
+	if got := rep.ByName("C").Blocking; got != 0 {
+		t.Errorf("Blocking(C) = %v, want 0", got)
+	}
+	if rep.MissCount() != 0 || rep.MissRatio() != 0 {
+		t.Error("no message should miss")
+	}
+}
+
+// Jitter on a high-priority message doubles its interference window on
+// lower priorities. Hand-computed: with J_A = 9.8ms, B sees two instances
+// of A: R_B = 270 + 2*270 + 270 = 1080us.
+func TestAnalyzeJitterInterference(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 10*ms, 9800*us),
+		msg("B", 0x200, 8, 20*ms, 0),
+		msg("C", 0x300, 8, 50*ms, 0),
+	}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ByName("B").WCRT; got != 1080*us {
+		t.Errorf("WCRT(B) = %v, want 1080us", got)
+	}
+	// A's own response includes its queueing jitter.
+	if got, want := rep.ByName("A").WCRT, 9800*us+540*us; got != want {
+		t.Errorf("WCRT(A) = %v, want %v", got, want)
+	}
+}
+
+// The Davis et al. refutation scenario: the classic single-instance
+// analysis is optimistic once a busy period spans several instances.
+// With C = 270us (unit), T_A = 2.5C, T_B = T_C = 3.5C:
+// classic R_C = 3C = 810us, revised R_C = 3.5C = 945us.
+func TestAnalyzeMultiInstanceRefutesClassic(t *testing.T) {
+	unit := 270 * us
+	msgs := []Message{
+		msg("A", 0x100, 8, 2500*270*time.Nanosecond, 0), // 2.5 * 270us
+		msg("B", 0x200, 8, 3500*270*time.Nanosecond, 0),
+		msg("C", 0x300, 8, 3500*270*time.Nanosecond, 0),
+	}
+	classic, err := Analyze(msgs, Config{Bus: bus500k, ClassicSingleInstance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revised, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := classic.ByName("C").WCRT, 3*unit; got != want {
+		t.Errorf("classic WCRT(C) = %v, want %v", got, want)
+	}
+	if got, want := revised.ByName("C").WCRT, 3*unit+unit/2; got != want {
+		t.Errorf("revised WCRT(C) = %v, want %v", got, want)
+	}
+	if revised.ByName("C").Instances < 2 {
+		t.Errorf("revised analysis should examine >= 2 instances, got %d",
+			revised.ByName("C").Instances)
+	}
+	// The revised analysis must never be more optimistic than the classic.
+	for _, r := range revised.Results {
+		c := classic.ByName(r.Message.Name)
+		if r.WCRT < c.WCRT {
+			t.Errorf("revised WCRT(%s) = %v below classic %v", r.Message.Name, r.WCRT, c.WCRT)
+		}
+	}
+}
+
+// Sporadic errors add one retransmission per interval. Hand-computed for
+// the highest-priority message: w = B + E(w+C); with T_err = 10ms one
+// error hits: E = 62us + 270us = 332us, so R_A = B + E + C = 1142us.
+func TestAnalyzeSporadicErrors(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 10*ms, 0),
+		msg("B", 0x200, 8, 20*ms, 0),
+	}
+	rep, err := Analyze(msgs, Config{
+		Bus:    bus500k,
+		Errors: errormodel.Sporadic{Interval: 10 * ms},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.ByName("A").WCRT, 270*us+332*us+270*us; got != want {
+		t.Errorf("WCRT(A) = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeErrorsNeverHelp(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 5*ms, 500*us),
+		msg("B", 0x180, 4, 10*ms, 0),
+		msg("C", 0x200, 8, 20*ms, 1*ms),
+		msg("D", 0x300, 8, 50*ms, 0),
+		msg("E", 0x400, 2, 100*ms, 0),
+	}
+	clean, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, em := range []errormodel.Model{
+		errormodel.Sporadic{Interval: 20 * ms},
+		errormodel.Burst{Interval: 50 * ms, Length: 3, Gap: 500 * us},
+	} {
+		dirty, err := Analyze(msgs, Config{Bus: bus500k, Errors: em})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range dirty.Results {
+			base := clean.ByName(r.Message.Name)
+			if r.WCRT < base.WCRT {
+				t.Errorf("%s: WCRT with %s = %v below error-free %v",
+					r.Message.Name, em.Name(), r.WCRT, base.WCRT)
+			}
+		}
+	}
+}
+
+func TestAnalyzeMonotoneInJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	periods := []time.Duration{5 * ms, 10 * ms, 20 * ms, 50 * ms, 100 * ms}
+	for trial := 0; trial < 30; trial++ {
+		var base []Message
+		for i := 0; i < 8; i++ {
+			base = append(base, msg(
+				string(rune('A'+i)),
+				can.ID(0x100+0x20*i),
+				1+rng.Intn(8),
+				periods[rng.Intn(len(periods))],
+				0,
+			))
+		}
+		prev := time.Duration(-1)
+		for _, scale := range []float64{0, 0.1, 0.25, 0.5} {
+			msgs := make([]Message, len(base))
+			copy(msgs, base)
+			for i := range msgs {
+				msgs[i].Event.Jitter = time.Duration(scale * float64(msgs[i].Event.Period))
+			}
+			rep, err := Analyze(msgs, Config{Bus: bus500k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := time.Duration(0)
+			for _, r := range rep.Results {
+				if r.WCRT > worst {
+					worst = r.WCRT
+				}
+			}
+			if worst < prev {
+				t.Fatalf("trial %d: max WCRT decreased from %v to %v at scale %v",
+					trial, prev, worst, scale)
+			}
+			prev = worst
+		}
+	}
+}
+
+func TestAnalyzeHighestPriorityFormula(t *testing.T) {
+	// R_hp = J + B + C with no errors, regardless of other traffic.
+	msgs := []Message{
+		msg("hp", 0x010, 8, 5*ms, 750*us),
+		msg("x", 0x100, 8, 10*ms, 0),
+		msg("y", 0x200, 8, 10*ms, 0),
+		msg("z", 0x300, 6, 10*ms, 0),
+	}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ByName("hp")
+	if got, want := r.WCRT, 750*us+270*us+270*us; got != want {
+		t.Errorf("WCRT(hp) = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeOverloadUnschedulable(t *testing.T) {
+	// Three 8-byte messages each every 500us on a 500k bus: U > 1.
+	msgs := []Message{
+		msg("A", 0x100, 8, 500*us, 0),
+		msg("B", 0x200, 8, 500*us, 0),
+		msg("C", 0x300, 8, 500*us, 0),
+	}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Utilization <= 1 {
+		t.Fatalf("expected overload, got U = %v", rep.Utilization)
+	}
+	if rep.ByName("C").WCRT != Unschedulable {
+		t.Error("lowest priority must be unschedulable under overload")
+	}
+	if rep.ByName("C").Schedulable {
+		t.Error("unschedulable message marked schedulable")
+	}
+	if rep.AllSchedulable() {
+		t.Error("AllSchedulable must be false")
+	}
+}
+
+func TestAnalyzeDeadlineModels(t *testing.T) {
+	m := msg("A", 0x100, 8, 10*ms, 2*ms)
+	implicit, err := Analyze([]Message{m}, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := implicit.Results[0].Deadline; got != 10*ms {
+		t.Errorf("implicit deadline = %v, want 10ms", got)
+	}
+	rearr, err := Analyze([]Message{m}, Config{Bus: bus500k, DeadlineModel: DeadlineMinReArrival})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rearr.Results[0].Deadline; got != 8*ms {
+		t.Errorf("min-re-arrival deadline = %v, want 8ms", got)
+	}
+	// Explicit deadlines win over both models.
+	m.Deadline = 3 * ms
+	explicit, err := Analyze([]Message{m}, Config{Bus: bus500k, DeadlineModel: DeadlineMinReArrival})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := explicit.Results[0].Deadline; got != 3*ms {
+		t.Errorf("explicit deadline = %v, want 3ms", got)
+	}
+}
+
+func TestAnalyzeStuffingAblation(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 5*ms, 0),
+		msg("B", 0x200, 8, 10*ms, 0),
+		msg("C", 0x300, 8, 20*ms, 0),
+	}
+	worst, err := Analyze(msgs, Config{Bus: bus500k, Stuffing: can.StuffingWorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := Analyze(msgs, Config{Bus: bus500k, Stuffing: can.StuffingNominal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range worst.Results {
+		n := nominal.ByName(r.Message.Name)
+		if r.WCRT <= n.WCRT {
+			t.Errorf("%s: worst-case stuffing should exceed nominal (%v vs %v)",
+				r.Message.Name, r.WCRT, n.WCRT)
+		}
+	}
+	if worst.Utilization <= nominal.Utilization {
+		t.Error("worst-case utilisation should exceed nominal")
+	}
+}
+
+func TestAnalyzeDuplicateID(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 10*ms, 0),
+		msg("B", 0x100, 8, 20*ms, 0),
+	}
+	if _, err := Analyze(msgs, Config{Bus: bus500k}); err == nil {
+		t.Error("duplicate identifiers must be rejected")
+	}
+}
+
+func TestAnalyzeInvalidInputs(t *testing.T) {
+	if _, err := Analyze(nil, Config{}); err == nil {
+		t.Error("invalid bus accepted")
+	}
+	bad := msg("A", 0x100, 9, 10*ms, 0)
+	if _, err := Analyze([]Message{bad}, Config{Bus: bus500k}); err == nil {
+		t.Error("invalid DLC accepted")
+	}
+	noName := msg("", 0x100, 8, 10*ms, 0)
+	if _, err := Analyze([]Message{noName}, Config{Bus: bus500k}); err == nil {
+		t.Error("unnamed message accepted")
+	}
+	badBurst := Config{Bus: bus500k, Errors: errormodel.Burst{Interval: 0, Length: 1}}
+	if _, err := Analyze([]Message{msg("A", 0x100, 8, 10*ms, 0)}, badBurst); err == nil {
+		t.Error("invalid burst model accepted")
+	}
+}
+
+func TestAnalyzePriorityOrderByID(t *testing.T) {
+	msgs := []Message{
+		msg("low", 0x300, 8, 50*ms, 0),
+		msg("high", 0x080, 8, 10*ms, 0),
+		msg("mid", 0x180, 8, 20*ms, 0),
+	}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"high", "mid", "low"}
+	for i, name := range wantOrder {
+		if rep.Results[i].Message.Name != name {
+			t.Errorf("Results[%d] = %s, want %s", i, rep.Results[i].Message.Name, name)
+		}
+		if rep.Results[i].Priority != i {
+			t.Errorf("Priority of %s = %d, want %d", name, rep.Results[i].Priority, i)
+		}
+	}
+}
+
+func TestResultOutputModel(t *testing.T) {
+	msgs := []Message{
+		msg("A", 0x100, 8, 10*ms, 1*ms),
+		msg("B", 0x200, 8, 20*ms, 0),
+	}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ByName("B")
+	out := r.OutputModel()
+	if out.Period != 20*ms {
+		t.Errorf("output period = %v", out.Period)
+	}
+	if got, want := out.Jitter, r.WCRT-r.BCRT; got != want {
+		t.Errorf("output jitter = %v, want %v", got, want)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("output model invalid: %v", err)
+	}
+}
+
+func TestResultSlack(t *testing.T) {
+	msgs := []Message{msg("A", 0x100, 8, 10*ms, 0)}
+	rep, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if got, want := r.Slack(), r.Deadline-r.WCRT; got != want {
+		t.Errorf("Slack = %v, want %v", got, want)
+	}
+	bad := Result{WCRT: Unschedulable, Deadline: 10 * ms}
+	if bad.Slack() >= 0 {
+		t.Error("unschedulable slack must be negative")
+	}
+}
+
+func TestAnalyzeBurstActivationModel(t *testing.T) {
+	// A message that arrives in bursts of up to 3 (J = 2.2 periods) with
+	// 200us intra-burst distance keeps the victim queued through the
+	// whole burst: w converges to 810us, R = 1080us.
+	burst := Message{
+		Name:  "bursty",
+		Frame: can.Frame{ID: 0x080, Format: can.Standard11Bit, DLC: 8},
+		Event: eventmodel.PeriodicBurst(10*ms, 22*ms, 200*us),
+	}
+	victim := msg("victim", 0x200, 8, 50*ms, 0)
+	rep, err := Analyze([]Message{burst, victim}, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ByName("victim").WCRT; got != 1080*us {
+		t.Errorf("WCRT(victim) = %v, want 1080us under burst interference", got)
+	}
+
+	// With a wide intra-burst distance (500us > C) the non-preemptive
+	// victim slips in after the first burst frame: R = 540us. This is the
+	// distance-bound cap of the event model at work.
+	burst.Event = eventmodel.PeriodicBurst(10*ms, 22*ms, 500*us)
+	rep, err = Analyze([]Message{burst, victim}, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ByName("victim").WCRT; got != 540*us {
+		t.Errorf("WCRT(victim) = %v, want 540us with sparse burst", got)
+	}
+}

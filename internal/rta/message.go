@@ -1,0 +1,234 @@
+package rta
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/errormodel"
+	"repro/internal/eventmodel"
+)
+
+// Unschedulable is the response-time sentinel for messages whose busy
+// period does not terminate (utilisation at their priority level is too
+// high) or whose fixpoint exceeds the analysis horizon.
+const Unschedulable time.Duration = math.MaxInt64
+
+// Message is one row of the bus under analysis: a frame, its activation
+// model and an optional explicit deadline.
+type Message struct {
+	// Name identifies the message in reports (K-Matrix signal name).
+	Name string
+	// Frame carries identifier (= priority), format and payload length.
+	Frame can.Frame
+	// Event is the queueing event model: period, queueing jitter and
+	// burst bound of the message's activation.
+	Event eventmodel.Model
+	// Deadline, when positive, overrides the deadline derived from
+	// Config.DeadlineModel.
+	Deadline time.Duration
+}
+
+// Validate reports whether the message is analysable.
+func (m Message) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("rta: message with ID %s has no name", m.Frame.ID)
+	}
+	if err := m.Frame.Validate(); err != nil {
+		return fmt.Errorf("rta: message %s: %w", m.Name, err)
+	}
+	if err := m.Event.Validate(); err != nil {
+		return fmt.Errorf("rta: message %s: %w", m.Name, err)
+	}
+	if m.Deadline < 0 {
+		return fmt.Errorf("rta: message %s: negative deadline %v", m.Name, m.Deadline)
+	}
+	return nil
+}
+
+// DeadlineModel selects how deadlines are derived for messages without an
+// explicit one.
+type DeadlineModel int
+
+const (
+	// DeadlineImplicit uses the period: the message must be delivered
+	// before its next nominal activation.
+	DeadlineImplicit DeadlineModel = iota
+	// DeadlineMinReArrival uses the minimum re-arrival time (the paper's
+	// worst-case assumption): the next instance can arrive early by the
+	// jitter and would overwrite the unsent message in the buffer.
+	DeadlineMinReArrival
+)
+
+// String names the deadline model.
+func (d DeadlineModel) String() string {
+	if d == DeadlineMinReArrival {
+		return "min-re-arrival"
+	}
+	return "implicit"
+}
+
+// Deadline derives the deadline of a message under this model.
+func (d DeadlineModel) Deadline(m Message) time.Duration {
+	if m.Deadline > 0 {
+		return m.Deadline
+	}
+	if d == DeadlineMinReArrival {
+		return m.Event.MinReArrival()
+	}
+	return m.Event.Period
+}
+
+// Config parameterises one analysis run. The zero value of every field is
+// the sound default: worst-case stuffing, no errors, implicit deadlines,
+// full multi-instance busy-period analysis.
+type Config struct {
+	// Bus provides the bit rate. Required.
+	Bus can.Bus
+	// Stuffing selects worst-case (default) or nominal frame lengths.
+	Stuffing can.Stuffing
+	// Errors is the bus error model; nil means error-free.
+	Errors errormodel.Model
+	// DeadlineModel derives deadlines for messages without explicit ones.
+	DeadlineModel DeadlineModel
+	// ClassicSingleInstance disables the busy-period multi-instance
+	// analysis and evaluates only the first instance — the original
+	// Tindell equation, refuted by Davis et al.; kept as an ablation.
+	ClassicSingleInstance bool
+	// Horizon bounds the fixpoint iteration; responses beyond it are
+	// reported as Unschedulable. Zero selects DefaultHorizon.
+	Horizon time.Duration
+}
+
+// DefaultHorizon bounds fixpoint iterations when Config.Horizon is zero.
+// CAN deadlines are in the low milliseconds to a second; a response time
+// of ten seconds is unschedulable for every practical purpose.
+const DefaultHorizon = 10 * time.Second
+
+func (c Config) horizon() time.Duration {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	return DefaultHorizon
+}
+
+func (c Config) errors() errormodel.Model {
+	if c.Errors == nil {
+		return errormodel.None{}
+	}
+	return c.Errors
+}
+
+// Result is the per-message outcome of an analysis.
+type Result struct {
+	// Message echoes the analysed message.
+	Message Message
+	// Priority is the message's rank on the bus (0 = highest).
+	Priority int
+	// C is the wire time charged for one transmission.
+	C time.Duration
+	// BCRT is the best-case response time (unstuffed frame, no
+	// interference), used to derive output jitter.
+	BCRT time.Duration
+	// Blocking is the non-preemptive blocking by lower-priority frames.
+	Blocking time.Duration
+	// BusyPeriod is the level-m busy period length, Unschedulable when
+	// the busy period does not terminate.
+	BusyPeriod time.Duration
+	// Instances is the number of instances examined inside the busy
+	// period (Q_m).
+	Instances int
+	// WCRT is the worst-case response time, Unschedulable when unbounded.
+	WCRT time.Duration
+	// Deadline is the deadline the message was judged against.
+	Deadline time.Duration
+	// Schedulable reports WCRT <= Deadline.
+	Schedulable bool
+}
+
+// Slack returns the deadline slack D − R. A non-positive slack (or
+// Unbounded WCRT) means the message can be lost.
+func (r Result) Slack() time.Duration {
+	if r.WCRT == Unschedulable {
+		return -Unschedulable
+	}
+	return r.Deadline - r.WCRT
+}
+
+// OutputModel derives the event model of the message at its receivers:
+// the activation model with the delivery-delay variation added as
+// jitter, so the arrival jitter is WCRT - BCRT in total. Consecutive
+// deliveries cannot be closer than the best-case frame time.
+func (r Result) OutputModel() eventmodel.Model {
+	if r.WCRT == Unschedulable {
+		// No finite jitter bound exists; signal with an unbounded-jitter
+		// burst model at frame spacing.
+		return eventmodel.Model{
+			Period:   r.Message.Event.Period,
+			Jitter:   eventmodel.Unbounded,
+			DMin:     r.BCRT,
+			Sporadic: r.Message.Event.Sporadic,
+		}
+	}
+	// WCRT is measured from the nominal instant and already contains the
+	// queueing jitter; the delay variation from the arrival instant is
+	// WCRT - J - BCRT.
+	variation := r.WCRT - r.Message.Event.Jitter - r.BCRT
+	if variation < 0 {
+		variation = 0
+	}
+	return r.Message.Event.OutputModel(variation, r.BCRT)
+}
+
+// Report is the outcome of analysing a complete bus.
+type Report struct {
+	// Results holds one entry per message, sorted by priority
+	// (highest first).
+	Results []Result
+	// Utilization is the long-run bus utilisation under the configured
+	// stuffing assumption.
+	Utilization float64
+	// Config echoes the analysis configuration.
+	Config Config
+}
+
+// ByName returns the result for the named message, or nil.
+func (r *Report) ByName(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Message.Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// AllSchedulable reports whether every message met its deadline.
+func (r *Report) AllSchedulable() bool {
+	for i := range r.Results {
+		if !r.Results[i].Schedulable {
+			return false
+		}
+	}
+	return true
+}
+
+// MissCount returns the number of messages that miss their deadline.
+func (r *Report) MissCount() int {
+	n := 0
+	for i := range r.Results {
+		if !r.Results[i].Schedulable {
+			n++
+		}
+	}
+	return n
+}
+
+// MissRatio returns the fraction of messages missing their deadline,
+// the y-axis of the paper's Figure 5.
+func (r *Report) MissRatio() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	return float64(r.MissCount()) / float64(len(r.Results))
+}

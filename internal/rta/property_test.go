@@ -1,0 +1,178 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+)
+
+// randomSystem draws a schedulable-ish random message set.
+func randomSystem(rng *rand.Rand, n int) []Message {
+	periods := []time.Duration{5 * ms, 10 * ms, 20 * ms, 50 * ms, 100 * ms, 200 * ms}
+	msgs := make([]Message, n)
+	for i := range msgs {
+		p := periods[rng.Intn(len(periods))]
+		format := can.Standard11Bit
+		id := can.ID(0x080 + 0x08*i + rng.Intn(4))
+		if rng.Intn(6) == 0 {
+			format = can.Extended29Bit
+			id = can.ID(0x10000 + 0x100*i + rng.Intn(64))
+		}
+		msgs[i] = Message{
+			Name:  string(rune('A'+i%26)) + string(rune('0'+i/26)),
+			Frame: can.Frame{ID: id, Format: format, DLC: 1 + rng.Intn(8)},
+			Event: eventmodel.PeriodicJitter(p, time.Duration(rng.Int63n(int64(p)/3))),
+		}
+	}
+	return msgs
+}
+
+// Adding any message to a bus can only increase (or keep) everyone's
+// worst-case response: interference for lower priorities, blocking for
+// higher ones.
+func TestAddingMessageNeverHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		msgs := randomSystem(rng, 4+rng.Intn(6))
+		base, err := Analyze(msgs, Config{Bus: bus500k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra := Message{
+			Name:  "extra",
+			Frame: can.Frame{ID: can.ID(0x400 + rng.Intn(0x300)), Format: can.Standard11Bit, DLC: 8},
+			Event: eventmodel.Periodic([]time.Duration{2 * ms, 10 * ms, 100 * ms}[rng.Intn(3)]),
+		}
+		grown, err := Analyze(append(append([]Message{}, msgs...), extra), Config{Bus: bus500k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range base.Results {
+			g := grown.ByName(r.Message.Name)
+			if r.WCRT == Unschedulable {
+				continue
+			}
+			if g.WCRT != Unschedulable && g.WCRT < r.WCRT {
+				t.Errorf("trial %d: adding %s reduced WCRT(%s) from %v to %v",
+					trial, extra.Frame.ID, r.Message.Name, r.WCRT, g.WCRT)
+			}
+		}
+	}
+}
+
+// Raising the bus speed can only shrink responses (same bit counts,
+// shorter bit time).
+func TestFasterBusNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	slow := can.Bus{Name: "slow", BitRate: can.Rate250k}
+	fast := can.Bus{Name: "fast", BitRate: can.Rate500k}
+	for trial := 0; trial < 25; trial++ {
+		msgs := randomSystem(rng, 5)
+		rs, err := Analyze(msgs, Config{Bus: slow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := Analyze(msgs, Config{Bus: fast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs.Results {
+			f := rf.ByName(r.Message.Name)
+			if r.WCRT == Unschedulable {
+				continue
+			}
+			if f.WCRT > r.WCRT {
+				t.Errorf("trial %d: faster bus increased WCRT(%s): %v > %v",
+					trial, r.Message.Name, f.WCRT, r.WCRT)
+			}
+		}
+	}
+}
+
+// WCRT always covers at least jitter + blocking + own transmission, and
+// the busy period always covers the response of the first instance.
+func TestStructuralLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		msgs := randomSystem(rng, 3+rng.Intn(8))
+		rep, err := Analyze(msgs, Config{Bus: bus500k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.WCRT == Unschedulable {
+				continue
+			}
+			if floor := r.Message.Event.Jitter + r.Blocking + r.C; r.WCRT < floor {
+				t.Errorf("trial %d: WCRT(%s) = %v below structural floor %v",
+					trial, r.Message.Name, r.WCRT, floor)
+			}
+			if r.BusyPeriod < r.C {
+				t.Errorf("trial %d: busy period %v below C %v", trial, r.BusyPeriod, r.C)
+			}
+			if r.Instances < 1 {
+				t.Errorf("trial %d: %d instances", trial, r.Instances)
+			}
+		}
+	}
+}
+
+// Priority shielding: a message's response is unaffected by jitter
+// changes on strictly lower-priority messages (their only influence is
+// the blocking term, which depends on length alone).
+func TestLowerPriorityJitterIrrelevant(t *testing.T) {
+	msgs := []Message{
+		msg("hi", 0x100, 8, 10*ms, 0),
+		msg("mid", 0x200, 8, 20*ms, 0),
+		msg("lo", 0x300, 8, 50*ms, 0),
+	}
+	base, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs[2].Event = eventmodel.PeriodicJitter(50*ms, 20*ms)
+	jittered, err := Analyze(msgs, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hi", "mid"} {
+		if base.ByName(name).WCRT != jittered.ByName(name).WCRT {
+			t.Errorf("WCRT(%s) changed with lower-priority jitter", name)
+		}
+	}
+}
+
+// Extended-format frames pay their longer overhead: an extended message
+// with identical ID bits and payload is never faster than the standard
+// one in the same slot.
+func TestExtendedFormatCostsMore(t *testing.T) {
+	mkSet := func(extended bool) []Message {
+		format := can.Standard11Bit
+		id := can.ID(0x150)
+		if extended {
+			format = can.Extended29Bit
+			id = can.ID(0x150) << 18
+		}
+		return []Message{
+			msg("hi", 0x100, 8, 10*ms, 0),
+			{Name: "probe", Frame: can.Frame{ID: id, Format: format, DLC: 8},
+				Event: eventmodel.Periodic(20 * ms)},
+			msg("lo", 0x700, 8, 50*ms, 0),
+		}
+	}
+	std, err := Analyze(mkSet(false), Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Analyze(mkSet(true), Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.ByName("probe").WCRT <= std.ByName("probe").WCRT {
+		t.Errorf("extended probe %v not above standard %v",
+			ext.ByName("probe").WCRT, std.ByName("probe").WCRT)
+	}
+}

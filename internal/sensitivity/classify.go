@@ -1,0 +1,104 @@
+package sensitivity
+
+import "fmt"
+
+// Class is the robustness category of a message's jitter-sensitivity
+// curve, matching the annotations of the paper's Figure 4.
+type Class int
+
+const (
+	// Robust messages keep a near-constant response time over the sweep.
+	Robust Class = iota
+	// Medium messages grow noticeably but stay well bounded.
+	Medium
+	// Sensitive messages grow steeply with jitter.
+	Sensitive
+	// VerySensitive messages grow drastically or become unschedulable
+	// within the sweep.
+	VerySensitive
+)
+
+// String names the class as in Figure 4.
+func (c Class) String() string {
+	switch c {
+	case Robust:
+		return "robust"
+	case Medium:
+		return "medium sensitivity"
+	case Sensitive:
+		return "sensitive"
+	case VerySensitive:
+		return "very sensitive"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ClassifyConfig holds the growth thresholds separating the classes.
+// Growth is the relative increase of the from-arrival delay over the
+// full sweep (see Curve.Growth).
+type ClassifyConfig struct {
+	// RobustBelow bounds the growth of robust messages (default 0.25).
+	RobustBelow float64
+	// MediumBelow bounds medium sensitivity (default 0.75).
+	MediumBelow float64
+	// SensitiveBelow bounds sensitive; anything above, or any point with
+	// an unbounded response, is very sensitive (default 1.5).
+	SensitiveBelow float64
+}
+
+// DefaultClassify returns the thresholds used for Figure 4.
+func DefaultClassify() ClassifyConfig {
+	return ClassifyConfig{RobustBelow: 0.25, MediumBelow: 0.75, SensitiveBelow: 1.5}
+}
+
+func (cc ClassifyConfig) withDefaults() ClassifyConfig {
+	d := DefaultClassify()
+	if cc.RobustBelow == 0 {
+		cc.RobustBelow = d.RobustBelow
+	}
+	if cc.MediumBelow == 0 {
+		cc.MediumBelow = d.MediumBelow
+	}
+	if cc.SensitiveBelow == 0 {
+		cc.SensitiveBelow = d.SensitiveBelow
+	}
+	return cc
+}
+
+// Classify assigns a robustness class to a sweep curve. Sensitivity is a
+// property of the delay curve's steepness, independent of the deadline
+// experiment of Figure 5; only an unbounded response forces the very
+// sensitive class directly.
+func Classify(c *Curve, cc ClassifyConfig) Class {
+	cc = cc.withDefaults()
+	g := c.Growth()
+	switch {
+	case g < cc.RobustBelow:
+		return Robust
+	case g < cc.MediumBelow:
+		return Medium
+	case g < cc.SensitiveBelow:
+		return Sensitive
+	default:
+		return VerySensitive
+	}
+}
+
+// Classification maps every message of a sweep to its class.
+func (r *Result) Classification(cc ClassifyConfig) map[string]Class {
+	out := make(map[string]Class, len(r.Curves))
+	for i := range r.Curves {
+		out[r.Curves[i].Message] = Classify(&r.Curves[i], cc)
+	}
+	return out
+}
+
+// ClassCounts tallies how many messages fall into each class.
+func (r *Result) ClassCounts(cc ClassifyConfig) map[Class]int {
+	out := map[Class]int{}
+	for i := range r.Curves {
+		out[Classify(&r.Curves[i], cc)]++
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/errormodel"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+)
+
+const ms = time.Millisecond
+
+// smallMatrix builds a 4-message bus for fast, hand-checkable sweeps.
+func smallMatrix() *kmatrix.KMatrix {
+	return &kmatrix.KMatrix{
+		BusName: "test",
+		BitRate: can.Rate500k,
+		Messages: []kmatrix.Message{
+			{Name: "A", ID: 0x100, DLC: 8, Period: 5 * ms, Sender: "ECU1"},
+			{Name: "B", ID: 0x200, DLC: 8, Period: 10 * ms, Sender: "ECU1"},
+			{Name: "C", ID: 0x300, DLC: 8, Period: 20 * ms, Sender: "ECU2"},
+			{Name: "D", ID: 0x400, DLC: 8, Period: 50 * ms, Sender: "ECU2"},
+		},
+	}
+}
+
+func TestDefaultScales(t *testing.T) {
+	s := DefaultScales()
+	if len(s) != 13 {
+		t.Fatalf("len = %d, want 13", len(s))
+	}
+	if s[0] != 0 || math.Abs(s[12]-0.60) > 1e-9 {
+		t.Errorf("scales span [%v, %v], want [0, 0.60]", s[0], s[12])
+	}
+	for i := 1; i < len(s); i++ {
+		if math.Abs(s[i]-s[i-1]-0.05) > 1e-9 {
+			t.Errorf("step %d-%d = %v, want 0.05", i-1, i, s[i]-s[i-1])
+		}
+	}
+}
+
+func TestSweepStructure(t *testing.T) {
+	k := smallMatrix()
+	res, err := Sweep(k, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4", len(res.Curves))
+	}
+	if len(res.Reports) != len(res.Scales) {
+		t.Fatalf("reports = %d, scales = %d", len(res.Reports), len(res.Scales))
+	}
+	for _, c := range res.Curves {
+		if len(c.Points) != len(res.Scales) {
+			t.Fatalf("curve %s has %d points, want %d", c.Message, len(c.Points), len(res.Scales))
+		}
+		for i, p := range c.Points {
+			if p.Scale != res.Scales[i] {
+				t.Errorf("curve %s point %d scale %v != %v", c.Message, i, p.Scale, res.Scales[i])
+			}
+			if p.WCRT != rta.Unschedulable && p.Delay > p.WCRT {
+				t.Errorf("curve %s: delay %v exceeds WCRT %v", c.Message, p.Delay, p.WCRT)
+			}
+		}
+	}
+	// Curves are ordered by priority.
+	for i := 1; i < len(res.Curves); i++ {
+		if res.Curves[i-1].Priority >= res.Curves[i].Priority {
+			t.Error("curves not ordered by priority")
+		}
+	}
+	if res.CurveByName("D") == nil || res.CurveByName("nope") != nil {
+		t.Error("CurveByName lookup wrong")
+	}
+}
+
+func TestSweepWCRTMonotoneInScale(t *testing.T) {
+	res, err := Sweep(smallMatrix(), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Curves {
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].WCRT < c.Points[i-1].WCRT {
+				t.Errorf("curve %s: WCRT decreased from %v to %v at scale %v",
+					c.Message, c.Points[i-1].WCRT, c.Points[i].WCRT, c.Points[i].Scale)
+			}
+		}
+	}
+}
+
+func TestSweepHighestPriorityIsRobust(t *testing.T) {
+	res, err := Sweep(smallMatrix(), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.CurveByName("A")
+	// A's from-arrival delay is blocking + own transmission at every
+	// scale: 270us + 270us, fully flat.
+	for _, p := range a.Points {
+		if p.Delay != 540*time.Microsecond {
+			t.Errorf("A delay at %.2f = %v, want 540us", p.Scale, p.Delay)
+		}
+	}
+	if got := Classify(a, ClassifyConfig{}); got != Robust {
+		t.Errorf("A classified %v, want robust", got)
+	}
+	if g := a.Growth(); g != 0 {
+		t.Errorf("A growth = %v, want 0", g)
+	}
+}
+
+func TestSweepOnlyUnknownPreservesKnownJitters(t *testing.T) {
+	k := smallMatrix()
+	k.Messages[0].Jitter = 1 * ms
+	k.Messages[0].JitterKnown = true
+	res, err := Sweep(k, SweepConfig{Scales: []float64{0, 0.5}, OnlyUnknown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A keeps its 1ms jitter at both scales: its WCRT includes J = 1ms.
+	a := res.CurveByName("A")
+	if a.Points[0].WCRT != a.Points[1].WCRT {
+		t.Errorf("known-jitter message changed across sweep: %v vs %v",
+			a.Points[0].WCRT, a.Points[1].WCRT)
+	}
+}
+
+func TestClassifyThresholds(t *testing.T) {
+	mk := func(d0, d1 time.Duration) *Curve {
+		return &Curve{Points: []Point{
+			{Scale: 0, Delay: d0, WCRT: d0, Schedulable: true},
+			{Scale: 0.6, Delay: d1, WCRT: d1, Schedulable: true},
+		}}
+	}
+	tests := []struct {
+		name string
+		c    *Curve
+		want Class
+	}{
+		{"flat", mk(10*ms, 10*ms), Robust},
+		{"mild", mk(10*ms, 12*ms), Robust},
+		{"medium", mk(10*ms, 15*ms), Medium},
+		{"steep", mk(10*ms, 20*ms), Sensitive},
+		{"very steep", mk(10*ms, 40*ms), VerySensitive},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(tt.c, ClassifyConfig{}); got != tt.want {
+				t.Errorf("Classify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// Unbounded points force very sensitive regardless of earlier shape.
+	unb := mk(10*ms, 10*ms)
+	unb.Points[1].Delay = rta.Unschedulable
+	unb.Points[1].WCRT = rta.Unschedulable
+	if got := Classify(unb, ClassifyConfig{}); got != VerySensitive {
+		t.Errorf("unbounded curve classified %v, want very sensitive", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Robust:        "robust",
+		Medium:        "medium sensitivity",
+		Sensitive:     "sensitive",
+		VerySensitive: "very sensitive",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should render")
+	}
+}
+
+func TestPowertrainClassSpread(t *testing.T) {
+	// Figure 4's qualitative claim: the case-study bus contains both
+	// robust and sensitive messages.
+	k := kmatrix.Powertrain(kmatrix.GenConfig{Seed: 1})
+	res, err := Sweep(k, SweepConfig{Analysis: rta.Config{
+		Stuffing: can.StuffingWorstCase, DeadlineModel: rta.DeadlineImplicit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.ClassCounts(ClassifyConfig{})
+	if counts[Robust] == 0 {
+		t.Error("no robust messages found")
+	}
+	if counts[Sensitive]+counts[VerySensitive] == 0 {
+		t.Error("no sensitive messages found")
+	}
+	classes := res.Classification(ClassifyConfig{})
+	if len(classes) != len(k.Messages) {
+		t.Errorf("classification covers %d of %d messages", len(classes), len(k.Messages))
+	}
+}
+
+func TestLossCurveShapes(t *testing.T) {
+	// The Figure 5 regression: best case loses nothing at zero jitter and
+	// nothing through 25%; the worst case loses messages earlier and
+	// strictly dominates the best case everywhere.
+	k := kmatrix.Powertrain(kmatrix.GenConfig{Seed: 1})
+	best, err := Loss(k, SweepConfig{Analysis: rta.Config{
+		Stuffing: can.StuffingNominal, DeadlineModel: rta.DeadlineImplicit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := Loss(k, SweepConfig{Analysis: rta.Config{
+		Stuffing:      can.StuffingWorstCase,
+		Errors:        errormodel.Burst{Interval: 10 * ms, Length: 3, Gap: 100 * time.Microsecond},
+		DeadlineModel: rta.DeadlineImplicit,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best[0].MissRatio != 0 {
+		t.Error("best case must lose nothing at zero jitter (paper experiment 1)")
+	}
+	for i, p := range best {
+		if p.Scale <= 0.251 && p.MissRatio > 0 {
+			t.Errorf("best case loses %.0f%% at scale %.2f; want 0 through 25%%",
+				100*p.MissRatio, p.Scale)
+		}
+		if worst[i].MissRatio < p.MissRatio {
+			t.Errorf("worst case below best case at scale %.2f", p.Scale)
+		}
+	}
+	if FirstLossScale(worst) >= FirstLossScale(best) {
+		t.Errorf("worst case should lose earlier (%.2f) than best case (%.2f)",
+			FirstLossScale(worst), FirstLossScale(best))
+	}
+	last := worst[len(worst)-1]
+	if last.MissRatio < 0.25 {
+		t.Errorf("worst case at 60%% jitter = %.0f%%; want substantial loss", 100*last.MissRatio)
+	}
+	if len(last.Missed) == 0 {
+		t.Error("missed message names not reported")
+	}
+}
+
+func TestFirstLossScaleNoLoss(t *testing.T) {
+	curve := []LossPoint{{Scale: 0}, {Scale: 0.3}}
+	if !math.IsInf(FirstLossScale(curve), 1) {
+		t.Error("loss-free curve should report +Inf")
+	}
+}
+
+func TestMaxTolerableScale(t *testing.T) {
+	k := smallMatrix()
+	cfg := SweepConfig{Analysis: rta.Config{DeadlineModel: rta.DeadlineMinReArrival}}
+	// Under the min-re-arrival deadline every message eventually fails as
+	// jitter rises (D = T - J shrinks while R grows).
+	got, err := MaxTolerableScale(k, "D", cfg, 1.0, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got >= 1.0 {
+		t.Fatalf("MaxTolerableScale(D) = %v, want interior value", got)
+	}
+	// Verify the bisection result against direct analysis on both sides.
+	for _, tc := range []struct {
+		scale float64
+		want  bool
+	}{{got - 0.002, true}, {got + 0.002, false}} {
+		scaled := k.WithJitterScale(tc.scale, false)
+		rep, err := rta.Analyze(scaled.ToRTA(), rta.Config{Bus: k.Bus(), DeadlineModel: rta.DeadlineMinReArrival})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ByName("D").Schedulable != tc.want {
+			t.Errorf("at scale %.3f schedulable = %v, want %v",
+				tc.scale, rep.ByName("D").Schedulable, tc.want)
+		}
+	}
+}
+
+func TestMaxTolerableScaleEdges(t *testing.T) {
+	k := smallMatrix()
+	cfg := SweepConfig{}
+	// With implicit deadlines and light load, the whole range is fine.
+	got, err := MaxTolerableScale(k, "A", cfg, 0.6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.6 {
+		t.Errorf("MaxTolerableScale(A) = %v, want full range 0.6", got)
+	}
+	if _, err := MaxTolerableScale(k, "nope", cfg, 0.6, 0.01); err == nil {
+		t.Error("unknown message accepted")
+	}
+}

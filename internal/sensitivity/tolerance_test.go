@@ -1,0 +1,167 @@
+package sensitivity
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+)
+
+// tightMatrix builds a bus where the lowest-priority message has little
+// slack, so tolerances are interior values.
+func tightMatrix() *kmatrix.KMatrix {
+	return &kmatrix.KMatrix{
+		BusName: "tight",
+		BitRate: can.Rate125k, // 8-byte frames: 1.08ms
+		Messages: []kmatrix.Message{
+			{Name: "A", ID: 0x100, DLC: 8, Period: 5 * ms, Sender: "E1"},
+			{Name: "B", ID: 0x200, DLC: 8, Period: 10 * ms, Sender: "E1"},
+			{Name: "C", ID: 0x300, DLC: 8, Period: 10 * ms, Sender: "E2"},
+			{Name: "D", ID: 0x400, DLC: 8, Period: 20 * ms, Deadline: 9 * ms, Sender: "E2"},
+		},
+	}
+}
+
+func TestMessageJitterTolerance(t *testing.T) {
+	k := tightMatrix()
+	cfg := SweepConfig{}
+	// A's jitter interferes with everything below it; D's tight deadline
+	// caps it somewhere inside (0, 2).
+	tol, err := MessageJitterTolerance(k, "A", cfg, 0, 2.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol <= 0 || tol >= 2.0 {
+		t.Fatalf("tolerance(A) = %v, want interior value", tol)
+	}
+	// Bisection result consistent with direct analysis on either side.
+	for _, tc := range []struct {
+		scale float64
+		want  bool
+	}{{tol - 0.02, true}, {tol + 0.02, false}} {
+		trial := k.Clone()
+		trial.ByName("A").Jitter = time.Duration(tc.scale * float64(5*ms))
+		rep, err := rta.Analyze(trial.ToRTA(), rta.Config{Bus: k.Bus()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.AllSchedulable() != tc.want {
+			t.Errorf("at scale %.3f schedulable = %v, want %v",
+				tc.scale, rep.AllSchedulable(), tc.want)
+		}
+	}
+}
+
+func TestMessageJitterToleranceEdges(t *testing.T) {
+	k := tightMatrix()
+	cfg := SweepConfig{}
+	// The lowest-priority message's own jitter widens its own response
+	// via its WCRT term but hurts nobody else; D's 9ms deadline still
+	// caps it below 2.0.
+	tol, err := MessageJitterTolerance(k, "D", cfg, 0, 2.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol <= 0 {
+		t.Errorf("tolerance(D) = %v, want positive", tol)
+	}
+	if _, err := MessageJitterTolerance(k, "ghost", cfg, 0, 1, 0.01); err == nil {
+		t.Error("unknown message accepted")
+	}
+	// Already infeasible at the operating point: negative result.
+	over := tightMatrix()
+	over.Messages[3].Deadline = time.Millisecond // < C: hopeless
+	tol, err = MessageJitterTolerance(over, "A", cfg, 0, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol >= 0 {
+		t.Errorf("tolerance on infeasible bus = %v, want negative", tol)
+	}
+}
+
+func TestToleranceTableOrdering(t *testing.T) {
+	k := tightMatrix()
+	table, err := ToleranceTable(k, SweepConfig{}, 0, 1.0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != len(k.Messages) {
+		t.Fatalf("table rows = %d, want %d", len(table), len(k.Messages))
+	}
+	for i := 1; i < len(table); i++ {
+		if table[i-1].MaxJitterScale > table[i].MaxJitterScale {
+			t.Error("table not sorted by criticality")
+		}
+	}
+}
+
+func TestExtensibility(t *testing.T) {
+	k := tightMatrix()
+	template := kmatrix.Message{
+		Name: "New", DLC: 8, Period: 10 * ms, Sender: "E3", ID: 0x001, // ID irrelevant
+	}
+	n, err := Extensibility(k, template, SweepConfig{}, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= 32 {
+		t.Fatalf("extensibility = %d, want interior value", n)
+	}
+	// Direct check on both sides of the bound.
+	check := func(count int) bool {
+		trial := k.Clone()
+		for i := 0; i < count; i++ {
+			add := template
+			add.Name = string(rune('a' + i))
+			add.ID = can.ID(0x500 + i)
+			trial.Messages = append(trial.Messages, add)
+		}
+		rep, err := rta.Analyze(trial.ToRTA(), rta.Config{Bus: k.Bus()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.AllSchedulable()
+	}
+	if !check(n) {
+		t.Errorf("%d additions reported feasible but are not", n)
+	}
+	if check(n + 1) {
+		t.Errorf("%d additions reported infeasible but fit", n+1)
+	}
+}
+
+func TestExtensibilityEdges(t *testing.T) {
+	k := tightMatrix()
+	template := kmatrix.Message{Name: "New", DLC: 1, Period: time.Second, Sender: "E3", ID: 1}
+	// Tiny slow additions: the whole budget fits.
+	n, err := Extensibility(k, template, SweepConfig{}, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("extensibility = %d, want full budget 8", n)
+	}
+	// Infeasible operating point: negative.
+	over := tightMatrix()
+	over.Messages[3].Deadline = time.Millisecond
+	n, err = Extensibility(over, template, SweepConfig{}, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 0 {
+		t.Errorf("extensibility on infeasible bus = %d, want negative", n)
+	}
+	// Bad inputs.
+	if _, err := Extensibility(k, kmatrix.Message{}, SweepConfig{}, 0, 8); err == nil {
+		t.Error("invalid template accepted")
+	}
+	if _, err := Extensibility(k, template, SweepConfig{}, 0, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Extensibility(k, template, SweepConfig{}, 0, 5000); err == nil {
+		t.Error("identifier-space overflow accepted")
+	}
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/can"
+)
+
+// instance is a queued message instance waiting in a sender buffer.
+type instance struct {
+	queuedAt time.Duration
+	attempt  int
+}
+
+// stream is the runtime state of one message.
+type stream struct {
+	spec        MessageSpec
+	statsIdx    int
+	nextNominal time.Duration // next nominal release instant
+	nextActual  time.Duration // jittered release instant, -1 when exhausted
+	pending     *instance     // sender buffer (one instance deep)
+	queuePos    int           // FIFO arrival counter for basicCAN ordering
+}
+
+// advance draws the next jittered release, or -1 past the horizon.
+func (st *stream) advance(rng *rand.Rand, horizon time.Duration) {
+	if st.nextNominal >= horizon {
+		st.nextActual = -1
+		return
+	}
+	actual := st.nextNominal
+	if j := st.spec.Event.Jitter; j > 0 {
+		actual += time.Duration(rng.Int63n(int64(j) + 1))
+	}
+	st.nextActual = actual
+	st.nextNominal += st.spec.Event.Period
+}
+
+// release queues an instance, overwriting a pending predecessor.
+func (st *stream) release(at time.Duration, stats *Stats, fifo *int) {
+	stats.Released++
+	if st.pending != nil {
+		// The previous instance is still waiting: overwritten, lost.
+		stats.Lost++
+	} else {
+		*fifo++
+		st.queuePos = *fifo
+	}
+	st.pending = &instance{queuedAt: at, attempt: 1}
+}
+
+// Run simulates the message set on one bus.
+func Run(specs []MessageSpec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(specs, cfg); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	errs := sortedErrors(cfg.Errors)
+
+	res := &Result{Duration: cfg.Duration, Stats: make([]Stats, len(specs))}
+	streams := make([]*stream, len(specs))
+	for i, s := range specs {
+		res.Stats[i] = Stats{Name: s.Name, MinResponse: -1}
+		streams[i] = &stream{spec: s, statsIdx: i, nextNominal: s.Offset}
+		streams[i].advance(rng, cfg.Duration)
+	}
+
+	fifo := 0 // global arrival counter for basicCAN ordering
+	now := time.Duration(0)
+
+	releaseDue := func(t time.Duration) {
+		for _, st := range streams {
+			for st.nextActual >= 0 && st.nextActual <= t {
+				st.release(st.nextActual, &res.Stats[st.statsIdx], &fifo)
+				st.advance(rng, cfg.Duration)
+			}
+		}
+	}
+	nextRelease := func() time.Duration {
+		best := time.Duration(-1)
+		for _, st := range streams {
+			if st.nextActual >= 0 && (best < 0 || st.nextActual < best) {
+				best = st.nextActual
+			}
+		}
+		return best
+	}
+	record := func(e Event) {
+		if cfg.RecordTrace && len(res.Trace) < cfg.TraceLimit {
+			res.Trace = append(res.Trace, e)
+		}
+	}
+
+	for now < cfg.Duration {
+		releaseDue(now)
+		winner := arbitrate(streams, cfg.Controller)
+		if winner == nil {
+			next := nextRelease()
+			if next < 0 {
+				break
+			}
+			now = next
+			continue
+		}
+		c := frameTime(cfg, rng, winner.spec.Frame)
+		start := now
+		end := start + c
+
+		// An injected error inside the window aborts the transmission.
+		if len(errs) > 0 && errs[0] < start {
+			// Stale injection instants (bus was idle) are skipped.
+			errs = errs[1:]
+			continue
+		}
+		if len(errs) > 0 && errs[0] < end {
+			errAt := errs[0]
+			errs = errs[1:]
+			busyUntil := errAt + cfg.Bus.ErrorOverheadTime()
+			res.BusBusy += busyUntil - start
+			res.Errors++
+			record(Event{
+				Kind: EventError, Time: start, Duration: busyUntil - start,
+				Message: winner.spec.Name, Node: winner.spec.Node,
+				Attempt: winner.pending.attempt,
+			})
+			winner.pending.attempt++
+			res.Stats[winner.statsIdx].Retransmissions++
+			now = busyUntil
+			continue
+		}
+
+		// Successful transmission.
+		res.BusBusy += c
+		st := &res.Stats[winner.statsIdx]
+		st.Sent++
+		resp := end - winner.pending.queuedAt
+		if resp > st.MaxResponse {
+			st.MaxResponse = resp
+		}
+		if st.MinResponse < 0 || resp < st.MinResponse {
+			st.MinResponse = resp
+		}
+		record(Event{
+			Kind: EventTransmit, Time: start, Duration: c,
+			Message: winner.spec.Name, Node: winner.spec.Node,
+			Attempt: winner.pending.attempt,
+		})
+		winner.pending = nil
+		now = end
+	}
+
+	for i := range res.Stats {
+		if res.Stats[i].MinResponse < 0 {
+			res.Stats[i].MinResponse = 0
+		}
+	}
+	return res, nil
+}
+
+// arbitrate picks the next transmission: the highest-priority offered
+// frame. FullCAN nodes offer their highest-priority pending message;
+// basicCAN nodes offer the longest-waiting one.
+func arbitrate(streams []*stream, ctrl ControllerType) *stream {
+	if ctrl == BasicCAN {
+		heads := map[string]*stream{}
+		for _, st := range streams {
+			if st.pending == nil {
+				continue
+			}
+			h, ok := heads[st.spec.Node]
+			if !ok || st.queuePos < h.queuePos {
+				heads[st.spec.Node] = st
+			}
+		}
+		var best *stream
+		for _, st := range heads {
+			if best == nil || higherPriority(st, best) {
+				best = st
+			}
+		}
+		return best
+	}
+	var best *stream
+	for _, st := range streams {
+		if st.pending == nil {
+			continue
+		}
+		if best == nil || higherPriority(st, best) {
+			best = st
+		}
+	}
+	return best
+}
+
+func higherPriority(a, b *stream) bool {
+	return a.spec.Frame.ID.HigherPriorityThan(b.spec.Frame.ID, a.spec.Frame.Format, b.spec.Frame.Format)
+}
+
+// frameTime draws the wire time of one transmission.
+func frameTime(cfg Config, rng *rand.Rand, f can.Frame) time.Duration {
+	switch cfg.Stuffing {
+	case StuffNominal:
+		return cfg.Bus.WireTime(f.BitsNominal())
+	case StuffRandom:
+		span := f.MaxStuffBits()
+		return cfg.Bus.WireTime(f.BitsNominal() + rng.Intn(span+1))
+	default:
+		return cfg.Bus.WireTime(f.BitsWorstCase())
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+)
+
+// randomSpecs draws a random message set for invariant checking.
+func randomSpecs(rng *rand.Rand, n int) []MessageSpec {
+	periods := []time.Duration{2 * ms, 5 * ms, 10 * ms, 20 * ms, 50 * ms}
+	nodes := []string{"E1", "E2", "E3"}
+	specs := make([]MessageSpec, n)
+	for i := range specs {
+		p := periods[rng.Intn(len(periods))]
+		specs[i] = MessageSpec{
+			Name:  string(rune('A' + i)),
+			Frame: can.Frame{ID: can.ID(0x100 + 0x10*i), Format: can.Standard11Bit, DLC: 1 + rng.Intn(8)},
+			Event: eventmodel.PeriodicJitter(p, time.Duration(rng.Int63n(int64(p)/2))),
+			Node:  nodes[rng.Intn(len(nodes))],
+		}
+	}
+	return specs
+}
+
+// Accounting invariant: every released instance is sent, lost, or still
+// pending (at most one pending per message); retransmissions never
+// exceed injected errors.
+func TestAccountingInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		specs := randomSpecs(rng, 3+rng.Intn(6))
+		var errs []time.Duration
+		for i := 0; i < rng.Intn(20); i++ {
+			errs = append(errs, time.Duration(rng.Int63n(int64(time.Second))))
+		}
+		for _, ctrl := range []ControllerType{FullCAN, BasicCAN} {
+			res, err := Run(specs, Config{
+				Bus: bus500k, Duration: time.Second, Seed: int64(trial),
+				Controller: ctrl, Errors: errs, Stuffing: StuffRandom,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalRetrans := 0
+			for _, st := range res.Stats {
+				if st.Sent+st.Lost > st.Released {
+					t.Errorf("trial %d %v: %s sent %d + lost %d > released %d",
+						trial, ctrl, st.Name, st.Sent, st.Lost, st.Released)
+				}
+				if st.Released-(st.Sent+st.Lost) > 1 {
+					t.Errorf("trial %d %v: %s has %d unaccounted instances (max 1 pending)",
+						trial, ctrl, st.Name, st.Released-(st.Sent+st.Lost))
+				}
+				if st.Sent > 0 && st.MinResponse <= 0 {
+					t.Errorf("trial %d %v: %s sent but min response %v",
+						trial, ctrl, st.Name, st.MinResponse)
+				}
+				if st.MinResponse > st.MaxResponse {
+					t.Errorf("trial %d %v: %s min %v > max %v",
+						trial, ctrl, st.Name, st.MinResponse, st.MaxResponse)
+				}
+				totalRetrans += st.Retransmissions
+			}
+			if totalRetrans != res.Errors {
+				t.Errorf("trial %d %v: retransmissions %d != errors hitting frames %d",
+					trial, ctrl, totalRetrans, res.Errors)
+			}
+			if res.BusBusy > res.Duration {
+				t.Errorf("trial %d %v: bus busy %v beyond duration %v",
+					trial, ctrl, res.BusBusy, res.Duration)
+			}
+		}
+	}
+}
+
+// The trace is chronologically ordered and every event lies inside the
+// simulated window.
+func TestTraceWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	specs := randomSpecs(rng, 6)
+	res, err := Run(specs, Config{
+		Bus: bus500k, Duration: 500 * time.Millisecond, Seed: 9,
+		RecordTrace: true,
+		Errors:      []time.Duration{3 * ms, 40 * ms, 41 * ms},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	var prevEnd time.Duration
+	for i, ev := range res.Trace {
+		if ev.Time < prevEnd {
+			t.Fatalf("event %d starts at %v before previous end %v (bus overlap)", i, ev.Time, prevEnd)
+		}
+		if ev.Duration <= 0 {
+			t.Fatalf("event %d has non-positive duration", i)
+		}
+		if ev.Time >= res.Duration {
+			t.Fatalf("event %d starts beyond the window", i)
+		}
+		if ev.Attempt < 1 {
+			t.Fatalf("event %d attempt %d", i, ev.Attempt)
+		}
+		prevEnd = ev.Time + ev.Duration
+	}
+}
+
+// Nominal stuffing transmits strictly faster than worst case, so a
+// nominal run can only deliver at least as many frames.
+func TestStuffingModeOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	specs := randomSpecs(rng, 8)
+	sent := func(mode StuffingMode) int {
+		res, err := Run(specs, Config{
+			Bus: bus500k, Duration: time.Second, Seed: 5, Stuffing: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, st := range res.Stats {
+			total += st.Sent
+		}
+		return total
+	}
+	if sent(StuffNominal) < sent(StuffWorst) {
+		t.Error("nominal stuffing delivered fewer frames than worst case")
+	}
+}
+
+// TraceLimit caps the recording without disturbing the simulation.
+func TestTraceLimit(t *testing.T) {
+	specs := []MessageSpec{spec("A", 0x100, 8, ms, 0, "E1")}
+	res, err := Run(specs, Config{
+		Bus: bus500k, Duration: time.Second, RecordTrace: true, TraceLimit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 10 {
+		t.Errorf("trace length %d, want capped 10", len(res.Trace))
+	}
+	if res.StatsByName("A").Sent != 1000 {
+		t.Errorf("sent = %d, want 1000 regardless of trace cap", res.StatsByName("A").Sent)
+	}
+}

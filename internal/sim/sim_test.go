@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+	"repro/internal/rta"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+var bus500k = can.Bus{Name: "test", BitRate: can.Rate500k}
+
+func spec(name string, id can.ID, dlc int, period, jitter time.Duration, node string) MessageSpec {
+	return MessageSpec{
+		Name:  name,
+		Frame: can.Frame{ID: id, Format: can.Standard11Bit, DLC: dlc},
+		Event: eventmodel.PeriodicJitter(period, jitter),
+		Node:  node,
+	}
+}
+
+func TestValidateInputs(t *testing.T) {
+	good := []MessageSpec{spec("A", 0x100, 8, 10*ms, 0, "E1")}
+	tests := []struct {
+		name  string
+		specs []MessageSpec
+		cfg   Config
+	}{
+		{"bad bus", good, Config{}},
+		{"no messages", nil, Config{Bus: bus500k}},
+		{"no name", []MessageSpec{spec("", 0x100, 8, 10*ms, 0, "E1")}, Config{Bus: bus500k}},
+		{"dup name", append(good, spec("A", 0x200, 8, 10*ms, 0, "E1")), Config{Bus: bus500k}},
+		{"dup id", append(good, spec("B", 0x100, 8, 10*ms, 0, "E1")), Config{Bus: bus500k}},
+		{"bad frame", []MessageSpec{spec("A", 0x100, 9, 10*ms, 0, "E1")}, Config{Bus: bus500k}},
+		{"bad event", []MessageSpec{spec("A", 0x100, 8, 0, 0, "E1")}, Config{Bus: bus500k}},
+		{"no node", []MessageSpec{spec("A", 0x100, 8, 10*ms, 0, "")}, Config{Bus: bus500k}},
+		{"negative offset", []MessageSpec{{Name: "A", Frame: can.Frame{ID: 1, DLC: 1},
+			Event: eventmodel.Periodic(ms), Node: "E", Offset: -1}}, Config{Bus: bus500k}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(tt.specs, tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSinglePeriodicMessage(t *testing.T) {
+	specs := []MessageSpec{spec("A", 0x100, 8, 10*ms, 0, "E1")}
+	res, err := Run(specs, Config{Bus: bus500k, Duration: 1 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.StatsByName("A")
+	if st.Released != 100 || st.Sent != 100 {
+		t.Errorf("released/sent = %d/%d, want 100/100", st.Released, st.Sent)
+	}
+	if st.Lost != 0 {
+		t.Errorf("lost = %d, want 0", st.Lost)
+	}
+	// Uncontended responses equal the worst-case frame time exactly.
+	if st.MaxResponse != 270*us || st.MinResponse != 270*us {
+		t.Errorf("responses [%v, %v], want exactly 270us", st.MinResponse, st.MaxResponse)
+	}
+	// Utilisation: 270us per 10ms.
+	if got := res.Utilization(); got < 0.026 || got > 0.028 {
+		t.Errorf("utilization = %v, want ~0.027", got)
+	}
+}
+
+func TestPriorityOrderUnderContention(t *testing.T) {
+	// Both released at 0: the lower ID must always win arbitration.
+	specs := []MessageSpec{
+		spec("high", 0x100, 8, 10*ms, 0, "E1"),
+		spec("low", 0x200, 8, 10*ms, 0, "E2"),
+	}
+	res, err := Run(specs, Config{Bus: bus500k, Duration: time.Second, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace[0].Message != "high" {
+		t.Errorf("first transmission = %s, want high", res.Trace[0].Message)
+	}
+	hi, lo := res.StatsByName("high"), res.StatsByName("low")
+	// high never waits (simultaneous release, wins arbitration, no
+	// blocking in progress at t=0): response = C.
+	if hi.MaxResponse != 270*us {
+		t.Errorf("high max response = %v, want 270us", hi.MaxResponse)
+	}
+	// low always waits for high: response = 2C.
+	if lo.MaxResponse != 540*us {
+		t.Errorf("low max response = %v, want 540us", lo.MaxResponse)
+	}
+}
+
+func TestNonPreemption(t *testing.T) {
+	// A low-priority frame that has started cannot be preempted: a
+	// high-priority message released mid-transmission waits.
+	specs := []MessageSpec{
+		spec("high", 0x100, 8, 10*ms, 0, "E1"),
+		spec("low", 0x200, 8, 10*ms, 0, "E2"),
+	}
+	specs[0].Offset = 100 * us // released while low is on the bus
+	res, err := Run(specs, Config{Bus: bus500k, Duration: 50 * ms, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace[0].Message != "low" || res.Trace[1].Message != "high" {
+		t.Fatalf("trace order %s,%s; want low,high", res.Trace[0].Message, res.Trace[1].Message)
+	}
+	hi := res.StatsByName("high")
+	// high waited 170us for low to finish, then 270us of its own.
+	if hi.MaxResponse != 440*us {
+		t.Errorf("high max response = %v, want 440us", hi.MaxResponse)
+	}
+}
+
+func TestStarvationCausesLoss(t *testing.T) {
+	// 8-byte frames at 125 kbit/s take 1080us. A high-priority stream at
+	// 1.2ms period leaves almost no bandwidth: the slow low-priority
+	// message is overwritten in its buffer.
+	bus := can.Bus{Name: "slow", BitRate: can.Rate125k}
+	specs := []MessageSpec{
+		spec("hog", 0x100, 8, 1200*us, 0, "E1"),
+		spec("victim", 0x200, 8, 2*ms, 0, "E2"),
+	}
+	res, err := Run(specs, Config{Bus: bus, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.StatsByName("victim")
+	if v.Lost == 0 {
+		t.Error("victim should lose instances to buffer overwrite")
+	}
+	if v.Sent+v.Lost > v.Released {
+		t.Error("sent + lost exceeds released")
+	}
+	if res.StatsByName("hog").Lost != 0 {
+		t.Error("high-priority message must not lose instances")
+	}
+}
+
+func TestErrorInjectionRetransmits(t *testing.T) {
+	specs := []MessageSpec{spec("A", 0x100, 8, 10*ms, 0, "E1")}
+	// First transmission occupies [0, 270us); hit it at 100us.
+	res, err := Run(specs, Config{
+		Bus: bus500k, Duration: 100 * ms,
+		Errors:      []time.Duration{100 * us},
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", res.Errors)
+	}
+	st := res.StatsByName("A")
+	if st.Retransmissions != 1 {
+		t.Errorf("retransmissions = %d, want 1", st.Retransmissions)
+	}
+	if st.Sent != 10 {
+		t.Errorf("sent = %d, want 10 (all delivered despite error)", st.Sent)
+	}
+	// Error at 100us + 62us recovery, then a full retransmission:
+	// response = 162us + 270us = 432us.
+	if st.MaxResponse != 432*us {
+		t.Errorf("max response = %v, want 432us", st.MaxResponse)
+	}
+	if res.Trace[0].Kind != EventError || res.Trace[1].Kind != EventTransmit {
+		t.Error("trace should show error then retransmission")
+	}
+	if res.Trace[1].Attempt != 2 {
+		t.Errorf("retransmission attempt = %d, want 2", res.Trace[1].Attempt)
+	}
+}
+
+func TestStaleErrorsIgnored(t *testing.T) {
+	// An injection instant on an idle bus hits nothing.
+	specs := []MessageSpec{spec("A", 0x100, 8, 10*ms, 0, "E1")}
+	res, err := Run(specs, Config{
+		Bus: bus500k, Duration: 50 * ms,
+		Errors: []time.Duration{5 * ms}, // idle: A transmits [0,270us)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (bus idle at injection)", res.Errors)
+	}
+	if res.StatsByName("A").Retransmissions != 0 {
+		t.Error("no retransmissions expected")
+	}
+}
+
+func TestBasicCANPriorityInversion(t *testing.T) {
+	// Node E1 queues a slow low-priority message just before its fast
+	// high-priority one. Under basicCAN the FIFO head blocks the fast
+	// message inside the node; fullCAN reorders.
+	mk := func() []MessageSpec {
+		s := []MessageSpec{
+			spec("slowE1", 0x300, 8, 10*ms, 0, "E1"),
+			spec("fastE1", 0x080, 8, 10*ms, 0, "E1"),
+			spec("midE2", 0x200, 8, 10*ms, 0, "E2"),
+		}
+		s[1].Offset = 10 * us // fastE1 queued just after slowE1
+		return s
+	}
+	full, err := Run(mk(), Config{Bus: bus500k, Duration: time.Second, Controller: FullCAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := Run(mk(), Config{Bus: bus500k, Duration: time.Second, Controller: BasicCAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := full.StatsByName("fastE1").MaxResponse
+	b := basic.StatsByName("fastE1").MaxResponse
+	if b <= f {
+		t.Errorf("basicCAN response %v should exceed fullCAN %v for the inverted message", b, f)
+	}
+}
+
+func TestSimNeverExceedsAnalysis(t *testing.T) {
+	// The core validation property: across random message sets, the
+	// simulator's observed responses stay below the analytic worst case
+	// (same worst-case stuffing, no errors).
+	rng := rand.New(rand.NewSource(11))
+	periods := []time.Duration{5 * ms, 10 * ms, 20 * ms, 50 * ms}
+	for trial := 0; trial < 10; trial++ {
+		var specs []MessageSpec
+		var msgs []rta.Message
+		n := 4 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			j := time.Duration(rng.Int63n(int64(p) / 2))
+			sp := spec(string(rune('A'+i)), can.ID(0x100+0x10*i), 1+rng.Intn(8), p, j, "E1")
+			specs = append(specs, sp)
+			msgs = append(msgs, rta.Message{Name: sp.Name, Frame: sp.Frame, Event: sp.Event})
+		}
+		rep, err := rta.Analyze(msgs, rta.Config{Bus: bus500k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(specs, Config{Bus: bus500k, Duration: 5 * time.Second, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range res.Stats {
+			bound := rep.ByName(st.Name).WCRT
+			if bound == rta.Unschedulable {
+				continue
+			}
+			if st.MaxResponse > bound {
+				t.Errorf("trial %d: %s observed %v > analytic bound %v",
+					trial, st.Name, st.MaxResponse, bound)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	specs := []MessageSpec{
+		spec("A", 0x100, 8, 10*ms, 3*ms, "E1"),
+		spec("B", 0x200, 4, 20*ms, 5*ms, "E2"),
+	}
+	cfg := Config{Bus: bus500k, Duration: time.Second, Seed: 99, Stuffing: StuffRandom}
+	r1, err := Run(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Stats {
+		if r1.Stats[i] != r2.Stats[i] {
+			t.Errorf("stats differ across identical seeds: %+v vs %+v", r1.Stats[i], r2.Stats[i])
+		}
+	}
+	if r1.BusBusy != r2.BusBusy {
+		t.Error("bus occupation differs across identical seeds")
+	}
+}
+
+func TestWorkConservingTrace(t *testing.T) {
+	// Between consecutive trace events the bus may only idle if nothing
+	// was pending; with a saturating workload there must be no gaps.
+	specs := []MessageSpec{spec("A", 0x100, 8, 270*us, 0, "E1")} // period == C
+	res, err := Run(specs, Config{Bus: bus500k, Duration: 100 * ms, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		prevEnd := res.Trace[i-1].Time + res.Trace[i-1].Duration
+		if res.Trace[i].Time != prevEnd {
+			t.Fatalf("gap before event %d: %v != %v", i, res.Trace[i].Time, prevEnd)
+		}
+	}
+	if u := res.Utilization(); u < 0.99 {
+		t.Errorf("saturated bus utilisation = %v, want ~1.0", u)
+	}
+}
+
+func TestLossRatioAndHelpers(t *testing.T) {
+	s := Stats{Released: 10, Lost: 2}
+	if s.LossRatio() != 0.2 {
+		t.Errorf("LossRatio = %v", s.LossRatio())
+	}
+	if (&Stats{}).LossRatio() != 0 {
+		t.Error("empty LossRatio should be 0")
+	}
+	res := &Result{}
+	if res.Utilization() != 0 {
+		t.Error("zero-duration utilisation should be 0")
+	}
+	if res.StatsByName("x") != nil {
+		t.Error("StatsByName on empty result")
+	}
+}
+
+func TestControllerAndStuffingStrings(t *testing.T) {
+	if FullCAN.String() != "fullCAN" || BasicCAN.String() != "basicCAN" {
+		t.Error("controller names")
+	}
+	if StuffWorst.String() != "worst" || StuffNominal.String() != "nominal" || StuffRandom.String() != "random" {
+		t.Error("stuffing names")
+	}
+}

@@ -1,0 +1,143 @@
+package supplychain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/eventmodel"
+)
+
+// The JSON exchange format for data sheets and requirement specs — the
+// concrete artefact that crosses the OEM/supplier interface. Durations
+// travel as microseconds, the resolution of automotive tooling, and
+// event models are flattened to their four parameters so the schema
+// stays implementation-neutral.
+
+type jsonModel struct {
+	PeriodUS int64 `json:"period_us"`
+	JitterUS int64 `json:"jitter_us"`
+	DMinUS   int64 `json:"dmin_us,omitempty"`
+	Sporadic bool  `json:"sporadic,omitempty"`
+}
+
+func toJSONModel(m eventmodel.Model) jsonModel {
+	return jsonModel{
+		PeriodUS: m.Period.Microseconds(),
+		JitterUS: m.Jitter.Microseconds(),
+		DMinUS:   m.DMin.Microseconds(),
+		Sporadic: m.Sporadic,
+	}
+}
+
+func (j jsonModel) toModel() eventmodel.Model {
+	return eventmodel.Model{
+		Period:   time.Duration(j.PeriodUS) * time.Microsecond,
+		Jitter:   time.Duration(j.JitterUS) * time.Microsecond,
+		DMin:     time.Duration(j.DMinUS) * time.Microsecond,
+		Sporadic: j.Sporadic,
+	}
+}
+
+type jsonGuarantee struct {
+	Message      string    `json:"message"`
+	Event        jsonModel `json:"event"`
+	MaxLatencyUS int64     `json:"max_latency_us,omitempty"`
+}
+
+type jsonDataSheet struct {
+	By      string          `json:"by"`
+	Entries []jsonGuarantee `json:"guarantees"`
+}
+
+type jsonRequirement struct {
+	Message      string    `json:"message"`
+	Event        jsonModel `json:"event"`
+	MaxLatencyUS int64     `json:"max_latency_us,omitempty"`
+}
+
+type jsonSpec struct {
+	By      string            `json:"by"`
+	Entries []jsonRequirement `json:"requirements"`
+}
+
+// WriteJSON emits the data sheet in the exchange format.
+func (d *DataSheet) WriteJSON(w io.Writer) error {
+	out := jsonDataSheet{By: string(d.By)}
+	for _, g := range d.Entries {
+		out.Entries = append(out.Entries, jsonGuarantee{
+			Message:      g.Message,
+			Event:        toJSONModel(g.Event),
+			MaxLatencyUS: g.MaxLatency.Microseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadDataSheetJSON parses the exchange format.
+func ReadDataSheetJSON(r io.Reader) (DataSheet, error) {
+	var in jsonDataSheet
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return DataSheet{}, fmt.Errorf("supplychain: reading data sheet: %w", err)
+	}
+	ds := DataSheet{By: Party(in.By)}
+	for _, g := range in.Entries {
+		if g.Message == "" {
+			return DataSheet{}, fmt.Errorf("supplychain: guarantee without message name")
+		}
+		ev := g.Event.toModel()
+		if err := ev.Validate(); err != nil {
+			return DataSheet{}, fmt.Errorf("supplychain: guarantee %s: %w", g.Message, err)
+		}
+		ds.Entries = append(ds.Entries, Guarantee{
+			Message:    g.Message,
+			By:         ds.By,
+			Event:      ev,
+			MaxLatency: time.Duration(g.MaxLatencyUS) * time.Microsecond,
+		})
+	}
+	return ds, nil
+}
+
+// WriteJSON emits the requirement spec in the exchange format.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	out := jsonSpec{By: string(s.By)}
+	for _, r := range s.Entries {
+		out.Entries = append(out.Entries, jsonRequirement{
+			Message:      r.Message,
+			Event:        toJSONModel(r.Event),
+			MaxLatencyUS: r.MaxLatency.Microseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSpecJSON parses the exchange format.
+func ReadSpecJSON(r io.Reader) (Spec, error) {
+	var in jsonSpec
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return Spec{}, fmt.Errorf("supplychain: reading spec: %w", err)
+	}
+	spec := Spec{By: Party(in.By)}
+	for _, q := range in.Entries {
+		if q.Message == "" {
+			return Spec{}, fmt.Errorf("supplychain: requirement without message name")
+		}
+		ev := q.Event.toModel()
+		if err := ev.Validate(); err != nil {
+			return Spec{}, fmt.Errorf("supplychain: requirement %s: %w", q.Message, err)
+		}
+		spec.Entries = append(spec.Entries, Requirement{
+			Message:    q.Message,
+			By:         spec.By,
+			Event:      ev,
+			MaxLatency: time.Duration(q.MaxLatencyUS) * time.Microsecond,
+		})
+	}
+	return spec, nil
+}

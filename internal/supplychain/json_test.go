@@ -1,0 +1,81 @@
+package supplychain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eventmodel"
+)
+
+func TestDataSheetJSONRoundTrip(t *testing.T) {
+	ds := DataSheet{By: "ECU1-supplier", Entries: []Guarantee{
+		{Message: "Torque", By: "ECU1-supplier",
+			Event:      eventmodel.PeriodicJitter(10*ms, 1500*us),
+			MaxLatency: 4 * ms},
+		{Message: "Status", By: "ECU1-supplier",
+			Event: eventmodel.SporadicModel(100 * ms)},
+	}}
+	var buf strings.Builder
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataSheetJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.By != ds.By || len(back.Entries) != len(ds.Entries) {
+		t.Fatalf("identity lost: %+v", back)
+	}
+	for i, want := range ds.Entries {
+		got := back.Entries[i]
+		if got.Message != want.Message || got.Event != want.Event || got.MaxLatency != want.MaxLatency {
+			t.Errorf("entry %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{By: "OEM", Entries: []Requirement{
+		{Message: "Torque", By: "OEM",
+			Event:      eventmodel.PeriodicJitter(10*ms, 2*ms),
+			MaxLatency: 5 * ms},
+	}}
+	var buf strings.Builder
+	if err := spec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpecJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.By != "OEM" || len(back.Entries) != 1 {
+		t.Fatalf("identity lost: %+v", back)
+	}
+	if back.Entries[0] != spec.Entries[0] {
+		t.Errorf("entry mismatch: %+v vs %+v", back.Entries[0], spec.Entries[0])
+	}
+	// The parsed artefacts plug straight into Check.
+	ds := DataSheet{Entries: []Guarantee{{
+		Message: "Torque", Event: eventmodel.PeriodicJitter(10*ms, ms), MaxLatency: 3 * ms,
+	}}}
+	if rep := Check(ds, back); !rep.OK() {
+		t.Errorf("parsed spec should be satisfiable: %s", rep.String())
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataSheetJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadSpecJSON(strings.NewReader("[]")); err == nil {
+		t.Error("wrong shape accepted")
+	}
+	noName := `{"by":"x","guarantees":[{"event":{"period_us":1000}}]}`
+	if _, err := ReadDataSheetJSON(strings.NewReader(noName)); err == nil {
+		t.Error("guarantee without message accepted")
+	}
+	badModel := `{"by":"x","requirements":[{"message":"m","event":{"period_us":0}}]}`
+	if _, err := ReadSpecJSON(strings.NewReader(badModel)); err == nil {
+		t.Error("invalid event model accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Package supplychain implements the contract layer of the paper's
+// Sections 5 and 6: the exchange of data sheets (guarantees) and
+// requirement specifications between OEMs and ECU suppliers, expressed
+// over event models so that intellectual property stays protected —
+// "internal implementation details (e.g. ECU task priorities or
+// gatewaying strategies etc.) need not be disclosed".
+//
+// The duality of Figure 6 is directly encoded:
+//
+//   - the OEM requires send-jitter bounds from suppliers and, from its
+//     bus analysis, guarantees arrival timing to them;
+//   - a supplier guarantees send jitters from its ECU analysis and
+//     requires arrival timing for the messages its algorithms consume.
+//
+// What one side assumes and requires, the other side must guarantee —
+// checked by Check, with event-model refinement (package eventmodel) as
+// the satisfaction relation.
+package supplychain
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/eventmodel"
+	"repro/internal/kmatrix"
+	"repro/internal/osek"
+	"repro/internal/rta"
+)
+
+// Party identifies a contract side ("OEM", "Bosch", "ECU3-supplier", …).
+type Party string
+
+// Guarantee is one data-sheet row: the issuing party promises that the
+// named message's event stream conforms to (refines) the given model,
+// and — when MaxLatency is set — that delivery completes within that
+// latency.
+type Guarantee struct {
+	// Message names the message stream.
+	Message string
+	// By is the issuing party.
+	By Party
+	// Event bounds the promised stream behaviour.
+	Event eventmodel.Model
+	// MaxLatency, when positive, additionally bounds the delivery
+	// latency (queuing to arrival).
+	MaxLatency time.Duration
+}
+
+// Requirement is one requirement-spec row: the issuing party demands
+// that the named message's stream stays within the given model, and —
+// when MaxLatency is set — arrives within that latency.
+type Requirement struct {
+	// Message names the message stream.
+	Message string
+	// By is the demanding party.
+	By Party
+	// Event is the loosest admissible stream behaviour.
+	Event eventmodel.Model
+	// MaxLatency, when positive, bounds the acceptable delivery latency.
+	MaxLatency time.Duration
+}
+
+// DataSheet is a party's set of published guarantees.
+type DataSheet struct {
+	// By is the issuing party.
+	By Party
+	// Entries lists the guarantees.
+	Entries []Guarantee
+}
+
+// ByMessage returns the guarantee for a message, or nil.
+func (d *DataSheet) ByMessage(name string) *Guarantee {
+	for i := range d.Entries {
+		if d.Entries[i].Message == name {
+			return &d.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Spec is a party's set of requirements.
+type Spec struct {
+	// By is the demanding party.
+	By Party
+	// Entries lists the requirements.
+	Entries []Requirement
+}
+
+// ByMessage returns the requirement for a message, or nil.
+func (s *Spec) ByMessage(name string) *Requirement {
+	for i := range s.Entries {
+		if s.Entries[i].Message == name {
+			return &s.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Violation records one unsatisfied requirement.
+type Violation struct {
+	// Message names the affected stream.
+	Message string
+	// Reason explains the mismatch.
+	Reason string
+}
+
+// CheckReport is the outcome of matching a data sheet against a spec.
+type CheckReport struct {
+	// Satisfied counts requirements met by a guarantee.
+	Satisfied int
+	// Violations lists requirements with a non-conforming guarantee.
+	Violations []Violation
+	// Missing lists requirements without any guarantee.
+	Missing []string
+}
+
+// OK reports whether every requirement is satisfied.
+func (r *CheckReport) OK() bool {
+	return len(r.Violations) == 0 && len(r.Missing) == 0
+}
+
+// String summarises the report.
+func (r *CheckReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("all %d requirements satisfied", r.Satisfied)
+	}
+	return fmt.Sprintf("%d satisfied, %d violated, %d missing",
+		r.Satisfied, len(r.Violations), len(r.Missing))
+}
+
+// Check matches every requirement of the spec against the data sheet.
+// A guarantee satisfies a requirement when its event model refines the
+// required one and its latency bound (if demanded) is at least as tight.
+func Check(ds DataSheet, spec Spec) CheckReport {
+	var rep CheckReport
+	for _, req := range spec.Entries {
+		g := ds.ByMessage(req.Message)
+		if g == nil {
+			rep.Missing = append(rep.Missing, req.Message)
+			continue
+		}
+		if !g.Event.Refines(req.Event) {
+			rep.Violations = append(rep.Violations, Violation{
+				Message: req.Message,
+				Reason: fmt.Sprintf("guaranteed %v does not refine required %v",
+					g.Event, req.Event),
+			})
+			continue
+		}
+		if req.MaxLatency > 0 && (g.MaxLatency == 0 || g.MaxLatency > req.MaxLatency) {
+			rep.Violations = append(rep.Violations, Violation{
+				Message: req.Message,
+				Reason: fmt.Sprintf("guaranteed latency %v exceeds required %v",
+					g.MaxLatency, req.MaxLatency),
+			})
+			continue
+		}
+		rep.Satisfied++
+	}
+	sort.Strings(rep.Missing)
+	return rep
+}
+
+// OEMSendRequirements derives the OEM's requirement spec toward
+// suppliers: every message's send jitter must stay within scale*period.
+// This is the outcome of the paper's sensitivity workflow — "jitter
+// constraints for the most critical (or sensitive) messages can be
+// formulated as requirements for ECU suppliers". Messages may be
+// restricted to a subset (nil means all).
+func OEMSendRequirements(k *kmatrix.KMatrix, scale float64, only map[string]bool) Spec {
+	spec := Spec{By: "OEM"}
+	for _, m := range k.Messages {
+		if only != nil && !only[m.Name] {
+			continue
+		}
+		maxJ := time.Duration(scale * float64(m.Period))
+		spec.Entries = append(spec.Entries, Requirement{
+			Message: m.Name,
+			By:      "OEM",
+			Event:   eventmodel.PeriodicJitter(m.Period, maxJ),
+		})
+	}
+	return spec
+}
+
+// OEMDeliveryGuarantees derives the OEM's data sheet toward suppliers
+// from a bus analysis: for every message, the arrival event model at the
+// receivers and the worst-case delivery latency. The configuration's Bus
+// field is overwritten from the matrix.
+func OEMDeliveryGuarantees(k *kmatrix.KMatrix, cfg rta.Config) (DataSheet, error) {
+	cfg.Bus = k.Bus()
+	rep, err := rta.Analyze(k.ToRTA(), cfg)
+	if err != nil {
+		return DataSheet{}, err
+	}
+	ds := DataSheet{By: "OEM"}
+	for _, r := range rep.Results {
+		g := Guarantee{
+			Message: r.Message.Name,
+			By:      "OEM",
+			Event:   r.OutputModel(),
+		}
+		if r.WCRT != rta.Unschedulable {
+			g.MaxLatency = r.WCRT
+		}
+		ds.Entries = append(ds.Entries, g)
+	}
+	return ds, nil
+}
+
+// SupplierSendGuarantees derives a supplier's data sheet from its ECU
+// analysis: for every produced message, the send event model at the
+// producing task's completion. produces maps task names to the message
+// they queue (tasks absent from the map publish nothing).
+func SupplierSendGuarantees(supplier Party, tasks []osek.Task, produces map[string]string, cfg osek.Config) (DataSheet, error) {
+	rep, err := osek.Analyze(tasks, cfg)
+	if err != nil {
+		return DataSheet{}, err
+	}
+	ds := DataSheet{By: supplier}
+	for task, message := range produces {
+		r := rep.ByName(task)
+		if r == nil {
+			return DataSheet{}, fmt.Errorf("supplychain: unknown producer task %q", task)
+		}
+		ds.Entries = append(ds.Entries, Guarantee{
+			Message: message,
+			By:      supplier,
+			Event:   r.OutputModel(),
+		})
+	}
+	sort.Slice(ds.Entries, func(i, j int) bool { return ds.Entries[i].Message < ds.Entries[j].Message })
+	return ds, nil
+}
+
+// SupplierArrivalRequirements builds a supplier's requirement spec for
+// the messages its control algorithms consume: arrival streams must stay
+// periodic within the given jitter bound and arrive within maxAge —
+// "typical ECU control algorithms rely on new CAN message data arriving
+// in a dedicated timely manner".
+func SupplierArrivalRequirements(supplier Party, k *kmatrix.KMatrix, consumed map[string]ArrivalNeed) Spec {
+	spec := Spec{By: supplier}
+	for name, need := range consumed {
+		m := k.ByName(name)
+		if m == nil {
+			continue
+		}
+		spec.Entries = append(spec.Entries, Requirement{
+			Message:    name,
+			By:         supplier,
+			Event:      eventmodel.PeriodicJitter(m.Period, need.MaxJitter),
+			MaxLatency: need.MaxAge,
+		})
+	}
+	sort.Slice(spec.Entries, func(i, j int) bool { return spec.Entries[i].Message < spec.Entries[j].Message })
+	return spec
+}
+
+// ArrivalNeed captures what a consuming algorithm tolerates.
+type ArrivalNeed struct {
+	// MaxJitter bounds the acceptable arrival jitter.
+	MaxJitter time.Duration
+	// MaxAge bounds the acceptable delivery latency.
+	MaxAge time.Duration
+}

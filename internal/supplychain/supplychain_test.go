@@ -1,0 +1,238 @@
+package supplychain
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+	"repro/internal/kmatrix"
+	"repro/internal/osek"
+	"repro/internal/rta"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+func testMatrix() *kmatrix.KMatrix {
+	return &kmatrix.KMatrix{
+		BusName: "pt",
+		BitRate: can.Rate500k,
+		Messages: []kmatrix.Message{
+			{Name: "Torque", ID: 0x100, DLC: 8, Period: 10 * ms, Sender: "ECU1", Receivers: []string{"ECU3"}},
+			{Name: "Speed", ID: 0x200, DLC: 8, Period: 20 * ms, Sender: "ECU2", Receivers: []string{"ECU3"}},
+			{Name: "Status", ID: 0x300, DLC: 4, Period: 100 * ms, Sender: "ECU3", Receivers: []string{"ECU1"}},
+		},
+	}
+}
+
+func TestCheckSatisfied(t *testing.T) {
+	ds := DataSheet{By: "supplier", Entries: []Guarantee{
+		{Message: "Torque", By: "supplier", Event: eventmodel.PeriodicJitter(10*ms, 1*ms)},
+	}}
+	spec := Spec{By: "OEM", Entries: []Requirement{
+		{Message: "Torque", By: "OEM", Event: eventmodel.PeriodicJitter(10*ms, 2*ms)},
+	}}
+	rep := Check(ds, spec)
+	if !rep.OK() || rep.Satisfied != 1 {
+		t.Errorf("report = %s, want 1 satisfied", rep.String())
+	}
+}
+
+func TestCheckJitterViolation(t *testing.T) {
+	ds := DataSheet{By: "supplier", Entries: []Guarantee{
+		{Message: "Torque", By: "supplier", Event: eventmodel.PeriodicJitter(10*ms, 3*ms)},
+	}}
+	spec := Spec{By: "OEM", Entries: []Requirement{
+		{Message: "Torque", By: "OEM", Event: eventmodel.PeriodicJitter(10*ms, 2*ms)},
+	}}
+	rep := Check(ds, spec)
+	if rep.OK() || len(rep.Violations) != 1 {
+		t.Fatalf("want 1 violation, got %s", rep.String())
+	}
+	if !strings.Contains(rep.Violations[0].Reason, "does not refine") {
+		t.Errorf("reason = %q", rep.Violations[0].Reason)
+	}
+}
+
+func TestCheckLatency(t *testing.T) {
+	g := Guarantee{Message: "Torque", Event: eventmodel.PeriodicJitter(10*ms, ms), MaxLatency: 5 * ms}
+	r := Requirement{Message: "Torque", Event: eventmodel.PeriodicJitter(10*ms, 2*ms), MaxLatency: 4 * ms}
+	rep := Check(DataSheet{Entries: []Guarantee{g}}, Spec{Entries: []Requirement{r}})
+	if rep.OK() {
+		t.Error("latency 5ms cannot satisfy a 4ms requirement")
+	}
+	// No latency guarantee at all also violates a latency requirement.
+	g.MaxLatency = 0
+	rep = Check(DataSheet{Entries: []Guarantee{g}}, Spec{Entries: []Requirement{r}})
+	if rep.OK() {
+		t.Error("missing latency guarantee must violate")
+	}
+	// Tight enough satisfies.
+	g.MaxLatency = 3 * ms
+	rep = Check(DataSheet{Entries: []Guarantee{g}}, Spec{Entries: []Requirement{r}})
+	if !rep.OK() {
+		t.Errorf("3ms should satisfy 4ms: %s", rep.String())
+	}
+}
+
+func TestCheckMissing(t *testing.T) {
+	spec := Spec{Entries: []Requirement{
+		{Message: "Unknown", Event: eventmodel.Periodic(10 * ms)},
+	}}
+	rep := Check(DataSheet{}, spec)
+	if rep.OK() || len(rep.Missing) != 1 || rep.Missing[0] != "Unknown" {
+		t.Errorf("missing handling wrong: %s", rep.String())
+	}
+}
+
+func TestOEMSendRequirements(t *testing.T) {
+	k := testMatrix()
+	spec := OEMSendRequirements(k, 0.25, nil)
+	if len(spec.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(spec.Entries))
+	}
+	req := spec.ByMessage("Torque")
+	if req == nil {
+		t.Fatal("Torque requirement missing")
+	}
+	if req.Event.Jitter != 2500*us {
+		t.Errorf("required jitter = %v, want 2.5ms", req.Event.Jitter)
+	}
+	// Subset selection.
+	only := OEMSendRequirements(k, 0.25, map[string]bool{"Speed": true})
+	if len(only.Entries) != 1 || only.Entries[0].Message != "Speed" {
+		t.Error("subset selection wrong")
+	}
+}
+
+func TestOEMDeliveryGuarantees(t *testing.T) {
+	k := testMatrix()
+	ds, err := OEMDeliveryGuarantees(k, rta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(ds.Entries))
+	}
+	g := ds.ByMessage("Speed")
+	if g == nil || g.MaxLatency == 0 {
+		t.Fatal("Speed guarantee missing or without latency")
+	}
+	if g.Event.Period != 20*ms {
+		t.Errorf("guaranteed period = %v", g.Event.Period)
+	}
+	if err := g.Event.Validate(); err != nil {
+		t.Errorf("guaranteed model invalid: %v", err)
+	}
+}
+
+func TestSupplierSendGuarantees(t *testing.T) {
+	tasks := []osek.Task{
+		{Name: "ctrl", Priority: 2, WCET: 1 * ms, BCET: 500 * us,
+			Event: eventmodel.Periodic(10 * ms), Kind: osek.Preemptive},
+		{Name: "bg", Priority: 1, WCET: 2 * ms, BCET: 2 * ms,
+			Event: eventmodel.Periodic(50 * ms), Kind: osek.Preemptive},
+	}
+	ds, err := SupplierSendGuarantees("ECU1-supplier", tasks,
+		map[string]string{"ctrl": "Torque"}, osek.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(ds.Entries))
+	}
+	g := ds.Entries[0]
+	if g.Message != "Torque" || g.By != "ECU1-supplier" {
+		t.Errorf("guarantee identity wrong: %+v", g)
+	}
+	// ctrl: R+ = 1ms, R- = 0.5ms: send jitter 0.5ms.
+	if g.Event.Jitter != 500*us {
+		t.Errorf("send jitter = %v, want 500us", g.Event.Jitter)
+	}
+
+	if _, err := SupplierSendGuarantees("s", tasks, map[string]string{"nope": "X"}, osek.Config{}); err == nil {
+		t.Error("unknown producer task accepted")
+	}
+}
+
+func TestSupplierArrivalRequirements(t *testing.T) {
+	k := testMatrix()
+	spec := SupplierArrivalRequirements("ECU3-supplier", k, map[string]ArrivalNeed{
+		"Torque": {MaxJitter: 3 * ms, MaxAge: 5 * ms},
+		"Ghost":  {MaxJitter: ms, MaxAge: ms}, // not in the matrix: skipped
+		"Speed":  {MaxJitter: 5 * ms, MaxAge: 10 * ms},
+	})
+	if len(spec.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (unknown message skipped)", len(spec.Entries))
+	}
+	req := spec.ByMessage("Torque")
+	if req.MaxLatency != 5*ms || req.Event.Jitter != 3*ms {
+		t.Errorf("Torque requirement wrong: %+v", req)
+	}
+}
+
+// The full Figure 6 loop: supplier guarantees satisfy OEM requirements,
+// and OEM guarantees satisfy supplier requirements, end to end through
+// both analyses.
+func TestDualityRoundTrip(t *testing.T) {
+	k := testMatrix()
+
+	// Supplier of ECU1 publishes its send guarantee for Torque.
+	tasks := []osek.Task{
+		{Name: "ctrl", Priority: 2, WCET: 1 * ms, BCET: 500 * us,
+			Event: eventmodel.Periodic(10 * ms), Kind: osek.Preemptive},
+	}
+	supplierDS, err := SupplierSendGuarantees("ECU1-supplier", tasks,
+		map[string]string{"ctrl": "Torque"}, osek.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// OEM requires send jitter <= 10% of period.
+	oemSpec := OEMSendRequirements(k, 0.10, map[string]bool{"Torque": true})
+	if rep := Check(supplierDS, oemSpec); !rep.OK() {
+		t.Fatalf("supplier guarantee should satisfy the OEM requirement: %s", rep.String())
+	}
+
+	// The OEM feeds the guaranteed jitter into the bus analysis ("what is
+	// initially assumed and required, must later be guaranteed").
+	k.ByName("Torque").Jitter = supplierDS.ByMessage("Torque").Event.Jitter
+	k.ByName("Torque").JitterKnown = true
+	oemDS, err := OEMDeliveryGuarantees(k, rta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ECU3 supplier requires timely Torque arrivals; the bus-side
+	// guarantee must close the loop.
+	ecu3Spec := SupplierArrivalRequirements("ECU3-supplier", k, map[string]ArrivalNeed{
+		"Torque": {MaxJitter: 2 * ms, MaxAge: 5 * ms},
+	})
+	if rep := Check(oemDS, ecu3Spec); !rep.OK() {
+		t.Fatalf("OEM delivery guarantee should satisfy ECU3: %s", rep.String())
+	}
+
+	// Tightening the consumer requirement below what the bus can do must
+	// surface a violation, not silently pass.
+	tight := SupplierArrivalRequirements("ECU3-supplier", k, map[string]ArrivalNeed{
+		"Torque": {MaxJitter: 100 * us, MaxAge: 300 * us},
+	})
+	if rep := Check(oemDS, tight); rep.OK() {
+		t.Error("unreachably tight requirement reported satisfied")
+	}
+}
+
+func TestCheckReportString(t *testing.T) {
+	ok := CheckReport{Satisfied: 3}
+	if !strings.Contains(ok.String(), "all 3") {
+		t.Errorf("ok string = %q", ok.String())
+	}
+	bad := CheckReport{Satisfied: 1, Violations: []Violation{{}}, Missing: []string{"x"}}
+	if !strings.Contains(bad.String(), "1 violated") || !strings.Contains(bad.String(), "1 missing") {
+		t.Errorf("bad string = %q", bad.String())
+	}
+}

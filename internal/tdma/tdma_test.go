@@ -1,0 +1,181 @@
+package tdma
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+var bus = can.Bus{Name: "tt", BitRate: can.Rate500k}
+
+func msg(name string, dlc int, ev eventmodel.Model) Message {
+	return Message{
+		Name:  name,
+		Frame: can.Frame{ID: 0x100, Format: can.Standard11Bit, DLC: dlc},
+		Event: ev,
+	}
+}
+
+// A 2ms cycle with two 1ms slots; 8-byte frames need 270us worst case.
+func twoSlotSchedule() Schedule {
+	return Schedule{Slots: []Slot{
+		{Owner: "A", Length: 1 * ms},
+		{Owner: "B", Length: 1 * ms},
+	}}
+}
+
+func TestAnalyzePeriodicSlowerThanCycle(t *testing.T) {
+	msgs := []Message{
+		msg("A", 8, eventmodel.Periodic(10*ms)),
+		msg("B", 8, eventmodel.Periodic(20*ms)),
+	}
+	rep, err := Analyze(msgs, twoSlotSchedule(), bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycle != 2*ms {
+		t.Errorf("cycle = %v, want 2ms", rep.Cycle)
+	}
+	// Worst case: arrive just after the slot started, wait one full
+	// cycle, transmit: R = 2ms + 270us.
+	for _, name := range []string{"A", "B"} {
+		r := rep.ByName(name)
+		if r.WCRT != 2*ms+270*us {
+			t.Errorf("WCRT(%s) = %v, want 2.27ms", name, r.WCRT)
+		}
+		if r.BacklogInstances != 1 {
+			t.Errorf("backlog(%s) = %d, want 1", name, r.BacklogInstances)
+		}
+		if !r.Schedulable {
+			t.Errorf("%s should be schedulable", name)
+		}
+	}
+}
+
+func TestAnalyzeJitterAddsBacklog(t *testing.T) {
+	// Period equal to the cycle plus jitter: the backlog grows by the
+	// jitter. Hand-computed: R_n = n*Z + C - ((n-1)*Z - J) = Z + C + J
+	// for every n >= 2, here 2ms + 270us + 1.5ms.
+	msgs := []Message{msg("A", 8, eventmodel.PeriodicJitter(2*ms, 1500*us))}
+	sched := Schedule{Slots: []Slot{
+		{Owner: "A", Length: 1 * ms},
+		{Owner: "idle", Length: 1 * ms},
+	}}
+	rep, err := Analyze(msgs, sched, bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ByName("A")
+	if want := 2*ms + 270*us + 1500*us; r.WCRT != want {
+		t.Errorf("WCRT = %v, want %v", r.WCRT, want)
+	}
+	if r.BacklogInstances < 2 {
+		t.Errorf("backlog = %d, want >= 2 under jitter", r.BacklogInstances)
+	}
+}
+
+func TestAnalyzeOverRateUnbounded(t *testing.T) {
+	// Arrivals faster than one per cycle can never drain.
+	msgs := []Message{msg("A", 8, eventmodel.Periodic(1500*us))}
+	rep, err := Analyze(msgs, twoSlotSchedule(), bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByName("A").WCRT != Unschedulable {
+		t.Error("over-rate message must be unschedulable")
+	}
+}
+
+func TestAnalyzeJitterRobustnessVersusCAN(t *testing.T) {
+	// The TDMA response of A is independent of B's jitter — the
+	// structural robustness that priority-based CAN lacks.
+	quiet := []Message{
+		msg("A", 8, eventmodel.Periodic(10*ms)),
+		msg("B", 8, eventmodel.Periodic(20*ms)),
+	}
+	noisy := []Message{
+		msg("A", 8, eventmodel.Periodic(10*ms)),
+		msg("B", 8, eventmodel.PeriodicJitter(20*ms, 10*ms)),
+	}
+	rq, err := Analyze(quiet, twoSlotSchedule(), bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Analyze(noisy, twoSlotSchedule(), bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.ByName("A").WCRT != rn.ByName("A").WCRT {
+		t.Error("A's TDMA response changed with B's jitter")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	good := msg("A", 8, eventmodel.Periodic(10*ms))
+	sched := twoSlotSchedule()
+	tests := []struct {
+		name  string
+		msgs  []Message
+		sched Schedule
+	}{
+		{"empty schedule", []Message{good}, Schedule{}},
+		{"zero slot", []Message{good}, Schedule{Slots: []Slot{{Owner: "A", Length: 0}}}},
+		{"duplicate slot owner", []Message{good}, Schedule{Slots: []Slot{
+			{Owner: "A", Length: ms}, {Owner: "A", Length: ms}}}},
+		{"no slot for message", []Message{msg("C", 8, eventmodel.Periodic(10*ms))}, sched},
+		{"no name", []Message{msg("", 8, eventmodel.Periodic(10*ms))}, sched},
+		{"duplicate message", []Message{good, good}, sched},
+		{"bad frame", []Message{msg("A", 9, eventmodel.Periodic(10*ms))}, sched},
+		{"bad event", []Message{msg("A", 8, eventmodel.Model{})}, sched},
+		{"frame exceeds slot", []Message{msg("A", 8, eventmodel.Periodic(10*ms))},
+			Schedule{Slots: []Slot{{Owner: "A", Length: 100 * us}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Analyze(tt.msgs, tt.sched, bus, can.StuffingWorstCase); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := Analyze([]Message{good}, sched, can.Bus{}, can.StuffingWorstCase); err == nil {
+		t.Error("bad bus accepted")
+	}
+}
+
+func TestAnalyzeExplicitDeadline(t *testing.T) {
+	m := msg("A", 8, eventmodel.Periodic(10*ms))
+	m.Deadline = 1 * ms // tighter than the cycle: must fail
+	rep, err := Analyze([]Message{m}, twoSlotSchedule(), bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ByName("A")
+	if r.Deadline != 1*ms {
+		t.Errorf("deadline = %v, want 1ms", r.Deadline)
+	}
+	if r.Schedulable {
+		t.Error("response beyond one cycle cannot meet a 1ms deadline")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	msgs := []Message{msg("A", 8, eventmodel.Periodic(10*ms))}
+	sched := Schedule{Slots: []Slot{
+		{Owner: "A", Length: 1 * ms},
+		{Owner: "reserved", Length: 3 * ms},
+	}}
+	rep, err := Analyze(msgs, sched, bus, can.StuffingWorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Utilization != 0.25 {
+		t.Errorf("utilization = %v, want 0.25", rep.Utilization)
+	}
+}
