@@ -560,6 +560,80 @@ func BenchmarkSimulateSecond(b *testing.B) {
 	b.ReportMetric(float64(frames), "frames_per_sim_s")
 }
 
+// BenchmarkSimEngine measures the event-calendar engine on the
+// case-study matrix: run with -benchmem — the heap engine's allocations
+// per simulated second stay flat (a handful of setup allocations)
+// where the seed engine allocated one instance per release plus one map
+// per basicCAN arbitration.
+func BenchmarkSimEngine(b *testing.B) {
+	k := experiments.DefaultMatrix()
+	specs := make([]sim.MessageSpec, len(k.Messages))
+	for i, m := range k.Messages {
+		specs[i] = sim.MessageSpec{Name: m.Name, Frame: m.Frame(), Event: m.EventModel(), Node: m.Sender}
+	}
+	for _, variant := range []struct {
+		name string
+		ctrl sim.ControllerType
+	}{{"fullCAN", sim.FullCAN}, {"basicCAN", sim.BasicCAN}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var frames int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(specs, sim.Config{
+					Bus: k.Bus(), Duration: time.Second, Seed: 1,
+					Controller: variant.ctrl, Stuffing: sim.StuffRandom,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames = 0
+				for _, st := range res.Stats {
+					frames += st.Sent
+				}
+			}
+			b.ReportMetric(float64(frames), "frames_per_sim_s")
+		})
+	}
+}
+
+// BenchmarkRunBatch measures the parallel batch layer: a fan of seeds
+// sharded over the worker pool. Throughput should scale with
+// GOMAXPROCS (compare -cpu 1,4,...).
+func BenchmarkRunBatch(b *testing.B) {
+	k := experiments.DefaultMatrix()
+	specs := make([]sim.MessageSpec, len(k.Messages))
+	for i, m := range k.Messages {
+		specs[i] = sim.MessageSpec{Name: m.Name, Frame: m.Frame(), Event: m.EventModel(), Node: m.Sender}
+	}
+	seeds := make([]int64, 32)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	cfg := sim.Config{Bus: k.Bus(), Duration: 250 * time.Millisecond, Stuffing: sim.StuffRandom}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunSeeds(specs, cfg, seeds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(seeds))*0.25, "sim_seconds_per_op")
+}
+
+// BenchmarkAnalyzeParallel measures the per-message fan-out of the
+// response-time analysis on the worst-case case-study configuration.
+// Compare with BenchmarkAnalyzeCase88 (serial) and across -cpu counts.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	k := caseMatrix()
+	msgs := k.ToRTA()
+	cfg := experiments.WorstCaseAnalysis()
+	cfg.Bus = k.Bus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rta.AnalyzeParallel(msgs, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGatewayFixpoint(b *testing.B) {
 	ms := time.Millisecond
 	us := time.Microsecond

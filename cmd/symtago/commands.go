@@ -296,3 +296,31 @@ func cmdSimulate(args []string) error {
 	}
 	return nil
 }
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	seeds := fs.Int("seeds", 64, "number of Monte-Carlo runs")
+	duration := fs.Duration("duration", 2*time.Second, "simulated span per run")
+	controller := fs.String("controller", "full", "full or basic (CAN controller type)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctrl := sim.FullCAN
+	if *controller == "basic" {
+		ctrl = sim.BasicCAN
+	} else if *controller != "full" {
+		return fmt.Errorf("unknown controller %q", *controller)
+	}
+	mc, err := experiments.RunMonteCarlo(experiments.MonteCarloParams{
+		Seeds: *seeds, Duration: *duration, Controller: ctrl, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(mc.Render())
+	if ctrl == sim.FullCAN && mc.Violations > 0 {
+		return fmt.Errorf("%d observed responses exceeded analytic bounds", mc.Violations)
+	}
+	return nil
+}

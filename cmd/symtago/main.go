@@ -11,6 +11,7 @@
 //	symtago loss     [-kmatrix file] [-scenario best|worst] [-csv]
 //	symtago optimize [-kmatrix file] [-seed n] [-generations n] [-out file]
 //	symtago simulate [-kmatrix file] [-duration d] [-controller full|basic] [-seed n]
+//	symtago validate [-seeds n] [-duration d] [-controller full|basic] [-workers n]
 //	symtago contract requirements|guarantees|check ...
 //	symtago tolerance [-kmatrix file] [-operating s] [-top n]
 //	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
@@ -48,6 +49,8 @@ func main() {
 		err = cmdOptimize(os.Args[2:])
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
 	case "contract":
 		err = cmdContract(os.Args[2:])
 	case "tolerance":
@@ -78,6 +81,7 @@ commands:
   loss         message-loss curve over the jitter sweep (Figure 5)
   optimize     genetic CAN-ID optimization (Section 4.3)
   simulate     discrete-event bus simulation cross-check
+  validate     Monte-Carlo batch simulation vs. analytic bounds
   contract     emit/check supply-chain data sheets and specs (Figure 6)
   tolerance    per-message maximum send jitter (supplier requirements)
   extend       how many more messages fit (Section 2's extensibility)`)

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The analysis must dominate every simulated response across the seed
+// fan — the paper's core validation property, at batch scale.
+func TestMonteCarloNoViolations(t *testing.T) {
+	mc, err := RunMonteCarlo(MonteCarloParams{Seeds: 8, Duration: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Violations != 0 {
+		t.Errorf("%d bound violations under fullCAN", mc.Violations)
+	}
+	if mc.TotalFrames == 0 {
+		t.Error("no frames delivered")
+	}
+	if mc.TightestMarginPct < 0 || mc.TightestMarginPct > 100 {
+		t.Errorf("tightest margin %.2f%% out of range", mc.TightestMarginPct)
+	}
+	if !strings.Contains(mc.Render(), "bound violations") {
+		t.Error("render is missing the violations row")
+	}
+}
+
+// Worker counts must not change the outcome.
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	p := MonteCarloParams{Seeds: 6, Duration: 100 * time.Millisecond, Controller: sim.BasicCAN}
+	first, err := RunMonteCarlo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 1
+	second, err := RunMonteCarlo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first != *second {
+		t.Errorf("results differ across worker counts:\n %+v\n %+v", *first, *second)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/kmatrix"
+	"repro/internal/parallel"
 	"repro/internal/rta"
 )
 
@@ -112,37 +113,58 @@ func RateMonotonic(k *kmatrix.KMatrix) Assignment {
 //
 // The analysis configuration cfg supplies stuffing, error model and
 // deadline model; its Bus field is overwritten from the matrix.
+//
+// At every level the candidate feasibility tests — each a full bus
+// analysis — are independent, so they are evaluated on a worker pool in
+// chunks of the pool width: the chunk preserves the seed behaviour of
+// stopping at the first schedulable candidate in matrix order (at most
+// one chunk of extra analyses), and the picked candidate is always the
+// lowest-index schedulable one, so the result is identical to the
+// serial search for every worker count.
 func Audsley(k *kmatrix.KMatrix, cfg rta.Config) (a Assignment, feasible bool, err error) {
 	cfg.Bus = k.Bus()
 	n := len(k.Messages)
 	if n >= 0x100 {
 		return nil, false, fmt.Errorf("optimize: Audsley supports at most %d messages, got %d", 0x100-1, n)
 	}
+	workers := parallel.Workers(0)
 	unassigned := identityOrder(n)
 	order := make([]int, n) // order[rank] = message index
 	var below []int         // messages already fixed at lower levels
 
 	for level := n - 1; level >= 0; level-- {
-		placed := false
-		for ui, cand := range unassigned {
-			ok, aerr := schedulableAtLevel(k, cfg, unassigned, below, cand)
-			if aerr != nil {
+		placed := -1 // index into unassigned of the placed candidate
+		for lo := 0; lo < len(unassigned) && placed < 0; lo += workers {
+			hi := lo + workers
+			if hi > len(unassigned) {
+				hi = len(unassigned)
+			}
+			chunk := unassigned[lo:hi]
+			oks := make([]bool, len(chunk))
+			aerrs := make([]error, len(chunk))
+			parallel.For(len(chunk), workers, func(_, ci int) {
+				oks[ci], aerrs[ci] = schedulableAtLevel(k, cfg, unassigned, below, chunk[ci])
+			})
+			if aerr := parallel.FirstError(aerrs); aerr != nil {
 				return nil, false, aerr
 			}
-			if ok {
-				order[level] = cand
-				unassigned = append(unassigned[:ui], unassigned[ui+1:]...)
-				below = append(below, cand)
-				placed = true
-				break
+			for ci, ok := range oks {
+				if ok {
+					placed = lo + ci
+					break
+				}
 			}
 		}
-		if !placed {
+		if placed < 0 {
 			// Infeasible: complete the order arbitrarily for a usable
 			// (if unschedulable) result.
 			copy(order[:level+1], unassigned)
 			return fromOrder(k, order), false, nil
 		}
+		cand := unassigned[placed]
+		order[level] = cand
+		unassigned = append(unassigned[:placed], unassigned[placed+1:]...)
+		below = append(below, cand)
 	}
 	return fromOrder(k, order), true, nil
 }

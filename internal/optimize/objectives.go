@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/kmatrix"
+	"repro/internal/parallel"
 	"repro/internal/rta"
 )
 
@@ -60,6 +61,18 @@ type evaluator struct {
 // evalOrder scores the priority order (order[0] = highest priority).
 func (e *evaluator) evalOrder(order []int) (Objectives, error) {
 	return e.evalAssignment(fromOrder(e.k, order))
+}
+
+// evalAll scores a set of individuals on a worker pool. Every
+// evaluation reads only the shared matrix and configuration (the
+// per-individual matrices are clones), so the fan-out is free of shared
+// state and the scores are independent of the worker count.
+func (e *evaluator) evalAll(inds []*individual, workers int) error {
+	errs := make([]error, len(inds))
+	parallel.For(len(inds), workers, func(_, i int) {
+		inds[i].obj, errs[i] = e.evalOrder(inds[i].order)
+	})
+	return parallel.FirstError(errs)
 }
 
 // evalAssignment scores an arbitrary assignment.

@@ -53,6 +53,11 @@ type Config struct {
 	// MinGenerations is the minimum number of generations before an
 	// early stop (default 5).
 	MinGenerations int
+	// Workers bounds the worker pool evaluating individuals. Zero or
+	// negative selects GOMAXPROCS. The search is deterministic for a
+	// fixed seed regardless of the worker count: all randomness is drawn
+	// serially, only the (pure) objective evaluations are fanned out.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,7 +173,10 @@ func Run(k *kmatrix.KMatrix, cfg Config) (*Result, error) {
 			break
 		}
 		// Mating: binary tournaments on the archive produce the next
-		// population via order crossover and swap mutation.
+		// population via order crossover and swap mutation. All offspring
+		// are generated first (the RNG sequence is serial and fixed),
+		// then scored concurrently — evaluation is the expensive, pure
+		// part.
 		next := make([]*individual, 0, cfg.Population)
 		for len(next) < cfg.Population {
 			a := tournament(rng, archive)
@@ -180,11 +188,10 @@ func Run(k *kmatrix.KMatrix, cfg Config) (*Result, error) {
 				copy(child, a.order)
 			}
 			mutateSwaps(rng, child, cfg.MutationSwaps)
-			ind := &individual{order: child}
-			if ind.obj, err = ev.evalOrder(child); err != nil {
-				return nil, err
-			}
-			next = append(next, ind)
+			next = append(next, &individual{order: child})
+		}
+		if err := ev.evalAll(next, cfg.Workers); err != nil {
+			return nil, err
 		}
 		pop = next
 	}
@@ -207,18 +214,10 @@ func Run(k *kmatrix.KMatrix, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// initialPopulation mixes heuristic seeds with random permutations.
+// initialPopulation mixes heuristic seeds with random permutations; the
+// permutations are drawn serially, the scoring is pooled.
 func initialPopulation(k *kmatrix.KMatrix, ev *evaluator, cfg Config, rng *rand.Rand, n int) ([]*individual, error) {
 	pop := make([]*individual, 0, cfg.Population)
-	add := func(order []int) error {
-		ind := &individual{order: order}
-		var err error
-		if ind.obj, err = ev.evalOrder(order); err != nil {
-			return err
-		}
-		pop = append(pop, ind)
-		return nil
-	}
 	if !cfg.NoSeedHeuristics {
 		for _, a := range []Assignment{
 			Original(k),
@@ -228,15 +227,14 @@ func initialPopulation(k *kmatrix.KMatrix, ev *evaluator, cfg Config, rng *rand.
 			if len(pop) == cfg.Population {
 				break
 			}
-			if err := add(orderOf(k, a)); err != nil {
-				return nil, err
-			}
+			pop = append(pop, &individual{order: orderOf(k, a)})
 		}
 	}
 	for len(pop) < cfg.Population {
-		if err := add(rng.Perm(n)); err != nil {
-			return nil, err
-		}
+		pop = append(pop, &individual{order: rng.Perm(n)})
+	}
+	if err := ev.evalAll(pop, cfg.Workers); err != nil {
+		return nil, err
 	}
 	return pop, nil
 }

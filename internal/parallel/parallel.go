@@ -1,0 +1,72 @@
+// Package parallel provides the one worker-pool primitive shared by the
+// batch layers of the analysis and simulation kernels: a bounded pool
+// pulling indices off an atomic counter. Work items must be independent;
+// determinism is the caller's job (write results by index, never append
+// from workers).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(worker, i) for every i in [0, n), sharded over a pool.
+// workers <= 0 selects GOMAXPROCS; the pool never exceeds n. Worker ids
+// are dense in [0, workers), and a given id runs on a single goroutine
+// throughout, so per-worker scratch state (RNGs, memo tables) needs no
+// locking. For blocks until all items are done.
+func For(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Workers resolves a worker-count setting: non-positive means
+// GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// FirstError returns the lowest-index non-nil error of a per-item error
+// slice, making "first failure wins" deterministic regardless of which
+// worker hit it.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

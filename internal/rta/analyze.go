@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/errormodel"
+	"repro/internal/eventmodel"
 )
 
 // maxIterations caps every fixpoint loop. The iterated functions are
@@ -20,6 +21,31 @@ const maxIterations = 100_000
 // input order is irrelevant. Analyze fails on invalid input (bad frames,
 // invalid event models, duplicate identifiers).
 func Analyze(msgs []Message, cfg Config) (*Report, error) {
+	p, err := prepare(msgs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	memo := newEtaMemo(p.ordered)
+	for i := range p.ordered {
+		p.rep.Results[i] = analyzeOne(p.ordered, p.wire, i, cfg, memo)
+		p.rep.Results[i].Priority = i
+	}
+	return p.rep, nil
+}
+
+// prepared holds the shared read-only inputs of the per-message
+// analyses: the priority-ordered message set, the wire times under the
+// configured stuffing, and the report skeleton.
+type prepared struct {
+	ordered []Message
+	wire    []time.Duration
+	rep     *Report
+}
+
+// prepare validates the input, orders it by priority and computes the
+// shared wire times. Both Analyze and AnalyzeParallel start here; the
+// per-message analyses that follow are pure functions of the result.
+func prepare(msgs []Message, cfg Config) (*prepared, error) {
 	if err := cfg.Bus.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,25 +73,106 @@ func Analyze(msgs []Message, cfg Config) (*Report, error) {
 		}
 	}
 
-	rep := &Report{
-		Results: make([]Result, len(ordered)),
-		Config:  cfg,
+	p := &prepared{
+		ordered: ordered,
+		wire:    make([]time.Duration, len(ordered)),
+		rep: &Report{
+			Results: make([]Result, len(ordered)),
+			Config:  cfg,
+		},
 	}
-	wire := make([]time.Duration, len(ordered)) // wire times under cfg.Stuffing
 	for i, m := range ordered {
-		wire[i] = cfg.Bus.FrameTime(m.Frame, cfg.Stuffing)
-		rep.Utilization += float64(wire[i]) / float64(m.Event.Period)
+		p.wire[i] = cfg.Bus.FrameTime(m.Frame, cfg.Stuffing)
+		p.rep.Utilization += float64(p.wire[i]) / float64(m.Event.Period)
+	}
+	return p, nil
+}
+
+// etaMemo caches EtaPlus evaluations across the fixpoint loops, which
+// re-evaluate eta_k+ for every higher-priority stream at every iteration
+// of every instance of the busy period. eta_k+ is a step function of the
+// window, so instead of memoizing point values the memo stores, per
+// stream, the current step: its value and the half-open window (lo, hi]
+// on which it holds. Fixpoint iterates move in small increments and
+// usually stay on the same step, so a hit costs two comparisons where
+// EtaPlus costs two 64-bit divisions. eta_k+ depends only on stream k's
+// model, never on which message is under analysis, so one memo serves
+// every analyzeOne of a report. Memos are not goroutine-safe; each
+// worker owns one.
+type etaMemo struct {
+	models  []eventmodel.Model // fallback for saturating queries
+	streams []etaStream
+}
+
+// etaStream is the per-stream cache line: the model constants EtaPlus
+// re-derives on every call (period, jitter, effective minimum distance)
+// plus the current step and its validity window.
+type etaStream struct {
+	p, j, d time.Duration
+	lo, hi  time.Duration // (lo, hi]; lo == hi: empty, first call misses
+	eta     int64
+}
+
+// etaCacheMaxDt bounds the windows the memo derives: beyond it (or for
+// near-Unbounded jitters) EtaPlus saturates internally and the window
+// arithmetic would overflow, so such queries bypass the cache.
+const etaCacheMaxDt = eventmodel.Unbounded / 4
+
+func newEtaMemo(ordered []Message) *etaMemo {
+	n := len(ordered)
+	m := &etaMemo{
+		models:  make([]eventmodel.Model, n),
+		streams: make([]etaStream, n),
 	}
 	for i := range ordered {
-		rep.Results[i] = analyzeOne(ordered, wire, i, cfg)
-		rep.Results[i].Priority = i
+		ev := ordered[i].Event
+		m.models[i] = ev
+		m.streams[i] = etaStream{p: ev.Period, j: ev.Jitter, d: ev.EffectiveDMin()}
 	}
-	return rep, nil
+	return m
+}
+
+// at returns eta_k+(dt), cached by step. A hit is two comparisons; a
+// miss re-derives the value together with its window from the cached
+// constants, at the cost of the two divisions EtaPlus itself performs.
+func (m *etaMemo) at(k int, dt time.Duration) int {
+	if dt <= 0 {
+		return 0
+	}
+	s := &m.streams[k]
+	if dt > s.lo && dt <= s.hi {
+		return int(s.eta)
+	}
+	if dt >= etaCacheMaxDt || s.j >= etaCacheMaxDt || s.p >= etaCacheMaxDt {
+		return m.models[k].EtaPlus(dt)
+	}
+	// The step of ceil((dt+J)/P) holds on ((n-1)P-J, nP-J]; the optional
+	// ceil(dt/d) cap holds on ((n'-1)d, n'd]. Their minimum is constant
+	// on the intersection.
+	na := (dt + s.j + s.p - 1) / s.p
+	eta := na
+	lo := (na-1)*s.p - s.j
+	hi := na*s.p - s.j
+	if s.d > 0 {
+		nb := (dt + s.d - 1) / s.d
+		if nb < eta {
+			eta = nb
+		}
+		if lob := (nb - 1) * s.d; lob > lo {
+			lo = lob
+		}
+		if hib := nb * s.d; hib < hi {
+			hi = hib
+		}
+	}
+	s.lo, s.hi, s.eta = lo, hi, int64(eta)
+	return int(eta)
 }
 
 // analyzeOne computes the response time of the message at index i of the
-// priority-ordered slice.
-func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config) Result {
+// priority-ordered slice. Apart from the worker-owned memo it is a pure
+// function of its inputs and safe to fan out across goroutines.
+func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config, memo *etaMemo) Result {
 	m := ordered[i]
 	horizon := cfg.horizon()
 	errs := cfg.errors()
@@ -102,7 +209,7 @@ func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config) Resu
 	if cfg.ClassicSingleInstance {
 		res.Instances = 1
 		res.BusyPeriod = res.Blocking + res.C
-		w, ok := queueingDelay(ordered, wire, i, 0, res.Blocking, cfg, ectx, horizon)
+		w, ok := queueingDelay(memo, wire, i, 0, res.Blocking, cfg, ectx, horizon)
 		if !ok {
 			return markUnschedulable()
 		}
@@ -117,7 +224,7 @@ func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config) Resu
 	for iter := 0; ; iter++ {
 		next := res.Blocking + errs.Overhead(L, ectx)
 		for k := 0; k <= i; k++ {
-			next += time.Duration(ordered[k].Event.EtaPlus(L)) * wire[k]
+			next += time.Duration(memo.at(k, L)) * wire[k]
 		}
 		if next == L {
 			break
@@ -137,7 +244,7 @@ func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config) Resu
 	// is not necessarily the first (Davis et al.).
 	var wcrt time.Duration
 	for q := 0; q < res.Instances; q++ {
-		w, ok := queueingDelay(ordered, wire, i, q, res.Blocking, cfg, ectx, horizon)
+		w, ok := queueingDelay(memo, wire, i, q, res.Blocking, cfg, ectx, horizon)
 		if !ok {
 			return markUnschedulable()
 		}
@@ -156,7 +263,7 @@ func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config) Resu
 //	w = B + q*C_m + E(w + C_m) + sum_{k < i} eta_k+(w + tau_bit) * C_k
 //
 // returning (w, true) or (0, false) if the iteration diverges.
-func queueingDelay(ordered []Message, wire []time.Duration, i, q int,
+func queueingDelay(memo *etaMemo, wire []time.Duration, i, q int,
 	blocking time.Duration, cfg Config, ectx errormodel.Context,
 	horizon time.Duration) (time.Duration, bool) {
 
@@ -167,7 +274,7 @@ func queueingDelay(ordered []Message, wire []time.Duration, i, q int,
 	for iter := 0; ; iter++ {
 		next := base + errs.Overhead(w+wire[i], ectx)
 		for k := 0; k < i; k++ {
-			next += time.Duration(ordered[k].Event.EtaPlus(w+bitTime)) * wire[k]
+			next += time.Duration(memo.at(k, w+bitTime)) * wire[k]
 		}
 		if next == w {
 			return w, true

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/kmatrix"
+	"repro/internal/parallel"
 	"repro/internal/rta"
 )
 
@@ -46,6 +47,10 @@ type SweepConfig struct {
 	// Analysis is the response-time configuration (stuffing, errors,
 	// deadline model). Its Bus field is overwritten from the matrix.
 	Analysis rta.Config
+	// Workers bounds the worker pool of the sweep (and of the derived
+	// tolerance/extensibility searches). Zero or negative selects
+	// GOMAXPROCS. Results are identical for every worker count.
+	Workers int
 }
 
 func (c SweepConfig) scales() []float64 {
@@ -147,22 +152,35 @@ func (r *Result) CurveByName(name string) *Curve {
 	return nil
 }
 
-// Sweep runs the jitter sweep over the matrix.
+// Sweep runs the jitter sweep over the matrix. The scales are analysed
+// concurrently on a worker pool (cfg.Workers): each scale is an
+// independent analysis of an independently scaled clone of the matrix,
+// and the result is assembled in scale order afterwards, so the outcome
+// is identical to the serial sweep.
 func Sweep(k *kmatrix.KMatrix, cfg SweepConfig) (*Result, error) {
 	scales := cfg.scales()
-	res := &Result{Scales: scales}
+	res := &Result{Scales: scales, Reports: make([]*rta.Report, len(scales))}
 
 	analysis := cfg.Analysis
 	analysis.Bus = k.Bus()
 
-	curveIdx := map[string]int{}
-	for si, scale := range scales {
-		scaled := k.WithJitterScale(scale, cfg.OnlyUnknown)
+	errs := make([]error, len(scales))
+	parallel.For(len(scales), cfg.Workers, func(_, si int) {
+		scaled := k.WithJitterScale(scales[si], cfg.OnlyUnknown)
 		rep, err := rta.Analyze(scaled.ToRTA(), analysis)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity: scale %.2f: %w", scale, err)
+			errs[si] = fmt.Errorf("sensitivity: scale %.2f: %w", scales[si], err)
+			return
 		}
-		res.Reports = append(res.Reports, rep)
+		res.Reports[si] = rep
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
+	}
+
+	curveIdx := map[string]int{}
+	for si, scale := range scales {
+		rep := res.Reports[si]
 		if si == 0 {
 			res.Curves = make([]Curve, len(rep.Results))
 			for i, r := range rep.Results {

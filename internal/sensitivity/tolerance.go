@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/kmatrix"
+	"repro/internal/parallel"
 	"repro/internal/rta"
 )
 
@@ -80,15 +81,21 @@ type Tolerance struct {
 
 // ToleranceTable computes the jitter tolerance of every message at the
 // operating scale, sorted from most critical (lowest tolerance) to most
-// relaxed.
+// relaxed. The per-message bisections are independent and run on a
+// worker pool (cfg.Workers).
 func ToleranceTable(k *kmatrix.KMatrix, cfg SweepConfig, operatingScale, hi, eps float64) ([]Tolerance, error) {
-	out := make([]Tolerance, 0, len(k.Messages))
-	for _, m := range k.Messages {
-		tol, err := MessageJitterTolerance(k, m.Name, cfg, operatingScale, hi, eps)
+	out := make([]Tolerance, len(k.Messages))
+	errs := make([]error, len(k.Messages))
+	parallel.For(len(k.Messages), cfg.Workers, func(_, i int) {
+		tol, err := MessageJitterTolerance(k, k.Messages[i].Name, cfg, operatingScale, hi, eps)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		out = append(out, Tolerance{Message: m.Name, MaxJitterScale: tol})
+		out[i] = Tolerance{Message: k.Messages[i].Name, MaxJitterScale: tol}
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].MaxJitterScale != out[j].MaxJitterScale {

@@ -2,25 +2,45 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/can"
 )
 
-// instance is a queued message instance waiting in a sender buffer.
-type instance struct {
-	queuedAt time.Duration
-	attempt  int
-}
+// The engine is an indexed event calendar. The seed implementation
+// scanned every stream on every bus event (O(n) per event, plus a fresh
+// map per basicCAN arbitration and a heap allocation per release); this
+// version keeps three incremental structures instead:
+//
+//   - a release calendar: a binary min-heap of stream indices keyed by
+//     the next jittered release instant, so finding due releases and the
+//     next release instant is O(log n) / O(1);
+//   - a ready structure for arbitration: for fullCAN a min-heap of
+//     static priority ranks (the pending message with the lowest rank
+//     wins the bus), for basicCAN one fixed-capacity FIFO ring per node
+//     plus a min-heap over the ranks of the node heads (only FIFO heads
+//     compete on the bus);
+//   - an inlined pending slot: the one-deep sender buffer lives in the
+//     stream struct itself (hasPending/queuedAt/attempt), so a release
+//     allocates nothing.
+//
+// The observable behaviour is bit-identical to the seed engine
+// (goldenref_test.go): releases due at the same instant are processed in
+// input order so the RNG draw sequence is preserved, and arbitration
+// picks the same unique winner because CAN identifiers are unique.
 
-// stream is the runtime state of one message.
+// stream is the runtime state of one message. The sender buffer is one
+// instance deep and inlined so releases do not allocate.
 type stream struct {
 	spec        MessageSpec
-	statsIdx    int
+	rank        int32         // static bus priority rank, 0 = highest
+	node        int32         // index of the sending node
 	nextNominal time.Duration // next nominal release instant
 	nextActual  time.Duration // jittered release instant, -1 when exhausted
-	pending     *instance     // sender buffer (one instance deep)
-	queuePos    int           // FIFO arrival counter for basicCAN ordering
+	queuedAt    time.Duration // queueing instant of the pending instance
+	attempt     int           // transmission attempts of the pending instance
+	hasPending  bool          // sender buffer occupied
 }
 
 // advance draws the next jittered release, or -1 past the horizon.
@@ -37,17 +57,40 @@ func (st *stream) advance(rng *rand.Rand, horizon time.Duration) {
 	st.nextNominal += st.spec.Event.Period
 }
 
-// release queues an instance, overwriting a pending predecessor.
-func (st *stream) release(at time.Duration, stats *Stats, fifo *int) {
-	stats.Released++
-	if st.pending != nil {
-		// The previous instance is still waiting: overwritten, lost.
-		stats.Lost++
-	} else {
-		*fifo++
-		st.queuePos = *fifo
-	}
-	st.pending = &instance{queuedAt: at, attempt: 1}
+// ring is a fixed-capacity FIFO of stream indices. Its capacity is the
+// number of streams on the node: the one-deep sender buffer admits at
+// most one queue slot per stream, so the ring cannot overflow.
+type ring struct {
+	buf        []int32
+	head, size int
+}
+
+func (r *ring) push(i int32) {
+	r.buf[(r.head+r.size)%len(r.buf)] = i
+	r.size++
+}
+
+func (r *ring) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v
+}
+
+// engine holds the calendar state of one run.
+type engine struct {
+	cfg     Config
+	rng     *rand.Rand
+	res     *Result
+	streams []stream
+
+	calendar []int32 // release heap: stream indices keyed by nextActual
+	dueBuf   []int32 // scratch buffer for releases due at one instant
+
+	rankToStream []int32 // static rank -> stream index
+	ready        []int32 // fullCAN: min-heap of pending ranks
+	heads        []int32 // basicCAN: min-heap of node-head ranks
+	nodeQueues   []ring  // basicCAN: per-node FIFO of pending streams
 }
 
 // Run simulates the message set on one bus.
@@ -56,55 +99,93 @@ func Run(specs []MessageSpec, cfg Config) (*Result, error) {
 	if err := validate(specs, cfg); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	errs := sortedErrors(cfg.Errors)
+	e := newEngine(specs, cfg)
+	e.run()
+	return e.res, nil
+}
 
-	res := &Result{Duration: cfg.Duration, Stats: make([]Stats, len(specs))}
-	streams := make([]*stream, len(specs))
+func newEngine(specs []MessageSpec, cfg Config) *engine {
+	n := len(specs)
+	e := &engine{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		res:      &Result{Duration: cfg.Duration, Stats: make([]Stats, n)},
+		streams:  make([]stream, n),
+		calendar: make([]int32, 0, n),
+		dueBuf:   make([]int32, 0, n),
+	}
 	for i, s := range specs {
-		res.Stats[i] = Stats{Name: s.Name, MinResponse: -1}
-		streams[i] = &stream{spec: s, statsIdx: i, nextNominal: s.Offset}
-		streams[i].advance(rng, cfg.Duration)
+		e.res.Stats[i] = Stats{Name: s.Name, MinResponse: -1}
+		e.streams[i] = stream{spec: s, nextNominal: s.Offset}
+		// Draw the first release for every stream in input order: the
+		// seed engine consumed the RNG in exactly this sequence.
+		e.streams[i].advance(e.rng, cfg.Duration)
 	}
 
-	fifo := 0 // global arrival counter for basicCAN ordering
+	// Static priority ranks: identifiers are unique (validated), so the
+	// arbitration order is a total order fixed before the run.
+	byPriority := make([]int32, n)
+	for i := range byPriority {
+		byPriority[i] = int32(i)
+	}
+	sort.Slice(byPriority, func(a, b int) bool {
+		sa, sb := &specs[byPriority[a]], &specs[byPriority[b]]
+		return sa.Frame.ID.HigherPriorityThan(sb.Frame.ID, sa.Frame.Format, sb.Frame.Format)
+	})
+	e.rankToStream = byPriority
+	for rank, idx := range byPriority {
+		e.streams[idx].rank = int32(rank)
+	}
+
+	if cfg.Controller == BasicCAN {
+		nodeIdx := make(map[string]int32, 8)
+		counts := []int{}
+		for i := range e.streams {
+			name := e.streams[i].spec.Node
+			id, ok := nodeIdx[name]
+			if !ok {
+				id = int32(len(counts))
+				nodeIdx[name] = id
+				counts = append(counts, 0)
+			}
+			e.streams[i].node = id
+			counts[id]++
+		}
+		e.nodeQueues = make([]ring, len(counts))
+		for id, c := range counts {
+			e.nodeQueues[id] = ring{buf: make([]int32, c)}
+		}
+		e.heads = make([]int32, 0, len(counts))
+	} else {
+		e.ready = make([]int32, 0, n)
+	}
+
+	for i := range e.streams {
+		if e.streams[i].nextActual >= 0 {
+			e.calendarPush(int32(i))
+		}
+	}
+	return e
+}
+
+func (e *engine) run() {
+	cfg := e.cfg
+	errs := sortedErrors(cfg.Errors)
 	now := time.Duration(0)
 
-	releaseDue := func(t time.Duration) {
-		for _, st := range streams {
-			for st.nextActual >= 0 && st.nextActual <= t {
-				st.release(st.nextActual, &res.Stats[st.statsIdx], &fifo)
-				st.advance(rng, cfg.Duration)
-			}
-		}
-	}
-	nextRelease := func() time.Duration {
-		best := time.Duration(-1)
-		for _, st := range streams {
-			if st.nextActual >= 0 && (best < 0 || st.nextActual < best) {
-				best = st.nextActual
-			}
-		}
-		return best
-	}
-	record := func(e Event) {
-		if cfg.RecordTrace && len(res.Trace) < cfg.TraceLimit {
-			res.Trace = append(res.Trace, e)
-		}
-	}
-
 	for now < cfg.Duration {
-		releaseDue(now)
-		winner := arbitrate(streams, cfg.Controller)
-		if winner == nil {
-			next := nextRelease()
+		e.releaseDue(now)
+		w := e.arbitrate()
+		if w < 0 {
+			next := e.nextRelease()
 			if next < 0 {
 				break
 			}
 			now = next
 			continue
 		}
-		c := frameTime(cfg, rng, winner.spec.Frame)
+		winner := &e.streams[w]
+		c := frameTime(cfg, e.rng, winner.spec.Frame)
 		start := now
 		end := start + c
 
@@ -118,84 +199,252 @@ func Run(specs []MessageSpec, cfg Config) (*Result, error) {
 			errAt := errs[0]
 			errs = errs[1:]
 			busyUntil := errAt + cfg.Bus.ErrorOverheadTime()
-			res.BusBusy += busyUntil - start
-			res.Errors++
-			record(Event{
+			e.res.BusBusy += busyUntil - start
+			e.res.Errors++
+			e.record(Event{
 				Kind: EventError, Time: start, Duration: busyUntil - start,
 				Message: winner.spec.Name, Node: winner.spec.Node,
-				Attempt: winner.pending.attempt,
+				Attempt: winner.attempt,
 			})
-			winner.pending.attempt++
-			res.Stats[winner.statsIdx].Retransmissions++
+			winner.attempt++
+			e.res.Stats[w].Retransmissions++
 			now = busyUntil
 			continue
 		}
 
 		// Successful transmission.
-		res.BusBusy += c
-		st := &res.Stats[winner.statsIdx]
+		e.res.BusBusy += c
+		st := &e.res.Stats[w]
 		st.Sent++
-		resp := end - winner.pending.queuedAt
+		resp := end - winner.queuedAt
 		if resp > st.MaxResponse {
 			st.MaxResponse = resp
 		}
 		if st.MinResponse < 0 || resp < st.MinResponse {
 			st.MinResponse = resp
 		}
-		record(Event{
+		e.record(Event{
 			Kind: EventTransmit, Time: start, Duration: c,
 			Message: winner.spec.Name, Node: winner.spec.Node,
-			Attempt: winner.pending.attempt,
+			Attempt: winner.attempt,
 		})
-		winner.pending = nil
+		e.complete(w)
 		now = end
 	}
 
-	for i := range res.Stats {
-		if res.Stats[i].MinResponse < 0 {
-			res.Stats[i].MinResponse = 0
+	for i := range e.res.Stats {
+		if e.res.Stats[i].MinResponse < 0 {
+			e.res.Stats[i].MinResponse = 0
 		}
 	}
-	return res, nil
 }
 
-// arbitrate picks the next transmission: the highest-priority offered
-// frame. FullCAN nodes offer their highest-priority pending message;
-// basicCAN nodes offer the longest-waiting one.
-func arbitrate(streams []*stream, ctrl ControllerType) *stream {
-	if ctrl == BasicCAN {
-		heads := map[string]*stream{}
-		for _, st := range streams {
-			if st.pending == nil {
-				continue
-			}
-			h, ok := heads[st.spec.Node]
-			if !ok || st.queuePos < h.queuePos {
-				heads[st.spec.Node] = st
-			}
-		}
-		var best *stream
-		for _, st := range heads {
-			if best == nil || higherPriority(st, best) {
-				best = st
-			}
-		}
-		return best
+// releaseDue queues every release up to and including t. Due streams are
+// processed in input order — not calendar order — because the seed
+// engine scanned streams in input order and the RNG draw sequence and
+// FIFO numbering must be reproduced exactly.
+func (e *engine) releaseDue(t time.Duration) {
+	due := e.dueBuf[:0]
+	for len(e.calendar) > 0 && e.streams[e.calendar[0]].nextActual <= t {
+		due = append(due, e.calendarPop())
 	}
-	var best *stream
-	for _, st := range streams {
-		if st.pending == nil {
-			continue
+	insertionSort(due)
+	for _, i := range due {
+		st := &e.streams[i]
+		for st.nextActual >= 0 && st.nextActual <= t {
+			e.release(i, st.nextActual)
+			st.advance(e.rng, e.cfg.Duration)
 		}
-		if best == nil || higherPriority(st, best) {
-			best = st
+		if st.nextActual >= 0 {
+			e.calendarPush(i)
 		}
 	}
-	return best
+	e.dueBuf = due[:0]
 }
 
-func higherPriority(a, b *stream) bool {
-	return a.spec.Frame.ID.HigherPriorityThan(b.spec.Frame.ID, a.spec.Frame.Format, b.spec.Frame.Format)
+// release queues an instance, overwriting a pending predecessor. Only a
+// fresh queueing (empty buffer) changes the ready structures: an
+// overwrite keeps the stream's arbitration slot.
+func (e *engine) release(i int32, at time.Duration) {
+	st := &e.streams[i]
+	stats := &e.res.Stats[i]
+	stats.Released++
+	if st.hasPending {
+		// The previous instance is still waiting: overwritten, lost.
+		stats.Lost++
+	} else if e.cfg.Controller == BasicCAN {
+		q := &e.nodeQueues[st.node]
+		if q.size == 0 {
+			e.heads = rankPush(e.heads, st.rank)
+		}
+		q.push(i)
+	} else {
+		e.ready = rankPush(e.ready, st.rank)
+	}
+	st.hasPending = true
+	st.queuedAt = at
+	st.attempt = 1
+}
+
+// complete removes the transmitted instance from the buffers. The winner
+// is by construction the minimum of its ready heap.
+func (e *engine) complete(w int32) {
+	st := &e.streams[w]
+	st.hasPending = false
+	if e.cfg.Controller == BasicCAN {
+		e.heads = rankPopMin(e.heads)
+		q := &e.nodeQueues[st.node]
+		q.pop()
+		if q.size > 0 {
+			e.heads = rankPush(e.heads, e.streams[q.buf[q.head]].rank)
+		}
+		return
+	}
+	e.ready = rankPopMin(e.ready)
+}
+
+// arbitrate returns the stream index winning the bus, or -1 when idle:
+// the lowest pending rank (fullCAN) or the lowest rank among the node
+// FIFO heads (basicCAN).
+func (e *engine) arbitrate() int32 {
+	if e.cfg.Controller == BasicCAN {
+		if len(e.heads) == 0 {
+			return -1
+		}
+		return e.rankToStream[e.heads[0]]
+	}
+	if len(e.ready) == 0 {
+		return -1
+	}
+	return e.rankToStream[e.ready[0]]
+}
+
+// nextRelease peeks the calendar, or -1 when every stream is exhausted.
+func (e *engine) nextRelease() time.Duration {
+	if len(e.calendar) == 0 {
+		return -1
+	}
+	return e.streams[e.calendar[0]].nextActual
+}
+
+// record appends a trace event, raising TraceTruncated once the limit
+// drops events.
+func (e *engine) record(ev Event) {
+	if !e.cfg.RecordTrace {
+		return
+	}
+	if len(e.res.Trace) >= e.cfg.TraceLimit {
+		e.res.TraceTruncated = true
+		return
+	}
+	e.res.Trace = append(e.res.Trace, ev)
+}
+
+// ---------------------------------------------------------------------
+// Release calendar: binary min-heap of stream indices keyed by
+// nextActual, ties broken by stream index for reproducibility.
+// ---------------------------------------------------------------------
+
+func (e *engine) calendarLess(a, b int32) bool {
+	ta, tb := e.streams[a].nextActual, e.streams[b].nextActual
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (e *engine) calendarPush(i int32) {
+	e.calendar = append(e.calendar, i)
+	c := e.calendar
+	child := len(c) - 1
+	for child > 0 {
+		parent := (child - 1) / 2
+		if !e.calendarLess(c[child], c[parent]) {
+			break
+		}
+		c[child], c[parent] = c[parent], c[child]
+		child = parent
+	}
+}
+
+func (e *engine) calendarPop() int32 {
+	c := e.calendar
+	root := c[0]
+	last := len(c) - 1
+	c[0] = c[last]
+	c = c[:last]
+	e.calendar = c
+	parent := 0
+	for {
+		child := 2*parent + 1
+		if child >= len(c) {
+			break
+		}
+		if r := child + 1; r < len(c) && e.calendarLess(c[r], c[child]) {
+			child = r
+		}
+		if !e.calendarLess(c[child], c[parent]) {
+			break
+		}
+		c[parent], c[child] = c[child], c[parent]
+		parent = child
+	}
+	return root
+}
+
+// ---------------------------------------------------------------------
+// Ready heaps: plain min-heaps of priority ranks.
+// ---------------------------------------------------------------------
+
+func rankPush(h []int32, r int32) []int32 {
+	h = append(h, r)
+	child := len(h) - 1
+	for child > 0 {
+		parent := (child - 1) / 2
+		if h[parent] <= h[child] {
+			break
+		}
+		h[child], h[parent] = h[parent], h[child]
+		child = parent
+	}
+	return h
+}
+
+func rankPopMin(h []int32) []int32 {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	parent := 0
+	for {
+		child := 2*parent + 1
+		if child >= len(h) {
+			break
+		}
+		if r := child + 1; r < len(h) && h[r] < h[child] {
+			child = r
+		}
+		if h[child] >= h[parent] {
+			break
+		}
+		h[parent], h[child] = h[child], h[parent]
+		parent = child
+	}
+	return h
+}
+
+// insertionSort orders the due buffer ascending; it is almost always
+// tiny (a handful of simultaneous releases), so this beats sort.Slice
+// and allocates nothing.
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }
 
 // frameTime draws the wire time of one transmission.

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+)
+
+// corpusScenario is one golden scenario; the heap engine must reproduce
+// the seed engine's statistics for it bit for bit.
+type corpusScenario struct {
+	name  string
+	specs []MessageSpec
+	cfg   Config
+}
+
+// equivalenceCorpus spans controller types, jitter regimes, stuffing
+// modes, offsets, error injection and bus loads.
+func equivalenceCorpus() []corpusScenario {
+	var out []corpusScenario
+
+	base := func(seed int64, ctrl ControllerType, stuff StuffingMode, errs []time.Duration) Config {
+		return Config{
+			Bus: bus500k, Duration: 2 * time.Second, Seed: seed,
+			Controller: ctrl, Stuffing: stuff, Errors: errs,
+		}
+	}
+
+	// Hand-built: shared nodes, offsets, heavy contention.
+	hand := []MessageSpec{
+		spec("A", 0x080, 8, 5*ms, 2*ms, "E1"),
+		spec("B", 0x100, 4, 10*ms, 0, "E1"),
+		spec("C", 0x180, 8, 10*ms, 4*ms, "E2"),
+		spec("D", 0x200, 2, 20*ms, 9*ms, "E2"),
+		spec("E", 0x280, 8, 50*ms, 20*ms, "E3"),
+	}
+	hand[1].Offset = 3 * ms
+	hand[4].Offset = 7 * ms
+
+	errSchedule := func(rng *rand.Rand, n int) []time.Duration {
+		errs := make([]time.Duration, n)
+		for i := range errs {
+			errs[i] = time.Duration(rng.Int63n(int64(2 * time.Second)))
+		}
+		return errs
+	}
+
+	rng := rand.New(rand.NewSource(2006))
+	for _, ctrl := range []ControllerType{FullCAN, BasicCAN} {
+		for _, stuff := range []StuffingMode{StuffWorst, StuffNominal, StuffRandom} {
+			out = append(out, corpusScenario{
+				name:  "hand/" + ctrl.String() + "/" + stuff.String(),
+				specs: hand,
+				cfg:   base(17, ctrl, stuff, errSchedule(rng, 25)),
+			})
+		}
+		// Random message sets at increasing sizes and seeds.
+		for trial := 0; trial < 6; trial++ {
+			specs := randomSpecs(rng, 3+trial*3)
+			out = append(out, corpusScenario{
+				name:  "random/" + ctrl.String() + "/" + string(rune('0'+trial)),
+				specs: specs,
+				cfg:   base(int64(trial), ctrl, StuffingMode(trial%3), errSchedule(rng, trial*10)),
+			})
+		}
+	}
+
+	// Saturated bus: period == frame time, no idling.
+	out = append(out, corpusScenario{
+		name:  "saturated",
+		specs: []MessageSpec{spec("A", 0x100, 8, 270*us, 0, "E1")},
+		cfg:   Config{Bus: bus500k, Duration: 200 * ms},
+	})
+
+	// Burst release: jitter beyond the period via explicit DMin.
+	burst := []MessageSpec{
+		{
+			Name:  "burst",
+			Frame: can.Frame{ID: 0x090, Format: can.Standard11Bit, DLC: 8},
+			Event: eventmodel.PeriodicBurst(10*ms, 15*ms, 2*ms),
+			Node:  "E1",
+		},
+		spec("bg", 0x300, 8, 5*ms, 0, "E2"),
+	}
+	out = append(out, corpusScenario{
+		name:  "burst",
+		specs: burst,
+		cfg:   base(5, BasicCAN, StuffRandom, nil),
+	})
+
+	return out
+}
+
+// TestEngineMatchesSeedEngine is the golden equivalence suite: the heap
+// engine and the preserved seed engine must agree on every statistic,
+// the bus occupation, the error count and the trace.
+func TestEngineMatchesSeedEngine(t *testing.T) {
+	for _, sc := range equivalenceCorpus() {
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := sc.cfg
+			cfg.RecordTrace = true
+			got, err := Run(sc.specs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := refRun(sc.specs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Stats) != len(want.Stats) {
+				t.Fatalf("stats length %d != %d", len(got.Stats), len(want.Stats))
+			}
+			for i := range want.Stats {
+				if got.Stats[i] != want.Stats[i] {
+					t.Errorf("stats[%d] differ:\n heap: %+v\n seed: %+v", i, got.Stats[i], want.Stats[i])
+				}
+			}
+			if got.BusBusy != want.BusBusy {
+				t.Errorf("bus busy %v != %v", got.BusBusy, want.BusBusy)
+			}
+			if got.Errors != want.Errors {
+				t.Errorf("errors %d != %d", got.Errors, want.Errors)
+			}
+			if len(got.Trace) != len(want.Trace) {
+				t.Fatalf("trace length %d != %d", len(got.Trace), len(want.Trace))
+			}
+			for i := range want.Trace {
+				if got.Trace[i] != want.Trace[i] {
+					t.Errorf("trace[%d] differs:\n heap: %+v\n seed: %+v", i, got.Trace[i], want.Trace[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTraceTruncatedFlag: the flag must rise exactly when the limit
+// drops events.
+func TestTraceTruncatedFlag(t *testing.T) {
+	specs := []MessageSpec{spec("A", 0x100, 8, ms, 0, "E1")}
+	capped, err := Run(specs, Config{
+		Bus: bus500k, Duration: time.Second, RecordTrace: true, TraceLimit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.TraceTruncated {
+		t.Error("TraceTruncated not set although events were dropped")
+	}
+	full, err := Run(specs, Config{
+		Bus: bus500k, Duration: time.Second, RecordTrace: true, TraceLimit: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TraceTruncated {
+		t.Error("TraceTruncated set although every event fit")
+	}
+	if len(full.Trace) != 1000 {
+		t.Errorf("full trace has %d events, want 1000", len(full.Trace))
+	}
+	off, err := Run(specs, Config{Bus: bus500k, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TraceTruncated {
+		t.Error("TraceTruncated set although recording was disabled")
+	}
+}

@@ -178,6 +178,10 @@ type Result struct {
 	Stats []Stats
 	// Trace holds recorded events when enabled.
 	Trace []Event
+	// TraceTruncated reports that recording was enabled but TraceLimit
+	// dropped at least one event: the trace is a prefix, not the full
+	// run.
+	TraceTruncated bool
 	// BusBusy is the accumulated bus occupation.
 	BusBusy time.Duration
 	// Duration echoes the simulated span.
