@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gateway"
 	"repro/internal/kmatrix"
+	"repro/internal/netsim"
 	"repro/internal/optimize"
 	"repro/internal/osek"
 	"repro/internal/rta"
@@ -670,4 +671,64 @@ func BenchmarkGatewayFixpoint(b *testing.B) {
 		latency = a.Paths[0].Latency
 	}
 	b.ReportMetric(float64(latency)/float64(time.Millisecond), "e2e_latency_ms")
+}
+
+// BenchmarkNetSim measures one run of the network-of-buses engine on
+// the validation case study: two CAN buses, a TDMA backbone and two
+// gateways under one global event heap.
+func BenchmarkNetSim(b *testing.B) {
+	sys, err := experiments.NetworkCaseStudy(experiments.DimensionedFIFODepth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Analyze(0); err != nil {
+		b.Fatal(err)
+	}
+	topo, err := netsim.FromSystem(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var frames int
+	for i := 0; i < b.N; i++ {
+		res, err := netsim.Run(topo, netsim.Config{Duration: time.Second, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = 0
+		for _, br := range res.Buses {
+			for _, st := range br.Stats {
+				frames += st.Sent
+			}
+		}
+	}
+	b.ReportMetric(float64(frames), "frames_per_run")
+}
+
+// BenchmarkNetSimSeeds measures the network Monte-Carlo fan on the
+// worker pool; scales with -cpu.
+func BenchmarkNetSimSeeds(b *testing.B) {
+	sys, err := experiments.NetworkCaseStudy(experiments.DimensionedFIFODepth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Analyze(0); err != nil {
+		b.Fatal(err)
+	}
+	topo, err := netsim.FromSystem(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	cfg := netsim.Config{Duration: 250 * time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.RunSeeds(topo, cfg, seeds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(seeds))*0.25, "sim_seconds_per_op")
 }

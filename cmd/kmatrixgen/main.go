@@ -27,6 +27,15 @@ func main() {
 	name := flag.String("bus", "", "bus name (default powertrain)")
 	flag.Parse()
 
+	if err := validateFlags(*seed, *messages, *ecus, *gateways, *bitrate, *shuffle, *known); err != nil {
+		fmt.Fprintln(os.Stderr, "kmatrixgen:", err)
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "kmatrixgen: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
 	k := kmatrix.Powertrain(kmatrix.GenConfig{
 		Seed:                *seed,
 		BusName:             *name,
@@ -41,4 +50,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kmatrixgen:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects parameter combinations the generator would
+// otherwise silently misinterpret (0 means "use the default", so only
+// genuinely out-of-range values are errors).
+func validateFlags(seed int64, messages, ecus, gateways, bitrate int, shuffle, known float64) error {
+	if seed <= 0 {
+		return fmt.Errorf("-seed must be positive, got %d", seed)
+	}
+	if messages < 0 {
+		return fmt.Errorf("-messages must be non-negative, got %d", messages)
+	}
+	if ecus < 0 {
+		return fmt.Errorf("-ecus must be non-negative, got %d", ecus)
+	}
+	if gateways < 0 {
+		return fmt.Errorf("-gateways must be non-negative, got %d", gateways)
+	}
+	if bitrate < 0 {
+		return fmt.Errorf("-bitrate must be non-negative, got %d", bitrate)
+	}
+	if shuffle < 0 || shuffle > 1 {
+		return fmt.Errorf("-shuffle must be in [0, 1], got %g", shuffle)
+	}
+	if known < 0 || known > 1 {
+		return fmt.Errorf("-known must be in [0, 1], got %g", known)
+	}
+	return nil
 }

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -39,14 +38,27 @@ func scenarioConfig(name string) (rta.Config, error) {
 	case "worst":
 		return experiments.WorstCaseAnalysis(), nil
 	default:
-		return rta.Config{}, fmt.Errorf("unknown scenario %q (want best or worst)", name)
+		return rta.Config{}, usageErrf("unknown scenario %q (want best or worst)", name)
+	}
+}
+
+// parseController maps the -controller flag to the simulated buffer
+// organisation.
+func parseController(name string) (sim.ControllerType, error) {
+	switch name {
+	case "full":
+		return sim.FullCAN, nil
+	case "basic":
+		return sim.BasicCAN, nil
+	default:
+		return sim.FullCAN, usageErrf("unknown controller %q (want full or basic)", name)
 	}
 }
 
 func cmdLoad(args []string) error {
-	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	fs := newFlagSet("load")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -62,12 +74,12 @@ func cmdLoad(args []string) error {
 }
 
 func cmdAnalyze(args []string) error {
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs := newFlagSet("analyze")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	scenario := fs.String("scenario", "worst", "best or worst")
 	scale := fs.Float64("jitter-scale", 0, "set all jitters to this fraction of the period")
 	onlyUnknown := fs.Bool("only-unknown", false, "scale only assumed jitters")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -110,9 +122,9 @@ func cmdAnalyze(args []string) error {
 }
 
 func cmdSensitivity(args []string) error {
-	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	fs := newFlagSet("sensitivity")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -149,11 +161,11 @@ func cmdSensitivity(args []string) error {
 }
 
 func cmdLoss(args []string) error {
-	fs := flag.NewFlagSet("loss", flag.ExitOnError)
+	fs := newFlagSet("loss")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	scenario := fs.String("scenario", "worst", "best or worst")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -190,12 +202,12 @@ func cmdLoss(args []string) error {
 }
 
 func cmdOptimize(args []string) error {
-	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	fs := newFlagSet("optimize")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	seed := fs.Int64("seed", 1, "GA seed")
 	generations := fs.Int("generations", 0, "GA generations (0 = default)")
 	out := fs.String("out", "", "write the optimized K-Matrix CSV here")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -232,23 +244,21 @@ func cmdOptimize(args []string) error {
 }
 
 func cmdSimulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	fs := newFlagSet("simulate")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	duration := fs.Duration("duration", 2*time.Second, "simulated time span")
 	controller := fs.String("controller", "full", "full or basic (CAN controller type)")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
 	if err != nil {
 		return err
 	}
-	ctrl := sim.FullCAN
-	if *controller == "basic" {
-		ctrl = sim.BasicCAN
-	} else if *controller != "full" {
-		return fmt.Errorf("unknown controller %q", *controller)
+	ctrl, err := parseController(*controller)
+	if err != nil {
+		return err
 	}
 	specs := make([]sim.MessageSpec, len(k.Messages))
 	for i, m := range k.Messages {
@@ -298,19 +308,17 @@ func cmdSimulate(args []string) error {
 }
 
 func cmdValidate(args []string) error {
-	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs := newFlagSet("validate")
 	seeds := fs.Int("seeds", 64, "number of Monte-Carlo runs")
 	duration := fs.Duration("duration", 2*time.Second, "simulated span per run")
 	controller := fs.String("controller", "full", "full or basic (CAN controller type)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	ctrl := sim.FullCAN
-	if *controller == "basic" {
-		ctrl = sim.BasicCAN
-	} else if *controller != "full" {
-		return fmt.Errorf("unknown controller %q", *controller)
+	ctrl, err := parseController(*controller)
+	if err != nil {
+		return err
 	}
 	mc, err := experiments.RunMonteCarlo(experiments.MonteCarloParams{
 		Seeds: *seeds, Duration: *duration, Controller: ctrl, Workers: *workers,
@@ -321,6 +329,37 @@ func cmdValidate(args []string) error {
 	fmt.Println(mc.Render())
 	if ctrl == sim.FullCAN && mc.Violations > 0 {
 		return fmt.Errorf("%d observed responses exceeded analytic bounds", mc.Violations)
+	}
+	return nil
+}
+
+func cmdNetsim(args []string) error {
+	fs := newFlagSet("netsim")
+	seeds := fs.Int("seeds", 32, "number of network Monte-Carlo runs")
+	duration := fs.Duration("duration", 2*time.Second, "simulated span per run")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	shallow := fs.Bool("shallow", false, "under-dimension the FIFO to depth 1 (predicted-loss demonstration)")
+	gantt := fs.Bool("gantt", false, "render a multi-bus Gantt of the first seed")
+	window := fs.Duration("window", 50*time.Millisecond, "Gantt window length")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *seeds <= 0 {
+		return usageErrf("netsim: -seeds must be positive, got %d", *seeds)
+	}
+	nv, traces, err := experiments.RunNetworkValidation(experiments.NetworkValidationParams{
+		Seeds: *seeds, Duration: *duration, Workers: *workers,
+		Shallow: *shallow, Trace: *gantt,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(nv.Render())
+	if *gantt {
+		fmt.Println(report.NetworkGantt(traces, 0, *window, 96))
+	}
+	if nv.Violations > 0 {
+		return fmt.Errorf("%d observations exceeded compositional bounds", nv.Violations)
 	}
 	return nil
 }

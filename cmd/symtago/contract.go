@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -35,11 +34,11 @@ func cmdContract(args []string) error {
 }
 
 func contractRequirements(args []string) error {
-	fs := flag.NewFlagSet("contract requirements", flag.ExitOnError)
+	fs := newFlagSet("contract requirements")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	scale := fs.Float64("scale", 0.25, "required send-jitter bound as fraction of the period")
 	out := fs.String("out", "", "output file (default stdout)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -51,11 +50,11 @@ func contractRequirements(args []string) error {
 }
 
 func contractGuarantees(args []string) error {
-	fs := flag.NewFlagSet("contract guarantees", flag.ExitOnError)
+	fs := newFlagSet("contract guarantees")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	scenario := fs.String("scenario", "worst", "best or worst")
 	out := fs.String("out", "", "output file (default stdout)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -74,10 +73,10 @@ func contractGuarantees(args []string) error {
 }
 
 func contractCheck(args []string) error {
-	fs := flag.NewFlagSet("contract check", flag.ExitOnError)
+	fs := newFlagSet("contract check")
 	dsPath := fs.String("datasheet", "", "data sheet JSON (required)")
 	specPath := fs.String("spec", "", "requirement spec JSON (required)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *dsPath == "" || *specPath == "" {
@@ -130,12 +129,12 @@ func writeArtifact(path string, write func(w io.Writer) error) error {
 
 // cmdTolerance prints the per-message jitter tolerance table.
 func cmdTolerance(args []string) error {
-	fs := flag.NewFlagSet("tolerance", flag.ExitOnError)
+	fs := newFlagSet("tolerance")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	scenario := fs.String("scenario", "worst", "best or worst")
 	operating := fs.Float64("operating", 0.10, "jitter scale of all other messages")
 	top := fs.Int("top", 15, "show only the most critical N messages (0 = all)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)
@@ -172,14 +171,14 @@ func cmdTolerance(args []string) error {
 
 // cmdExtend answers "how many more messages fit?".
 func cmdExtend(args []string) error {
-	fs := flag.NewFlagSet("extend", flag.ExitOnError)
+	fs := newFlagSet("extend")
 	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
 	scenario := fs.String("scenario", "worst", "best or worst")
 	operating := fs.Float64("operating", 0.10, "operating jitter scale")
 	period := fs.Duration("period", 20*time.Millisecond, "period of the added messages")
 	dlc := fs.Int("dlc", 8, "payload length of the added messages")
 	max := fs.Int("max", 128, "search budget")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := loadMatrix(*path)

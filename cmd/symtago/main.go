@@ -12,15 +12,21 @@
 //	symtago optimize [-kmatrix file] [-seed n] [-generations n] [-out file]
 //	symtago simulate [-kmatrix file] [-duration d] [-controller full|basic] [-seed n]
 //	symtago validate [-seeds n] [-duration d] [-controller full|basic] [-workers n]
+//	symtago netsim   [-seeds n] [-duration d] [-workers n] [-shallow] [-gantt] [-window d]
 //	symtago contract requirements|guarantees|check ...
 //	symtago tolerance [-kmatrix file] [-operating s] [-top n]
 //	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
 //
 // A missing -kmatrix selects the built-in synthetic power-train matrix
 // (the case-study substitute documented in DESIGN.md).
+//
+// Exit codes are uniform across subcommands: 0 on success, 1 on a
+// runtime failure (including failed validation checks), 2 on a
+// command-line usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +57,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "netsim":
+		err = cmdNetsim(os.Args[2:])
 	case "contract":
 		err = cmdContract(os.Args[2:])
 	case "tolerance":
@@ -65,9 +73,57 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// The flag set already printed its usage.
+			return
+		}
 		fmt.Fprintln(os.Stderr, "symtago:", err)
+		if isUsageError(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks command-line mistakes; main exits 2 for them, 1 for
+// runtime failures.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// usageErrf returns a formatted usage error.
+func usageErrf(format string, args ...interface{}) error {
+	return usageError{err: fmt.Errorf(format, args...)}
+}
+
+// isUsageError reports whether err is a usage error.
+func isUsageError(err error) bool {
+	var u usageError
+	return errors.As(err, &u)
+}
+
+// newFlagSet returns the uniform flag set of a subcommand: errors are
+// returned (not exited on), so main applies one exit-code policy.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// parseFlags parses args, classifying failures as usage errors and
+// passing -h/-help through unchanged.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err: err}
+	}
+	if fs.NArg() > 0 {
+		return usageErrf("%s: unexpected argument %q", fs.Name(), fs.Arg(0))
+	}
+	return nil
 }
 
 func usage() {
@@ -82,17 +138,20 @@ commands:
   optimize     genetic CAN-ID optimization (Section 4.3)
   simulate     discrete-event bus simulation cross-check
   validate     Monte-Carlo batch simulation vs. analytic bounds
+  netsim       network-of-buses simulation vs. compositional bounds
   contract     emit/check supply-chain data sheets and specs (Figure 6)
   tolerance    per-message maximum send jitter (supplier requirements)
-  extend       how many more messages fit (Section 2's extensibility)`)
+  extend       how many more messages fit (Section 2's extensibility)
+
+exit codes: 0 success, 1 runtime failure, 2 usage error`)
 }
 
 func cmdFigures(args []string) error {
-	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	fs := newFlagSet("figures")
 	fig := fs.String("fig", "all", "figure number 1..6 or 'all'")
 	quick := fs.Bool("quick", false, "reduced GA budget for Figure 5")
 	csv := fs.Bool("csv", false, "emit the data series as CSV instead of charts (figures 4 and 5)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	run := func(n string) error {
@@ -132,7 +191,7 @@ func cmdFigures(args []string) error {
 			}
 			fmt.Println(f.Render())
 		default:
-			return fmt.Errorf("unknown figure %q", n)
+			return usageErrf("unknown figure %q", n)
 		}
 		return nil
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/eventmodel"
+	"repro/internal/gateway"
 	"repro/internal/osek"
 	"repro/internal/rta"
 	"repro/internal/tdma"
@@ -63,6 +64,8 @@ type System struct {
 	ecus      map[string]*ecuResource
 	tdmaNames []string
 	tdmas     map[string]*tdmaResource
+	gwNames   []string
+	gws       map[string]*gwResource
 	links     []Link
 	paths     []Path
 }
@@ -84,12 +87,18 @@ type tdmaResource struct {
 	msgs     []tdma.Message
 }
 
+type gwResource struct {
+	cfg   gateway.Config
+	flows []gateway.Flow
+}
+
 // NewSystem returns an empty system.
 func NewSystem() *System {
 	return &System{
 		buses: map[string]*busResource{},
 		ecus:  map[string]*ecuResource{},
 		tdmas: map[string]*tdmaResource{},
+		gws:   map[string]*gwResource{},
 	}
 }
 
@@ -139,9 +148,49 @@ func (s *System) AddTDMABus(name string, sched tdma.Schedule, bus can.Bus,
 	return nil
 }
 
+// AddGateway registers a store-and-forward gateway between buses. Each
+// flow names one message stream traversing the gateway; its arrival
+// model starts as a placeholder (the service period) and is meant to be
+// fed from a source message via Connect. The gateway's per-flow
+// queueing delays (package gateway) contribute to path bounds, and its
+// forwarded flows propagate output models onto the destination bus.
+func (s *System) AddGateway(name string, cfg gateway.Config, flows []string) error {
+	if name == "" {
+		return fmt.Errorf("core: gateway without name")
+	}
+	if s.taken(name) {
+		return fmt.Errorf("core: duplicate resource %q", name)
+	}
+	if len(flows) == 0 {
+		return fmt.Errorf("core: gateway %q has no flows", name)
+	}
+	cfg.Name = name
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	g := &gwResource{cfg: cfg}
+	seen := map[string]bool{}
+	for _, fl := range flows {
+		if fl == "" {
+			return fmt.Errorf("core: gateway %q: flow without name", name)
+		}
+		if seen[fl] {
+			return fmt.Errorf("core: gateway %q: duplicate flow %q", name, fl)
+		}
+		seen[fl] = true
+		g.flows = append(g.flows, gateway.Flow{
+			Name: fl, Arrival: eventmodel.Periodic(cfg.Service.Period),
+		})
+	}
+	s.gws[name] = g
+	s.gwNames = append(s.gwNames, name)
+	return nil
+}
+
 // taken reports whether a resource name is in use.
 func (s *System) taken(name string) bool {
-	return s.buses[name] != nil || s.ecus[name] != nil || s.tdmas[name] != nil
+	return s.buses[name] != nil || s.ecus[name] != nil ||
+		s.tdmas[name] != nil || s.gws[name] != nil
 }
 
 // Connect links the output of from to the activation of to.
@@ -198,6 +247,14 @@ func (s *System) findElement(ref ElementRef) (*eventmodel.Model, error) {
 		}
 		return nil, fmt.Errorf("core: TDMA bus %q has no message %q", ref.Resource, ref.Element)
 	}
+	if g, ok := s.gws[ref.Resource]; ok {
+		for i := range g.flows {
+			if g.flows[i].Name == ref.Element {
+				return &g.flows[i].Arrival, nil
+			}
+		}
+		return nil, fmt.Errorf("core: gateway %q has no flow %q", ref.Resource, ref.Element)
+	}
 	return nil, fmt.Errorf("core: unknown resource %q", ref.Resource)
 }
 
@@ -229,6 +286,8 @@ type Analysis struct {
 	ECUReports map[string]*osek.Report
 	// TDMAReports holds the final per-TDMA-bus analyses.
 	TDMAReports map[string]*tdma.Report
+	// GatewayReports holds the final per-gateway queueing analyses.
+	GatewayReports map[string]*gateway.Report
 	// Iterations counts global propagation rounds.
 	Iterations int
 	// Converged reports whether event models reached a fixpoint.
@@ -257,6 +316,11 @@ func (a *Analysis) AllSchedulable() bool {
 			}
 		}
 	}
+	for _, rep := range a.GatewayReports {
+		if rep.Delay == gateway.Unbounded || rep.Overflow {
+			return false
+		}
+	}
 	return true
 }
 
@@ -269,13 +333,14 @@ func (s *System) Analyze(maxIterations int) (*Analysis, error) {
 	if maxIterations <= 0 {
 		maxIterations = DefaultMaxIterations
 	}
-	if len(s.buses)+len(s.ecus)+len(s.tdmas) == 0 {
+	if len(s.buses)+len(s.ecus)+len(s.tdmas)+len(s.gws) == 0 {
 		return nil, fmt.Errorf("core: empty system")
 	}
 	a := &Analysis{
-		BusReports:  map[string]*rta.Report{},
-		ECUReports:  map[string]*osek.Report{},
-		TDMAReports: map[string]*tdma.Report{},
+		BusReports:     map[string]*rta.Report{},
+		ECUReports:     map[string]*osek.Report{},
+		TDMAReports:    map[string]*tdma.Report{},
+		GatewayReports: map[string]*gateway.Report{},
 	}
 	for iter := 1; iter <= maxIterations; iter++ {
 		a.Iterations = iter
@@ -324,6 +389,14 @@ func (s *System) analyzeLocal(a *Analysis) error {
 		}
 		a.TDMAReports[name] = rep
 	}
+	for _, name := range s.gwNames {
+		g := s.gws[name]
+		rep, err := gateway.Analyze(g.flows, g.cfg)
+		if err != nil {
+			return fmt.Errorf("core: gateway %s: %w", name, err)
+		}
+		a.GatewayReports[name] = rep
+	}
 	return nil
 }
 
@@ -365,6 +438,13 @@ func (s *System) outputModel(a *Analysis, ref ElementRef) (eventmodel.Model, err
 			return eventmodel.Model{}, fmt.Errorf("core: no analysis for %s", ref)
 		}
 		return res.OutputModel(), nil
+	}
+	if _, ok := s.gws[ref.Resource]; ok {
+		rep := a.GatewayReports[ref.Resource]
+		if rep == nil {
+			return eventmodel.Model{}, fmt.Errorf("core: no analysis for %s", ref)
+		}
+		return rep.OutFlow(ref.Element)
 	}
 	rep := a.ECUReports[ref.Resource]
 	if rep == nil {
@@ -419,6 +499,23 @@ func (s *System) hopDelay(a *Analysis, ref ElementRef) (time.Duration, bool) {
 		}
 		// TDMA responses are already measured from the arrival instant.
 		return res.WCRT, true
+	}
+	if _, ok := s.gws[ref.Resource]; ok {
+		rep := a.GatewayReports[ref.Resource]
+		if rep == nil {
+			return Unbounded, false
+		}
+		for _, fr := range rep.Flows {
+			if fr.Flow.Name != ref.Element {
+				continue
+			}
+			if fr.Delay == gateway.Unbounded {
+				return Unbounded, false
+			}
+			// Queueing delays are measured from the arrival instant.
+			return fr.Delay, true
+		}
+		return Unbounded, false
 	}
 	res := a.ECUReports[ref.Resource].ByName(ref.Element)
 	if res == nil || res.WCRT == osek.Unschedulable {

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+	"repro/internal/rta"
+)
+
+// gatewayResourceSystem wires the two-bus chain through a first-class
+// gateway resource instead of a forwarding ECU task.
+func gatewayResourceSystem(t *testing.T, depth int) *System {
+	t.Helper()
+	s := NewSystem()
+	if err := s.AddBus("busA", busCfg(can.Rate500k), []rta.Message{
+		busMsg("M1", 0x100, 8, 10*ms),
+		busMsg("noiseA", 0x200, 8, 20*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGateway("gw", gateway.Config{
+		Service: eventmodel.Periodic(2 * ms), QueueDepth: depth,
+	}, []string{"m", "n"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("busB", busCfg(can.Rate500k), []rta.Message{
+		busMsg("M2", 0x110, 8, 10*ms),
+		busMsg("noiseB", 0x210, 8, 20*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range [][2]ElementRef{
+		{{"busA", "M1"}, {"gw", "m"}},
+		{{"gw", "m"}, {"busB", "M2"}},
+		{{"busA", "noiseA"}, {"gw", "n"}},
+		{{"gw", "n"}, {"busB", "noiseB"}},
+	} {
+		if err := s.Connect(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddPath("chain",
+		ElementRef{"busA", "M1"}, ElementRef{"gw", "m"}, ElementRef{"busB", "M2"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGatewayResourceInPath(t *testing.T) {
+	s := gatewayResourceSystem(t, 4)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatal("gateway chain did not converge")
+	}
+	rep := a.GatewayReports["gw"]
+	if rep == nil {
+		t.Fatal("no gateway report")
+	}
+	if rep.Delay <= 0 || rep.Delay == gateway.Unbounded {
+		t.Fatalf("gateway delay = %v", rep.Delay)
+	}
+	p := a.Paths[0]
+	if p.Latency == Unbounded {
+		t.Fatal("path unbounded")
+	}
+	// The gateway hop contributes its queueing delay to the bound.
+	var gwHop time.Duration
+	for _, h := range p.Hops {
+		if h.Ref.Resource == "gw" {
+			gwHop = h.Delay
+		}
+	}
+	if gwHop != rep.Flows[0].Delay {
+		t.Errorf("gateway hop delay %v, want flow delay %v", gwHop, rep.Flows[0].Delay)
+	}
+	// The destination message's activation model carries the gateway's
+	// propagated jitter: more jitter than the source model had.
+	m2 := a.BusReports["busB"].ByName("M2")
+	if m2.Message.Event.Jitter <= 0 {
+		t.Error("propagation through the gateway added no jitter to M2")
+	}
+	if !a.AllSchedulable() {
+		t.Error("dimensioned chain must be schedulable")
+	}
+}
+
+func TestGatewayOverflowMakesSystemUnschedulable(t *testing.T) {
+	s := gatewayResourceSystem(t, 4)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	required := a.GatewayReports["gw"].RequiredDepth
+
+	shallow := gatewayResourceSystem(t, required-1)
+	a, err = shallow.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.GatewayReports["gw"].Overflow {
+		t.Fatal("depth below the backlog bound must flag overflow")
+	}
+	if a.AllSchedulable() {
+		t.Error("overflowing gateway reported schedulable")
+	}
+}
+
+func TestGatewayValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.AddGateway("", gateway.Config{Service: eventmodel.Periodic(ms)}, []string{"f"}); err == nil {
+		t.Error("unnamed gateway accepted")
+	}
+	if err := s.AddGateway("g", gateway.Config{Service: eventmodel.Periodic(ms)}, nil); err == nil {
+		t.Error("flowless gateway accepted")
+	}
+	if err := s.AddGateway("g", gateway.Config{Service: eventmodel.Periodic(ms)}, []string{"f", "f"}); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+	if err := s.AddGateway("g", gateway.Config{Service: eventmodel.Periodic(ms)}, []string{"f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGateway("g", gateway.Config{Service: eventmodel.Periodic(ms)}, []string{"h"}); err == nil {
+		t.Error("duplicate resource name accepted")
+	}
+	if err := s.Connect(ElementRef{"g", "nope"}, ElementRef{"g", "f"}); err == nil {
+		t.Error("unknown flow accepted in Connect")
+	}
+}
+
+// The divergence case of the issue: a cyclic topology whose jitter
+// grows every propagation round must terminate with divergence
+// reported, not spin or pretend health.
+func TestCyclicBusJitterGrowthReportsDivergence(t *testing.T) {
+	s := NewSystem()
+	cfg := rta.Config{Bus: can.Bus{BitRate: can.Rate125k}, Stuffing: can.StuffingWorstCase}
+	mkMsg := func(name string, id can.ID) rta.Message {
+		return rta.Message{
+			Name:  name,
+			Frame: can.Frame{ID: id, Format: can.Standard11Bit, DLC: 8},
+			Event: eventmodel.PeriodicJitter(5*ms, 1*ms),
+		}
+	}
+	if err := s.AddBus("busA", cfg, []rta.Message{
+		mkMsg("M1", 0x100), mkMsg("loadA1", 0x180), mkMsg("loadA2", 0x190),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("busB", cfg, []rta.Message{
+		mkMsg("M2", 0x110), mkMsg("loadB1", 0x181), mkMsg("loadB2", 0x191),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// M1 activates M2 and M2 activates M1: every round adds both
+	// responses' jitter, so the models can only diverge.
+	if err := s.Connect(ElementRef{"busA", "M1"}, ElementRef{"busB", "M2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(ElementRef{"busB", "M2"}, ElementRef{"busA", "M1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath("cycle", ElementRef{"busA", "M1"}, ElementRef{"busB", "M2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan *Analysis, 1)
+	errc := make(chan error, 1)
+	go func() {
+		a, err := s.Analyze(0)
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- a
+	}()
+	var a *Analysis
+	select {
+	case a = <-done:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("cyclic analysis did not terminate")
+	}
+	if a.Converged && a.AllSchedulable() {
+		t.Error("cyclic jitter amplification cannot be both converged and schedulable")
+	}
+	if a.Converged {
+		return // saturated to an explicitly unschedulable fixpoint — fine
+	}
+	if a.Iterations != DefaultMaxIterations {
+		t.Errorf("diverged after %d iterations, want the cap %d", a.Iterations, DefaultMaxIterations)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/can"
+	"repro/internal/gateway"
+	"repro/internal/rta"
+	"repro/internal/tdma"
+)
+
+// The wiring accessors export a read-only snapshot of the system model,
+// so that one System definition can drive both the compositional
+// analysis (Analyze) and the holistic network simulation
+// (internal/netsim) — the cross-validation the paper's network-level
+// claim rests on.
+
+// BusInfo is the wiring snapshot of one CAN bus.
+type BusInfo struct {
+	Name     string
+	Config   rta.Config
+	Messages []rta.Message
+}
+
+// TDMAInfo is the wiring snapshot of one time-triggered bus.
+type TDMAInfo struct {
+	Name     string
+	Schedule tdma.Schedule
+	Bus      can.Bus
+	Stuffing can.Stuffing
+	Messages []tdma.Message
+}
+
+// GatewayInfo is the wiring snapshot of one gateway.
+type GatewayInfo struct {
+	Name   string
+	Config gateway.Config
+	Flows  []string
+}
+
+// Buses returns the registered CAN buses in registration order.
+func (s *System) Buses() []BusInfo {
+	out := make([]BusInfo, 0, len(s.busNames))
+	for _, name := range s.busNames {
+		b := s.buses[name]
+		out = append(out, BusInfo{
+			Name:     name,
+			Config:   b.cfg,
+			Messages: append([]rta.Message(nil), b.msgs...),
+		})
+	}
+	return out
+}
+
+// TDMABuses returns the registered time-triggered buses in registration
+// order.
+func (s *System) TDMABuses() []TDMAInfo {
+	out := make([]TDMAInfo, 0, len(s.tdmaNames))
+	for _, name := range s.tdmaNames {
+		t := s.tdmas[name]
+		out = append(out, TDMAInfo{
+			Name:     name,
+			Schedule: t.sched,
+			Bus:      t.bus,
+			Stuffing: t.stuffing,
+			Messages: append([]tdma.Message(nil), t.msgs...),
+		})
+	}
+	return out
+}
+
+// Gateways returns the registered gateways in registration order.
+func (s *System) Gateways() []GatewayInfo {
+	out := make([]GatewayInfo, 0, len(s.gwNames))
+	for _, name := range s.gwNames {
+		g := s.gws[name]
+		info := GatewayInfo{Name: name, Config: g.cfg}
+		for _, fl := range g.flows {
+			info.Flows = append(info.Flows, fl.Name)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Links returns the registered event-model propagation links.
+func (s *System) Links() []Link {
+	return append([]Link(nil), s.links...)
+}
+
+// PathList returns the registered end-to-end paths.
+func (s *System) PathList() []Path {
+	return append([]Path(nil), s.paths...)
+}
+
+// IsBus reports whether the named resource is a CAN bus.
+func (s *System) IsBus(name string) bool { return s.buses[name] != nil }
+
+// IsTDMA reports whether the named resource is a time-triggered bus.
+func (s *System) IsTDMA(name string) bool { return s.tdmas[name] != nil }
+
+// IsGateway reports whether the named resource is a gateway.
+func (s *System) IsGateway(name string) bool { return s.gws[name] != nil }

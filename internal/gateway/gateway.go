@@ -261,10 +261,22 @@ func (r *Report) OutFlow(name string) (eventmodel.Model, error) {
 			continue
 		}
 		if fr.Delay == Unbounded {
+			// The saturated sentinel must still be a valid model (the
+			// fixpoint keeps iterating on it): the long-run forward rate
+			// is limited by both the arrival and the service period, and
+			// the spacing floor cannot exceed the period.
+			p := fr.Flow.Arrival.Period
+			if sp := r.Config.Service.Period; sp > p {
+				p = sp
+			}
+			d := r.Config.Service.EffectiveDMin()
+			if d <= 0 || d > p {
+				d = p
+			}
 			return eventmodel.Model{
-				Period:   fr.Flow.Arrival.Period,
+				Period:   p,
 				Jitter:   eventmodel.Unbounded,
-				DMin:     r.Config.Service.Period,
+				DMin:     d,
 				Sporadic: fr.Flow.Arrival.Sporadic,
 			}, nil
 		}

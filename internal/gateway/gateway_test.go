@@ -224,3 +224,98 @@ func TestPolicyString(t *testing.T) {
 		t.Error("policy names")
 	}
 }
+
+func TestOverflowAtExactBacklogBoundary(t *testing.T) {
+	// A bursty diagnostic flow on top of two periodic ones gives a
+	// backlog worth probing around; the overflow flag must flip exactly
+	// at depth == bound.
+	flows := []Flow{
+		{Name: "a", Arrival: eventmodel.PeriodicJitter(10*ms, 2*ms)},
+		{Name: "b", Arrival: eventmodel.PeriodicJitter(20*ms, 4*ms)},
+		{Name: "diag", Arrival: eventmodel.PeriodicBurst(50*ms, 120*ms, 2*ms)},
+	}
+	base := Config{Name: "gw", Service: eventmodel.Periodic(2 * ms)}
+	rep, err := Analyze(flows, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rep.RequiredDepth
+	if bound < 2 {
+		t.Fatalf("fixture too tame: required depth %d", bound)
+	}
+	for depth, wantOverflow := range map[int]bool{
+		bound - 1: true,
+		bound:     false,
+		bound + 1: false,
+	} {
+		cfg := base
+		cfg.QueueDepth = depth
+		rep, err := Analyze(flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Overflow != wantOverflow {
+			t.Errorf("depth %d (bound %d): overflow = %v, want %v",
+				depth, bound, rep.Overflow, wantOverflow)
+		}
+		if rep.RequiredDepth != bound {
+			t.Errorf("depth %d: required depth drifted to %d", depth, rep.RequiredDepth)
+		}
+	}
+}
+
+func TestOverwriteLossAtReArrivalBoundary(t *testing.T) {
+	// Queueing delay exactly equal to the minimum re-arrival distance
+	// is still safe; one tick beyond loses the instance.
+	service := eventmodel.Periodic(6 * ms)
+
+	safe := []Flow{{Name: "f", Arrival: eventmodel.PeriodicJitter(10*ms, 4*ms)}}
+	rep, err := Analyze(safe, Config{Name: "gw", Service: service, Policy: PerMessageBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delay != 6*ms {
+		t.Fatalf("fixture delay = %v, want 6ms", rep.Delay)
+	}
+	if rep.Flows[0].OverwriteLoss {
+		t.Error("delay == min re-arrival flagged as loss")
+	}
+
+	// One microsecond more input jitter shrinks the re-arrival distance
+	// below the delay: overwrite becomes possible.
+	lossy := []Flow{{Name: "f", Arrival: eventmodel.PeriodicJitter(10*ms, 4*ms+time.Microsecond)}}
+	rep, err = Analyze(lossy, Config{Name: "gw", Service: service, Policy: PerMessageBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Flows[0].OverwriteLoss {
+		t.Error("delay > min re-arrival not flagged as loss")
+	}
+	if rep.Overflow {
+		t.Error("per-message buffers must never report FIFO overflow")
+	}
+}
+
+func TestUnboundedOutFlowModelIsValid(t *testing.T) {
+	// A service that cannot keep up yields an unbounded report; the
+	// derived output model must still validate (the compositional
+	// fixpoint keeps iterating on it).
+	flows := []Flow{{Name: "f", Arrival: eventmodel.Periodic(2 * ms)}}
+	rep, err := Analyze(flows, Config{Name: "gw", Service: eventmodel.Periodic(3 * ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delay != Unbounded {
+		t.Fatalf("2ms arrivals on a 3ms service must be unbounded, got %v", rep.Delay)
+	}
+	out, err := rep.OutFlow("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("unbounded out-flow model invalid: %v", err)
+	}
+	if out.Jitter != eventmodel.Unbounded {
+		t.Errorf("unbounded out-flow jitter = %v, want saturated", out.Jitter)
+	}
+}

@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FromSystem derives a simulatable topology from a compositional system
+// model, so one wiring (AddBus/AddTDMABus/AddGateway/Connect/AddPath)
+// drives both core.Analyze and netsim.Run.
+//
+// The mapping: every CAN and TDMA bus is simulated; gateway flows wired
+// through Connect (source message -> flow, flow -> destination message)
+// become forwarding routes; destination messages release by forwarding
+// instead of their local event model. ECU tasks are not simulated —
+// they are analysis-only resources — so registered paths are traced
+// over their bus and gateway hops only, and a path is skipped when its
+// bus hops are not connected by gateway routes (e.g. when an ECU task
+// carries the flow between buses). Use SimulatedPathBound to obtain the
+// matching analytic bound for a traced path.
+func FromSystem(s *core.System) (*Topology, error) {
+	topo := &Topology{}
+
+	for _, b := range s.Buses() {
+		spec := BusSpec{
+			Name:       b.Name,
+			Bus:        b.Config.Bus,
+			Controller: sim.FullCAN,
+			Stuffing:   stuffingMode(b.Config.Stuffing),
+		}
+		for _, m := range b.Messages {
+			spec.Messages = append(spec.Messages, sim.MessageSpec{
+				Name: m.Name, Frame: m.Frame, Event: m.Event, Node: m.Name,
+			})
+		}
+		topo.Buses = append(topo.Buses, spec)
+	}
+	for _, d := range s.TDMABuses() {
+		topo.TDMABuses = append(topo.TDMABuses, TDMABusSpec{
+			Name:     d.Name,
+			Bus:      d.Bus,
+			Stuffing: d.Stuffing,
+			Schedule: d.Schedule,
+			Messages: d.Messages,
+		})
+	}
+	for _, g := range s.Gateways() {
+		topo.Gateways = append(topo.Gateways, GatewaySpec{
+			Name:       g.Name,
+			Service:    g.Config.Service,
+			Batch:      g.Config.Batch,
+			Policy:     g.Config.Policy,
+			QueueDepth: g.Config.QueueDepth,
+		})
+	}
+
+	// Routes: a flow fed by a bus message and forwarded to another bus
+	// message becomes one forwarding relation.
+	type flowKey struct{ gw, flow string }
+	flowIn := map[flowKey]Ref{}
+	flowOut := map[flowKey]Ref{}
+	var flowOrder []flowKey
+	simulated := func(res string) bool { return s.IsBus(res) || s.IsTDMA(res) }
+	for _, l := range s.Links() {
+		if s.IsGateway(l.To.Resource) && simulated(l.From.Resource) {
+			k := flowKey{l.To.Resource, l.To.Element}
+			if _, seen := flowIn[k]; !seen && flowOut[k] == (Ref{}) {
+				flowOrder = append(flowOrder, k)
+			}
+			flowIn[k] = Ref{Bus: l.From.Resource, Message: l.From.Element}
+		}
+		if s.IsGateway(l.From.Resource) && simulated(l.To.Resource) {
+			k := flowKey{l.From.Resource, l.From.Element}
+			if _, seen := flowIn[k]; !seen && flowOut[k] == (Ref{}) {
+				flowOrder = append(flowOrder, k)
+			}
+			flowOut[k] = Ref{Bus: l.To.Resource, Message: l.To.Element}
+		}
+	}
+	for _, k := range flowOrder {
+		in, hasIn := flowIn[k]
+		out, hasOut := flowOut[k]
+		if !hasIn || !hasOut {
+			return nil, fmt.Errorf("netsim: gateway %s flow %s is wired on one side only (in=%v out=%v)",
+				k.gw, k.flow, hasIn, hasOut)
+		}
+		topo.Routes = append(topo.Routes, Route{Gateway: k.gw, From: in, To: out})
+	}
+
+	// Paths: trace the bus hops; require gateway connectivity between
+	// consecutive hops, otherwise skip the path.
+	routed := map[[2]Ref]bool{}
+	for _, r := range topo.Routes {
+		routed[[2]Ref{r.From, r.To}] = true
+	}
+	fed := map[Ref]bool{}
+	for _, r := range topo.Routes {
+		fed[r.To] = true
+	}
+	for _, p := range s.PathList() {
+		var hops []Ref
+		for _, el := range p.Elements {
+			if simulated(el.Resource) {
+				hops = append(hops, Ref{Bus: el.Resource, Message: el.Element})
+			}
+		}
+		if len(hops) == 0 || fed[hops[0]] {
+			continue
+		}
+		ok := true
+		for i := 0; i+1 < len(hops); i++ {
+			if !routed[[2]Ref{hops[i], hops[i+1]}] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		topo.Paths = append(topo.Paths, PathSpec{Name: p.Name, Hops: hops})
+	}
+
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// stuffingMode maps the analytic stuffing assumption onto the simulated
+// frame-length mode.
+func stuffingMode(s can.Stuffing) sim.StuffingMode {
+	if s == can.StuffingNominal {
+		return sim.StuffNominal
+	}
+	return sim.StuffWorst
+}
+
+// SimulatedPathBound sums the analytic hop delays of the named path
+// over the hops netsim actually simulates — bus and TDMA messages plus
+// gateway flow queueing — skipping analysis-only ECU hops. It returns
+// false when the path is unknown or any simulated hop is unbounded.
+// Observed netsim path latencies must stay below this bound; it is at
+// most the full PathResult latency (which adds the ECU hops on top).
+func SimulatedPathBound(s *core.System, a *core.Analysis, name string) (time.Duration, bool) {
+	for _, pr := range a.Paths {
+		if pr.Name != name {
+			continue
+		}
+		total := time.Duration(0)
+		for _, h := range pr.Hops {
+			res := h.Ref.Resource
+			if !s.IsBus(res) && !s.IsTDMA(res) && !s.IsGateway(res) {
+				continue
+			}
+			if h.Delay == core.Unbounded {
+				return core.Unbounded, false
+			}
+			total += h.Delay
+		}
+		return total, true
+	}
+	return 0, false
+}

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+	"repro/internal/osek"
+	"repro/internal/rta"
+)
+
+// gatewaySystem wires the two-bus forwarding scenario as a core.System:
+// an ECU task feeds WheelSpeed on the chassis bus, a gateway forwards
+// it onto the powertrain bus, and an ECU task consumes it.
+func gatewaySystem(t *testing.T, depth int) *core.System {
+	t.Helper()
+	s := core.NewSystem()
+	busCfg := rta.Config{
+		Bus: can.Bus{BitRate: can.Rate500k}, Stuffing: can.StuffingWorstCase,
+		DeadlineModel: rta.DeadlineImplicit,
+	}
+	if err := s.AddECU("senderECU", osek.Config{}, []osek.Task{
+		{Name: "acquire", Priority: 1, WCET: 600 * us, BCET: 400 * us,
+			Event: eventmodel.Periodic(10 * ms), Kind: osek.Preemptive},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("chassis", busCfg, []rta.Message{
+		{Name: "WheelSpeed", Frame: can.Frame{ID: 0x0A0, DLC: 8}, Event: eventmodel.PeriodicJitter(10*ms, 1*ms)},
+		{Name: "Suspension", Frame: can.Frame{ID: 0x150, DLC: 8}, Event: eventmodel.Periodic(20 * ms)},
+		{Name: "Brake", Frame: can.Frame{ID: 0x060, DLC: 6}, Event: eventmodel.PeriodicJitter(5*ms, 1*ms)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGateway("gw", gateway.Config{
+		Service: eventmodel.Periodic(2 * ms), QueueDepth: depth,
+	}, []string{"ws"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("powertrain", busCfg, []rta.Message{
+		{Name: "WheelSpeedPT", Frame: can.Frame{ID: 0x0B0, DLC: 8}, Event: eventmodel.PeriodicJitter(10*ms, 2*ms)},
+		{Name: "EngineTorque", Frame: can.Frame{ID: 0x090, DLC: 8}, Event: eventmodel.PeriodicJitter(10*ms, 2*ms)},
+		{Name: "Lambda", Frame: can.Frame{ID: 0x200, DLC: 4}, Event: eventmodel.Periodic(50 * ms)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	links := [][2]core.ElementRef{
+		{{Resource: "senderECU", Element: "acquire"}, {Resource: "chassis", Element: "WheelSpeed"}},
+		{{Resource: "chassis", Element: "WheelSpeed"}, {Resource: "gw", Element: "ws"}},
+		{{Resource: "gw", Element: "ws"}, {Resource: "powertrain", Element: "WheelSpeedPT"}},
+	}
+	for _, l := range links {
+		if err := s.Connect(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddPath("wheel",
+		core.ElementRef{Resource: "senderECU", Element: "acquire"},
+		core.ElementRef{Resource: "chassis", Element: "WheelSpeed"},
+		core.ElementRef{Resource: "gw", Element: "ws"},
+		core.ElementRef{Resource: "powertrain", Element: "WheelSpeedPT"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFromSystemTopology(t *testing.T) {
+	s := gatewaySystem(t, 8)
+	topo, err := FromSystem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Buses) != 2 || len(topo.Gateways) != 1 || len(topo.Routes) != 1 {
+		t.Fatalf("topology = %d buses, %d gateways, %d routes; want 2/1/1",
+			len(topo.Buses), len(topo.Gateways), len(topo.Routes))
+	}
+	want := Route{Gateway: "gw", From: Ref{"chassis", "WheelSpeed"}, To: Ref{"powertrain", "WheelSpeedPT"}}
+	if topo.Routes[0] != want {
+		t.Errorf("route = %+v, want %+v", topo.Routes[0], want)
+	}
+	// The ECU hop is analysis-only; the traced path keeps the bus hops.
+	if len(topo.Paths) != 1 || len(topo.Paths[0].Hops) != 2 {
+		t.Fatalf("paths = %+v, want one path with 2 hops", topo.Paths)
+	}
+}
+
+// The acceptance property of the subsystem: compositional bounds
+// dominate holistic simulation — path latencies, per-message responses
+// and gateway backlog, across a fan of seeds.
+func TestCrossValidationBoundsDominateSimulation(t *testing.T) {
+	s := gatewaySystem(t, 8)
+	a, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatal("analysis did not converge")
+	}
+	if !a.AllSchedulable() {
+		t.Fatal("fixture must be schedulable for the dominance check")
+	}
+	topo, err := FromSystem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, ok := SimulatedPathBound(s, a, "wheel")
+	if !ok {
+		t.Fatal("no simulated path bound")
+	}
+	full := a.Paths[0].Latency
+	if bound > full {
+		t.Fatalf("simulated-hop bound %v exceeds full path bound %v", bound, full)
+	}
+
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	results, err := RunSeeds(topo, Config{Duration: 2 * time.Second}, seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwRep := a.GatewayReports["gw"]
+	for si, res := range results {
+		p := res.Path("wheel")
+		if p.Completed == 0 {
+			t.Fatalf("seed %d: no path completions", seeds[si])
+		}
+		if p.Dropped != 0 {
+			t.Errorf("seed %d: %d instances dropped on a loss-free dimensioning", seeds[si], p.Dropped)
+		}
+		if p.MaxLatency > bound {
+			t.Errorf("seed %d: observed path latency %v exceeds bound %v", seeds[si], p.MaxLatency, bound)
+		}
+		for _, br := range res.Buses {
+			rep := a.BusReports[br.Name]
+			for _, st := range br.Stats {
+				r := rep.ByName(st.Name)
+				if r.WCRT == rta.Unschedulable || st.Sent == 0 {
+					continue
+				}
+				if st.MaxResponse > r.WCRT {
+					t.Errorf("seed %d: %s/%s observed %v exceeds WCRT %v",
+						seeds[si], br.Name, st.Name, st.MaxResponse, r.WCRT)
+				}
+			}
+		}
+		gw := res.Gateway("gw")
+		if gw.MaxBacklog > gwRep.Backlog {
+			t.Errorf("seed %d: observed backlog %d exceeds bound %d",
+				seeds[si], gw.MaxBacklog, gwRep.Backlog)
+		}
+		if gw.OverflowDrops != 0 {
+			t.Errorf("seed %d: %d drops although depth %d >= required %d",
+				seeds[si], gw.OverflowDrops, 8, gwRep.RequiredDepth)
+		}
+	}
+}
+
+func TestFromSystemRejectsHalfWiredFlow(t *testing.T) {
+	s := gatewaySystem(t, 0)
+	// A second flow fed from the bus but never forwarded anywhere.
+	if err := s.AddGateway("gw2", gateway.Config{Service: eventmodel.Periodic(2 * ms)},
+		[]string{"dangling"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(
+		core.ElementRef{Resource: "chassis", Element: "Brake"},
+		core.ElementRef{Resource: "gw2", Element: "dangling"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSystem(s); err == nil {
+		t.Error("half-wired gateway flow accepted")
+	}
+}

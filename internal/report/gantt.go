@@ -19,21 +19,71 @@ func Gantt(trace []sim.Event, messages []string, start, end time.Duration, width
 	if end <= start {
 		return "(empty window)\n"
 	}
+	nameW := 0
+	for _, m := range messages {
+		if len(m) > nameW {
+			nameW = len(m)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(ganttRows(trace, messages, start, end, width, nameW))
+	writeGanttFooter(&b, start, end, width, nameW)
+	return b.String()
+}
+
+// BusTrace is one bus's lane stack of a network Gantt.
+type BusTrace struct {
+	// Name identifies the bus.
+	Name string
+	// Messages lists the lanes, in display order.
+	Messages []string
+	// Trace holds the bus's recorded events.
+	Trace []sim.Event
+}
+
+// NetworkGantt renders the traces of a whole topology: one lane stack
+// per bus over a shared time axis, with a single footer — the
+// network-level view of the paper's Figure 2 communication pattern.
+func NetworkGantt(buses []BusTrace, start, end time.Duration, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if end <= start {
+		return "(empty window)\n"
+	}
+	nameW := 0
+	for _, bt := range buses {
+		for _, m := range bt.Messages {
+			if len(m) > nameW {
+				nameW = len(m)
+			}
+		}
+		if len(bt.Name)+3 > nameW {
+			nameW = len(bt.Name) + 3
+		}
+	}
+	var b strings.Builder
+	for _, bt := range buses {
+		fmt.Fprintf(&b, "== %s ==\n", bt.Name)
+		b.WriteString(ganttRows(bt.Trace, bt.Messages, start, end, width, nameW))
+	}
+	writeGanttFooter(&b, start, end, width, nameW)
+	return b.String()
+}
+
+// ganttRows renders the message lanes without axis or legend.
+func ganttRows(trace []sim.Event, messages []string, start, end time.Duration, width, nameW int) string {
 	span := end - start
 	bin := func(t time.Duration) int {
 		return int(int64(t-start) * int64(width) / int64(span))
 	}
 	rows := make(map[string][]rune, len(messages))
-	nameW := 0
 	for _, m := range messages {
 		row := make([]rune, width)
 		for i := range row {
 			row[i] = '.'
 		}
 		rows[m] = row
-		if len(m) > nameW {
-			nameW = len(m)
-		}
 	}
 	for _, ev := range trace {
 		row, ok := rows[ev.Message]
@@ -62,7 +112,11 @@ func Gantt(trace []sim.Event, messages []string, start, end time.Duration, width
 	for _, m := range messages {
 		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, m, string(rows[m]))
 	}
-	fmt.Fprintf(&b, "%-*s  %v%*v\n", nameW, "", start, width-len(fmt.Sprint(start)), end)
-	b.WriteString(fmt.Sprintf("%-*s  # transmission   x error + recovery   . idle/off-bus\n", nameW, ""))
 	return b.String()
+}
+
+// writeGanttFooter writes the shared time axis and legend.
+func writeGanttFooter(b *strings.Builder, start, end time.Duration, width, nameW int) {
+	fmt.Fprintf(b, "%-*s  %v%*v\n", nameW, "", start, width-len(fmt.Sprint(start)), end)
+	fmt.Fprintf(b, "%-*s  # transmission   x error + recovery   . idle/off-bus\n", nameW, "")
 }

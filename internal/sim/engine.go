@@ -4,8 +4,6 @@ import (
 	"math/rand"
 	"sort"
 	"time"
-
-	"repro/internal/can"
 )
 
 // The engine is an indexed event calendar. The seed implementation
@@ -57,26 +55,6 @@ func (st *stream) advance(rng *rand.Rand, horizon time.Duration) {
 	st.nextNominal += st.spec.Event.Period
 }
 
-// ring is a fixed-capacity FIFO of stream indices. Its capacity is the
-// number of streams on the node: the one-deep sender buffer admits at
-// most one queue slot per stream, so the ring cannot overflow.
-type ring struct {
-	buf        []int32
-	head, size int
-}
-
-func (r *ring) push(i int32) {
-	r.buf[(r.head+r.size)%len(r.buf)] = i
-	r.size++
-}
-
-func (r *ring) pop() int32 {
-	v := r.buf[r.head]
-	r.head = (r.head + 1) % len(r.buf)
-	r.size--
-	return v
-}
-
 // engine holds the calendar state of one run.
 type engine struct {
 	cfg     Config
@@ -87,10 +65,10 @@ type engine struct {
 	calendar []int32 // release heap: stream indices keyed by nextActual
 	dueBuf   []int32 // scratch buffer for releases due at one instant
 
-	rankToStream []int32 // static rank -> stream index
-	ready        []int32 // fullCAN: min-heap of pending ranks
-	heads        []int32 // basicCAN: min-heap of node-head ranks
-	nodeQueues   []ring  // basicCAN: per-node FIFO of pending streams
+	rankToStream []int32  // static rank -> stream index
+	ready        RankHeap // fullCAN: min-heap of pending ranks
+	heads        RankHeap // basicCAN: min-heap of node-head ranks
+	nodeQueues   []Ring   // basicCAN: per-node FIFO of pending streams
 }
 
 // Run simulates the message set on one bus.
@@ -151,13 +129,13 @@ func newEngine(specs []MessageSpec, cfg Config) *engine {
 			e.streams[i].node = id
 			counts[id]++
 		}
-		e.nodeQueues = make([]ring, len(counts))
+		e.nodeQueues = make([]Ring, len(counts))
 		for id, c := range counts {
-			e.nodeQueues[id] = ring{buf: make([]int32, c)}
+			e.nodeQueues[id] = NewRing(c)
 		}
-		e.heads = make([]int32, 0, len(counts))
+		e.heads = make(RankHeap, 0, len(counts))
 	} else {
-		e.ready = make([]int32, 0, n)
+		e.ready = make(RankHeap, 0, n)
 	}
 
 	for i := range e.streams {
@@ -185,7 +163,7 @@ func (e *engine) run() {
 			continue
 		}
 		winner := &e.streams[w]
-		c := frameTime(cfg, e.rng, winner.spec.Frame)
+		c := DrawFrameTime(cfg.Bus, cfg.Stuffing, e.rng, winner.spec.Frame)
 		start := now
 		end := start + c
 
@@ -274,12 +252,12 @@ func (e *engine) release(i int32, at time.Duration) {
 		stats.Lost++
 	} else if e.cfg.Controller == BasicCAN {
 		q := &e.nodeQueues[st.node]
-		if q.size == 0 {
-			e.heads = rankPush(e.heads, st.rank)
+		if q.Len() == 0 {
+			e.heads.Push(st.rank)
 		}
-		q.push(i)
+		q.Push(i)
 	} else {
-		e.ready = rankPush(e.ready, st.rank)
+		e.ready.Push(st.rank)
 	}
 	st.hasPending = true
 	st.queuedAt = at
@@ -292,15 +270,15 @@ func (e *engine) complete(w int32) {
 	st := &e.streams[w]
 	st.hasPending = false
 	if e.cfg.Controller == BasicCAN {
-		e.heads = rankPopMin(e.heads)
+		e.heads.PopMin()
 		q := &e.nodeQueues[st.node]
-		q.pop()
-		if q.size > 0 {
-			e.heads = rankPush(e.heads, e.streams[q.buf[q.head]].rank)
+		q.Pop()
+		if q.Len() > 0 {
+			e.heads.Push(e.streams[q.Head()].rank)
 		}
 		return
 	}
-	e.ready = rankPopMin(e.ready)
+	e.ready.PopMin()
 }
 
 // arbitrate returns the stream index winning the bus, or -1 when idle:
@@ -308,15 +286,15 @@ func (e *engine) complete(w int32) {
 // FIFO heads (basicCAN).
 func (e *engine) arbitrate() int32 {
 	if e.cfg.Controller == BasicCAN {
-		if len(e.heads) == 0 {
+		if e.heads.Len() == 0 {
 			return -1
 		}
-		return e.rankToStream[e.heads[0]]
+		return e.rankToStream[e.heads.Min()]
 	}
-	if len(e.ready) == 0 {
+	if e.ready.Len() == 0 {
 		return -1
 	}
-	return e.rankToStream[e.ready[0]]
+	return e.rankToStream[e.ready.Min()]
 }
 
 // nextRelease peeks the calendar, or -1 when every stream is exhausted.
@@ -392,46 +370,6 @@ func (e *engine) calendarPop() int32 {
 	return root
 }
 
-// ---------------------------------------------------------------------
-// Ready heaps: plain min-heaps of priority ranks.
-// ---------------------------------------------------------------------
-
-func rankPush(h []int32, r int32) []int32 {
-	h = append(h, r)
-	child := len(h) - 1
-	for child > 0 {
-		parent := (child - 1) / 2
-		if h[parent] <= h[child] {
-			break
-		}
-		h[child], h[parent] = h[parent], h[child]
-		child = parent
-	}
-	return h
-}
-
-func rankPopMin(h []int32) []int32 {
-	last := len(h) - 1
-	h[0] = h[last]
-	h = h[:last]
-	parent := 0
-	for {
-		child := 2*parent + 1
-		if child >= len(h) {
-			break
-		}
-		if r := child + 1; r < len(h) && h[r] < h[child] {
-			child = r
-		}
-		if h[child] >= h[parent] {
-			break
-		}
-		h[parent], h[child] = h[child], h[parent]
-		parent = child
-	}
-	return h
-}
-
 // insertionSort orders the due buffer ascending; it is almost always
 // tiny (a handful of simultaneous releases), so this beats sort.Slice
 // and allocates nothing.
@@ -444,18 +382,5 @@ func insertionSort(a []int32) {
 			j--
 		}
 		a[j+1] = v
-	}
-}
-
-// frameTime draws the wire time of one transmission.
-func frameTime(cfg Config, rng *rand.Rand, f can.Frame) time.Duration {
-	switch cfg.Stuffing {
-	case StuffNominal:
-		return cfg.Bus.WireTime(f.BitsNominal())
-	case StuffRandom:
-		span := f.MaxStuffBits()
-		return cfg.Bus.WireTime(f.BitsNominal() + rng.Intn(span+1))
-	default:
-		return cfg.Bus.WireTime(f.BitsWorstCase())
 	}
 }

@@ -107,7 +107,7 @@ func refRun(specs []MessageSpec, cfg Config) (*Result, error) {
 			now = next
 			continue
 		}
-		c := frameTime(cfg, rng, winner.spec.Frame)
+		c := DrawFrameTime(cfg.Bus, cfg.Stuffing, rng, winner.spec.Frame)
 		start := now
 		end := start + c
 

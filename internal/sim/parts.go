@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/can"
+)
+
+// This file exports the small building blocks of the event-calendar
+// engine so that the network simulator (package netsim) can instantiate
+// per-bus engines from the same machinery instead of re-implementing
+// it. The single-bus engine below uses exactly these primitives; the
+// golden tests pin that the refactor left its behaviour bit-identical.
+
+// RankHeap is a binary min-heap of static priority ranks. The minimum
+// rank wins arbitration; ranks are unique per bus (identifiers are
+// unique), so the heap order is a total order.
+type RankHeap []int32
+
+// Push inserts a rank.
+func (h *RankHeap) Push(r int32) {
+	a := append(*h, r)
+	child := len(a) - 1
+	for child > 0 {
+		parent := (child - 1) / 2
+		if a[parent] <= a[child] {
+			break
+		}
+		a[child], a[parent] = a[parent], a[child]
+		child = parent
+	}
+	*h = a
+}
+
+// PopMin removes the minimum rank.
+func (h *RankHeap) PopMin() {
+	a := *h
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	parent := 0
+	for {
+		child := 2*parent + 1
+		if child >= len(a) {
+			break
+		}
+		if r := child + 1; r < len(a) && a[r] < a[child] {
+			child = r
+		}
+		if a[child] >= a[parent] {
+			break
+		}
+		a[parent], a[child] = a[child], a[parent]
+		parent = child
+	}
+	*h = a
+}
+
+// Min returns the minimum rank; the heap must be non-empty.
+func (h RankHeap) Min() int32 { return h[0] }
+
+// Len returns the number of queued ranks.
+func (h RankHeap) Len() int { return len(h) }
+
+// Ring is a fixed-capacity FIFO of stream indices — the software queue
+// of a basicCAN controller. Capacity is the number of streams on the
+// node: the one-deep sender buffer admits at most one slot per stream,
+// so the ring cannot overflow.
+type Ring struct {
+	buf        []int32
+	head, size int
+}
+
+// NewRing returns a ring for up to capacity entries.
+func NewRing(capacity int) Ring {
+	return Ring{buf: make([]int32, capacity)}
+}
+
+// Push appends a stream index.
+func (r *Ring) Push(i int32) {
+	r.buf[(r.head+r.size)%len(r.buf)] = i
+	r.size++
+}
+
+// Pop removes and returns the oldest entry.
+func (r *Ring) Pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v
+}
+
+// Head returns the oldest entry without removing it.
+func (r *Ring) Head() int32 { return r.buf[r.head] }
+
+// Len returns the number of queued entries.
+func (r *Ring) Len() int { return r.size }
+
+// DrawFrameTime draws the wire time of one transmission under the
+// stuffing mode, consuming one RNG value in StuffRandom mode.
+func DrawFrameTime(bus can.Bus, mode StuffingMode, rng *rand.Rand, f can.Frame) time.Duration {
+	switch mode {
+	case StuffNominal:
+		return bus.WireTime(f.BitsNominal())
+	case StuffRandom:
+		span := f.MaxStuffBits()
+		return bus.WireTime(f.BitsNominal() + rng.Intn(span+1))
+	default:
+		return bus.WireTime(f.BitsWorstCase())
+	}
+}
