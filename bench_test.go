@@ -18,6 +18,7 @@ import (
 	"repro/internal/sensitivity"
 	"repro/internal/sim"
 	"repro/internal/tdma"
+	"repro/internal/whatif"
 )
 
 // ---------------------------------------------------------------------
@@ -731,4 +732,129 @@ func BenchmarkNetSimSeeds(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(seeds))*0.25, "sim_seconds_per_op")
+}
+
+// ---------------------------------------------------------------------
+// What-if engine: incremental re-verification vs. from-scratch analysis
+// ---------------------------------------------------------------------
+
+// whatIfCase returns the 88-message case-study matrix, its worst-case
+// analysis configuration, and the lowest-priority message (the natural
+// single-edit scenario: a revision to anything higher-priority dirties
+// everything below it by construction of the interference equations).
+func whatIfCase(b *testing.B) (*kmatrix.KMatrix, rta.Config, string) {
+	b.Helper()
+	k := experiments.DefaultMatrix()
+	cfg := experiments.WorstCaseAnalysis()
+	cfg.Bus = k.Bus()
+	rep, err := rta.Analyze(k.ToRTA(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k, cfg, rep.Results[len(rep.Results)-1].Message.Name
+}
+
+// BenchmarkWhatIf is the headline incremental-speedup benchmark: a
+// single-message jitter edit on the 88-message power-train matrix,
+// re-verified through a what-if session versus a from-scratch Analyze
+// of the whole system. Every iteration applies a fresh jitter value, so
+// the edited message is genuinely re-analysed (no revert hits); the
+// speedup comes from the untouched interference prefix and the
+// memoized fixpoint rounds. The "speedup" metric is the ratio of the
+// from-scratch system analysis to one incremental re-verification.
+func BenchmarkWhatIf(b *testing.B) {
+	k, cfg, edited := whatIfCase(b)
+	sys := core.NewSystem()
+	if err := sys.AddBus(k.BusName, cfg, k.ToRTA()); err != nil {
+		b.Fatal(err)
+	}
+
+	// From-scratch cost of the same re-verification (core.Analyze runs
+	// the fixpoint plus the final verification pass).
+	const fullReps = 10
+	fullStart := time.Now()
+	for i := 0; i < fullReps; i++ {
+		if _, err := sys.Analyze(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fullPerOp := time.Since(fullStart) / fullReps
+
+	sess := whatif.NewSystemSession(sys, whatif.Options{Workers: 1})
+	if _, err := sess.Analyze(0); err != nil {
+		b.Fatal(err) // warm base
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Apply(whatif.SetEventJitter{
+			Resource: k.BusName, Element: edited,
+			Jitter: time.Duration(i+1) * time.Microsecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Analyze(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	incPerOp := b.Elapsed() / time.Duration(b.N)
+	if incPerOp > 0 {
+		b.ReportMetric(float64(fullPerOp)/float64(incPerOp), "speedup")
+	}
+}
+
+// BenchmarkWhatIfBus isolates the bus layer: the same single edit
+// through rta.AnalyzeCached (per-message memoization only) versus the
+// clone-and-analyze path the sweeps used before. Sub-benchmarks allow a
+// direct ns/op comparison.
+func BenchmarkWhatIfBus(b *testing.B) {
+	k, cfg, edited := whatIfCase(b)
+	b.Run("FullClone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			variant := k.Clone()
+			variant.ByName(edited).Jitter = time.Duration(i+1) * time.Microsecond
+			if _, err := rta.Analyze(variant.ToRTA(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Incremental", func(b *testing.B) {
+		sess := whatif.NewBusSession(k, cfg, whatif.Options{Workers: 1})
+		if _, err := sess.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.Apply(whatif.SetJitter{
+				Message: edited, Jitter: time.Duration(i+1) * time.Microsecond,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Analyze(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWhatIfToleranceTable measures the supplier-requirements
+// search end to end: the shared store lets all bisection probes of all
+// rows reuse each other's untouched prefixes.
+func BenchmarkWhatIfToleranceTable(b *testing.B) {
+	k := experiments.DefaultMatrix()
+	cfg := sensitivity.SweepConfig{Analysis: experiments.WorstCaseAnalysis()}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"Incremental", false}, {"FullClone", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.DisableWhatIf = mode.disable
+				if _, err := sensitivity.ToleranceTable(k, c, 0.1, 1.0, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -14,6 +14,7 @@
 //	symtago validate [-seeds n] [-duration d] [-controller full|basic] [-workers n]
 //	symtago netsim   [-seeds n] [-duration d] [-workers n] [-shallow] [-gantt] [-window d]
 //	symtago contract requirements|guarantees|check ...
+//	symtago whatif   [-kmatrix file] [-scenario best|worst] [-script file] [-all]
 //	symtago tolerance [-kmatrix file] [-operating s] [-top n]
 //	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
 //
@@ -61,6 +62,8 @@ func main() {
 		err = cmdNetsim(os.Args[2:])
 	case "contract":
 		err = cmdContract(os.Args[2:])
+	case "whatif":
+		err = cmdWhatIf(os.Args[2:])
 	case "tolerance":
 		err = cmdTolerance(os.Args[2:])
 	case "extend":
@@ -140,6 +143,7 @@ commands:
   validate     Monte-Carlo batch simulation vs. analytic bounds
   netsim       network-of-buses simulation vs. compositional bounds
   contract     emit/check supply-chain data sheets and specs (Figure 6)
+  whatif       incremental re-verification of a change script (supplier revision)
   tolerance    per-message maximum send jitter (supplier requirements)
   extend       how many more messages fit (Section 2's extensibility)
 

@@ -1,0 +1,92 @@
+package contenthash
+
+import "testing"
+
+func TestDeterministic(t *testing.T) {
+	mk := func() Digest {
+		h := New(7)
+		h.Word(42)
+		h.String("EngineTorque1")
+		h.Int(-3)
+		h.Bool(true)
+		return h.Sum()
+	}
+	if mk() != mk() {
+		t.Fatal("equal inputs produced different digests")
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	base := func() Hasher {
+		h := New(1)
+		h.Word(10)
+		h.String("m")
+		return h
+	}
+	ref := base().Sum()
+	variants := []func() Digest{
+		func() Digest { h := New(2); h.Word(10); h.String("m"); return h.Sum() }, // tag
+		func() Digest { h := New(1); h.Word(11); h.String("m"); return h.Sum() }, // word value
+		func() Digest { h := New(1); h.String("m"); h.Word(10); return h.Sum() }, // order
+		func() Digest { h := New(1); h.Word(10); h.String("n"); return h.Sum() }, // string content
+		func() Digest { h := New(1); h.Word(10); h.String("m"); h.Word(0); return h.Sum() }, // length
+		func() Digest { h := base(); h.Bool(true); return h.Sum() },
+		func() Digest { h := base(); h.Bool(false); return h.Sum() },
+	}
+	seen := map[Digest]bool{ref: true}
+	for i, v := range variants {
+		d := v()
+		if seen[d] {
+			t.Fatalf("variant %d collided with an earlier digest", i)
+		}
+		seen[d] = true
+	}
+}
+
+// TestStringFraming checks that string boundaries cannot alias: "ab"+"c"
+// must differ from "a"+"bc".
+func TestStringFraming(t *testing.T) {
+	h1 := New(1)
+	h1.String("ab")
+	h1.String("c")
+	h2 := New(1)
+	h2.String("a")
+	h2.String("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("string framing allows boundary aliasing")
+	}
+}
+
+// TestSnapshot checks the prefix-chaining property: summing a copy does
+// not disturb the running state.
+func TestSnapshot(t *testing.T) {
+	h := New(1)
+	h.Word(1)
+	snap := h
+	_ = snap.Sum()
+	h.Word(2)
+
+	ref := New(1)
+	ref.Word(1)
+	ref.Word(2)
+	if h.Sum() != ref.Sum() {
+		t.Fatal("Sum on a snapshot disturbed the running hasher")
+	}
+}
+
+// TestSpread is a smoke test that digests of a dense counter family do
+// not collide (catches catastrophically bad mixing).
+func TestSpread(t *testing.T) {
+	seen := make(map[Digest]bool, 40000)
+	for tag := uint64(0); tag < 4; tag++ {
+		for x := uint64(0); x < 10000; x++ {
+			h := New(tag)
+			h.Word(x)
+			d := h.Sum()
+			if seen[d] {
+				t.Fatalf("collision at tag=%d x=%d", tag, x)
+			}
+			seen[d] = true
+		}
+	}
+}

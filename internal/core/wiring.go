@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/can"
 	"repro/internal/gateway"
+	"repro/internal/osek"
 	"repro/internal/rta"
 	"repro/internal/tdma"
 )
@@ -18,6 +19,13 @@ type BusInfo struct {
 	Name     string
 	Config   rta.Config
 	Messages []rta.Message
+}
+
+// ECUInfo is the wiring snapshot of one ECU.
+type ECUInfo struct {
+	Name   string
+	Config osek.Config
+	Tasks  []osek.Task
 }
 
 // TDMAInfo is the wiring snapshot of one time-triggered bus.
@@ -45,6 +53,20 @@ func (s *System) Buses() []BusInfo {
 			Name:     name,
 			Config:   b.cfg,
 			Messages: append([]rta.Message(nil), b.msgs...),
+		})
+	}
+	return out
+}
+
+// ECUs returns the registered ECUs in registration order.
+func (s *System) ECUs() []ECUInfo {
+	out := make([]ECUInfo, 0, len(s.ecuNames))
+	for _, name := range s.ecuNames {
+		e := s.ecus[name]
+		out = append(out, ECUInfo{
+			Name:   name,
+			Config: e.cfg,
+			Tasks:  append([]osek.Task(nil), e.tasks...),
 		})
 	}
 	return out

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestIterationLoop(t *testing.T) {
+	l, err := RunIterationLoop(IterationLoopParams{Variants: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Verified {
+		t.Fatal("incremental reports were not bit-identical to full analyses")
+	}
+	if l.Reanalysed >= l.FullWork {
+		t.Fatalf("no work avoided: %d analysed of %d full", l.Reanalysed, l.FullWork)
+	}
+	if l.Reused == 0 {
+		t.Fatal("no results reused")
+	}
+	if l.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestIterationLoopDeterministic(t *testing.T) {
+	a, err := RunIterationLoop(IterationLoopParams{Variants: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIterationLoop(IterationLoopParams{Variants: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -88,6 +88,15 @@ func (m Message) Validate() error {
 	return nil
 }
 
+// ScaleJitter sets the send jitter to scale times the period — the
+// paper's what-if assumption for one row. Both the sweep clone path
+// (WithJitterScale) and the incremental ChangeSet path
+// (whatif.ScaleJitter) go through this one formula, keeping the two
+// bit-identical.
+func (m *Message) ScaleJitter(scale float64) {
+	m.Jitter = time.Duration(scale * float64(m.Period))
+}
+
 // EventModel returns the activation model of the message: periodic with
 // the recorded (or assumed) jitter, capped to stay well formed when the
 // jitter reaches the period.
@@ -233,7 +242,7 @@ func (k *KMatrix) WithJitterScale(scale float64, onlyUnknown bool) *KMatrix {
 		if onlyUnknown && m.JitterKnown {
 			continue
 		}
-		m.Jitter = time.Duration(scale * float64(m.Period))
+		m.ScaleJitter(scale)
 	}
 	return out
 }

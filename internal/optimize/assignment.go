@@ -24,6 +24,7 @@ import (
 	"repro/internal/kmatrix"
 	"repro/internal/parallel"
 	"repro/internal/rta"
+	"repro/internal/whatif"
 )
 
 // Assignment maps message names to CAN identifiers. Only assignments
@@ -121,12 +122,20 @@ func RateMonotonic(k *kmatrix.KMatrix) Assignment {
 // one chunk of extra analyses), and the picked candidate is always the
 // lowest-index schedulable one, so the result is identical to the
 // serial search for every worker count.
+//
+// The candidate analyses run through a shared content-addressed store:
+// within a level all candidates agree on the already-placed suffix, and
+// across levels the unassigned block shrinks by one, so consecutive
+// trials share most of their priority prefix. Cached per-message
+// results are bit-identical to recomputation, keeping the search
+// deterministic.
 func Audsley(k *kmatrix.KMatrix, cfg rta.Config) (a Assignment, feasible bool, err error) {
 	cfg.Bus = k.Bus()
 	n := len(k.Messages)
 	if n >= 0x100 {
 		return nil, false, fmt.Errorf("optimize: Audsley supports at most %d messages, got %d", 0x100-1, n)
 	}
+	cache := whatif.NewStore(0)
 	workers := parallel.Workers(0)
 	unassigned := identityOrder(n)
 	order := make([]int, n) // order[rank] = message index
@@ -143,7 +152,7 @@ func Audsley(k *kmatrix.KMatrix, cfg rta.Config) (a Assignment, feasible bool, e
 			oks := make([]bool, len(chunk))
 			aerrs := make([]error, len(chunk))
 			parallel.For(len(chunk), workers, func(_, ci int) {
-				oks[ci], aerrs[ci] = schedulableAtLevel(k, cfg, unassigned, below, chunk[ci])
+				oks[ci], aerrs[ci] = schedulableAtLevel(k, cfg, unassigned, below, chunk[ci], cache)
 			})
 			if aerr := parallel.FirstError(aerrs); aerr != nil {
 				return nil, false, aerr
@@ -175,7 +184,7 @@ func Audsley(k *kmatrix.KMatrix, cfg rta.Config) (a Assignment, feasible bool, e
 // Audsley's optimality argument applies because the candidate's response
 // time depends only on which messages are above and below, not on their
 // relative order.
-func schedulableAtLevel(k *kmatrix.KMatrix, cfg rta.Config, unassigned, below []int, cand int) (bool, error) {
+func schedulableAtLevel(k *kmatrix.KMatrix, cfg rta.Config, unassigned, below []int, cand int, cache rta.ResultCache) (bool, error) {
 	trial := make([]rta.Message, 0, len(unassigned)+len(below))
 	for i, idx := range unassigned {
 		m := k.Messages[idx].ToRTA()
@@ -191,7 +200,7 @@ func schedulableAtLevel(k *kmatrix.KMatrix, cfg rta.Config, unassigned, below []
 		m.Frame.ID = can.ID(0x200 + i) // below the candidate
 		trial = append(trial, m)
 	}
-	rep, err := rta.Analyze(trial, cfg)
+	rep, err := rta.AnalyzeCached(trial, cfg, cache, 1)
 	if err != nil {
 		return false, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/kmatrix"
 	"repro/internal/parallel"
 	"repro/internal/rta"
+	"repro/internal/whatif"
 )
 
 // Objectives is the two-dimensional fitness of a priority assignment.
@@ -56,32 +57,72 @@ type evaluator struct {
 	robustScale float64
 	// onlyUnknown mirrors SweepConfig.OnlyUnknown.
 	onlyUnknown bool
+	// pool hands out per-worker incremental what-if sessions sharing
+	// one content-addressed store: candidates that agree on a
+	// high-priority prefix (common as the population converges) share
+	// the converged results of that prefix instead of re-deriving them
+	// per clone. Nil when the incremental engine is disabled —
+	// evaluation then clones the matrix per candidate (Apply +
+	// WithJitterScale).
+	pool *whatif.SessionPool
 }
 
-// evalOrder scores the priority order (order[0] = highest priority).
-func (e *evaluator) evalOrder(order []int) (Objectives, error) {
-	return e.evalAssignment(fromOrder(e.k, order))
+// enableWhatIf arms the evaluator with per-worker sessions.
+func (e *evaluator) enableWhatIf(workers int) {
+	e.pool = whatif.NewSessionPool(e.k, e.cfg, nil, workers)
+}
+
+// session returns worker w's lazily created session, or nil when the
+// incremental engine is disabled.
+func (e *evaluator) session(worker int) *whatif.BusSession {
+	if e.pool == nil {
+		return nil
+	}
+	return e.pool.Session(worker)
 }
 
 // evalAll scores a set of individuals on a worker pool. Every
-// evaluation reads only the shared matrix and configuration (the
-// per-individual matrices are clones), so the fan-out is free of shared
-// state and the scores are independent of the worker count.
+// evaluation reads only the shared matrix and configuration, and the
+// shared store is content-addressed, so the fan-out is free of
+// order-dependent state and the scores are independent of the worker
+// count.
 func (e *evaluator) evalAll(inds []*individual, workers int) error {
 	errs := make([]error, len(inds))
-	parallel.For(len(inds), workers, func(_, i int) {
-		inds[i].obj, errs[i] = e.evalOrder(inds[i].order)
+	parallel.For(len(inds), workers, func(worker, i int) {
+		inds[i].obj, errs[i] = e.evalAssignmentOn(worker, fromOrder(e.k, inds[i].order))
 	})
 	return parallel.FirstError(errs)
 }
 
-// evalAssignment scores an arbitrary assignment.
+// evalAssignment scores an arbitrary assignment on worker 0's session.
 func (e *evaluator) evalAssignment(a Assignment) (Objectives, error) {
+	return e.evalAssignmentOn(0, a)
+}
+
+// evalAssignmentOn scores an assignment, reusing worker w's session.
+func (e *evaluator) evalAssignmentOn(worker int, a Assignment) (Objectives, error) {
+	sess := e.session(worker)
+	var applied *kmatrix.KMatrix
+	if sess == nil {
+		applied = Apply(e.k, a)
+	}
+	analyze := func(scale float64) (*rta.Report, error) {
+		if sess == nil {
+			return e.analyzeAt(applied, scale)
+		}
+		sess.Reset()
+		if err := sess.Apply(
+			whatif.AssignIDs{IDs: a},
+			whatif.ScaleJitter{Scale: scale, OnlyUnknown: e.onlyUnknown},
+		); err != nil {
+			return nil, err
+		}
+		return sess.Analyze()
+	}
 	var obj Objectives
-	applied := Apply(e.k, a)
 	robustDone := false
 	for _, scale := range e.scales {
-		rep, err := e.analyzeAt(applied, scale)
+		rep, err := analyze(scale)
 		if err != nil {
 			return obj, err
 		}
@@ -92,7 +133,7 @@ func (e *evaluator) evalAssignment(a Assignment) (Objectives, error) {
 		}
 	}
 	if !robustDone {
-		rep, err := e.analyzeAt(applied, e.robustScale)
+		rep, err := analyze(e.robustScale)
 		if err != nil {
 			return obj, err
 		}

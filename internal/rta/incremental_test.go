@@ -1,0 +1,227 @@
+package rta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/contenthash"
+	"repro/internal/errormodel"
+	"repro/internal/eventmodel"
+)
+
+// mapCache is an unbounded ResultCache with counters for tests.
+type mapCache struct {
+	m            map[contenthash.Digest]any
+	hits, misses int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[contenthash.Digest]any{}} }
+
+func (c *mapCache) Get(key contenthash.Digest) (any, bool) {
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *mapCache) Put(key contenthash.Digest, v any) { c.m[key] = v }
+
+func incrementalConfigs() []Config {
+	bus := can.Bus{Name: "test", BitRate: can.Rate500k}
+	return []Config{
+		{Bus: bus},
+		{Bus: bus, Stuffing: can.StuffingWorstCase, DeadlineModel: DeadlineMinReArrival},
+		{Bus: bus, Stuffing: can.StuffingWorstCase,
+			Errors: errormodel.Burst{Interval: 10 * time.Millisecond, Length: 3, Gap: 100 * time.Microsecond}},
+		{Bus: bus, Errors: errormodel.Sporadic{Interval: 5 * time.Millisecond}},
+		{Bus: bus, ClassicSingleInstance: true},
+	}
+}
+
+// TestAnalyzeCachedMatchesAnalyze checks bit-identity on cold and warm
+// caches across configurations and worker counts.
+func TestAnalyzeCachedMatchesAnalyze(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for ci, cfg := range incrementalConfigs() {
+		msgs := randomMessages(rng, 24)
+		want, err := Analyze(msgs, cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", ci, err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			cache := newMapCache()
+			for pass := 0; pass < 2; pass++ {
+				got, err := AnalyzeCached(msgs, cfg, cache, workers)
+				if err != nil {
+					t.Fatalf("cfg %d workers %d: %v", ci, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("cfg %d workers %d pass %d: cached report differs", ci, workers, pass)
+				}
+			}
+			if cache.hits != len(msgs) || cache.misses != len(msgs) {
+				t.Fatalf("cfg %d workers %d: want %d hits / %d misses over two passes, got %d/%d",
+					ci, workers, len(msgs), len(msgs), cache.hits, cache.misses)
+			}
+		}
+	}
+}
+
+// TestAnalyzeCachedEditInvalidation checks that an edit re-uses exactly
+// the untouched higher-priority prefix and recomputes correctly.
+func TestAnalyzeCachedEditInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := Config{Bus: can.Bus{Name: "test", BitRate: can.Rate500k}}
+	msgs := randomMessages(rng, 20)
+	cache := newMapCache()
+	if _, err := AnalyzeCached(msgs, cfg, cache, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A jitter edit at rank r leaves wire times (and thus blocking)
+	// untouched: ranks above r must all hit.
+	const editRank = 15
+	edited := append([]Message(nil), msgs...)
+	for i := range edited {
+		if edited[i].Frame.ID == can.ID(0x80+4*editRank) {
+			edited[i].Event.Jitter += 123 * time.Microsecond
+		}
+	}
+	cache.hits, cache.misses = 0, 0
+	got, err := AnalyzeCached(edited, cfg, cache, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != editRank || cache.misses != len(msgs)-editRank {
+		t.Fatalf("edit at rank %d: want %d hits / %d misses, got %d/%d",
+			editRank, editRank, len(msgs)-editRank, cache.hits, cache.misses)
+	}
+	want, err := Analyze(edited, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("edited incremental report differs from from-scratch analysis")
+	}
+}
+
+// TestAnalyzeCachedErrorParity checks that invalid inputs fail the same
+// way as Analyze.
+func TestAnalyzeCachedErrorParity(t *testing.T) {
+	cfg := Config{Bus: can.Bus{Name: "test", BitRate: can.Rate500k}}
+	msgs := []Message{
+		{Name: "A", Frame: can.Frame{ID: 1, DLC: 1}, Event: eventmodel.Periodic(time.Millisecond)},
+		{Name: "B", Frame: can.Frame{ID: 1, DLC: 1}, Event: eventmodel.Periodic(time.Millisecond)},
+	}
+	_, wantErr := Analyze(msgs, cfg)
+	_, gotErr := AnalyzeCached(msgs, cfg, newMapCache(), 1)
+	if wantErr == nil || gotErr == nil {
+		t.Fatal("duplicate identifiers must fail")
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error parity: %q vs %q", wantErr, gotErr)
+	}
+}
+
+// TestAnalyzeCachedNilCache degrades to the parallel analysis.
+func TestAnalyzeCachedNilCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Bus: can.Bus{Name: "test", BitRate: can.Rate500k}}
+	msgs := randomMessages(rng, 10)
+	want, err := Analyze(msgs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeCached(msgs, cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("nil-cache report differs")
+	}
+}
+
+// TestHashConfigNoSpellingAliases: configurations that behave
+// identically but echo differently in the report (Horizon 0 vs an
+// explicit DefaultHorizon, Errors nil vs errormodel.None) must not
+// share keys, or a shared store would hand one spelling the other's
+// report and break byte-identity.
+func TestHashConfigNoSpellingAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	msgs := randomMessages(rng, 6)
+	cache := newMapCache()
+	a := Config{Bus: can.Bus{Name: "t", BitRate: can.Rate500k}}
+	b := a
+	b.Horizon = DefaultHorizon
+	c := a
+	c.Errors = errormodel.None{}
+	for _, cfg := range []Config{a, b, c} {
+		want, err := Analyze(msgs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AnalyzeCached(msgs, cfg, cache, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("config %+v: cached report differs (spelling alias)", cfg)
+		}
+	}
+}
+
+// TestResultKeysDistinguishInputs spot-checks that the key derivation
+// reacts to each input family it claims to cover.
+func TestResultKeysDistinguishInputs(t *testing.T) {
+	cfg := Config{Bus: can.Bus{Name: "test", BitRate: can.Rate500k}}
+	msgs := make([]Message, 6)
+	for i := range msgs {
+		msgs[i] = Message{
+			Name:  "K" + string(rune('0'+i)),
+			Frame: can.Frame{ID: can.ID(0x100 + i), Format: can.Standard11Bit, DLC: 1},
+			Event: eventmodel.PeriodicJitter(10*time.Millisecond, time.Duration(i)*100*time.Microsecond),
+		}
+	}
+	keysFor := func(ms []Message, c Config) []contenthash.Digest {
+		p, err := prepare(ms, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultKeys(p, c)
+	}
+	base := keysFor(msgs, cfg)
+
+	jittered := append([]Message(nil), msgs...)
+	jittered[3].Event.Jitter += time.Microsecond
+	for i, k := range keysFor(jittered, cfg) {
+		changed := k != base[i]
+		wantChanged := i >= 3 // rank == index: IDs are already ordered
+		if changed != wantChanged {
+			t.Fatalf("jitter edit at rank 3: key %d changed=%v", i, changed)
+		}
+	}
+
+	// A DLC edit changes the wire time, and with it the blocking of every
+	// higher-priority message: all keys must change.
+	fattened := append([]Message(nil), msgs...)
+	fattened[5].Frame.DLC = 8
+	for i, k := range keysFor(fattened, cfg) {
+		if k == base[i] {
+			t.Fatalf("DLC edit at the lowest rank: key %d unchanged", i)
+		}
+	}
+
+	cfg2 := cfg
+	cfg2.Horizon = 20 * time.Second
+	for i, k := range keysFor(msgs, cfg2) {
+		if k == base[i] {
+			t.Fatalf("horizon change: key %d unchanged", i)
+		}
+	}
+}

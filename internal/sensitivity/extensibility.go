@@ -7,6 +7,7 @@ import (
 	"repro/internal/can"
 	"repro/internal/kmatrix"
 	"repro/internal/rta"
+	"repro/internal/whatif"
 )
 
 // Extensibility answers the paper's Section 2 question "Can more ECUs
@@ -45,20 +46,47 @@ func Extensibility(k *kmatrix.KMatrix, template kmatrix.Message, cfg SweepConfig
 		return 0, fmt.Errorf("sensitivity: %d additions exceed the %s identifier space", max, format)
 	}
 
-	okWith := func(n int) (bool, error) {
-		trial := k.WithJitterScale(operatingScale, cfg.OnlyUnknown)
-		for i := 0; i < n; i++ {
-			add := template
-			add.Name = fmt.Sprintf("%s_ext%03d", template.Name, i+1)
-			add.ID = base + can.ID(i)
-			add.Jitter = scaleDuration(operatingScale, add.Period)
-			trial.Messages = append(trial.Messages, add)
+	addition := func(i int) kmatrix.Message {
+		add := template
+		add.Name = fmt.Sprintf("%s_ext%03d", template.Name, i+1)
+		add.ID = base + can.ID(i)
+		add.Jitter = scaleDuration(operatingScale, add.Period)
+		return add
+	}
+	var okWith func(n int) (bool, error)
+	if cfg.DisableWhatIf {
+		okWith = func(n int) (bool, error) {
+			trial := k.WithJitterScale(operatingScale, cfg.OnlyUnknown)
+			for i := 0; i < n; i++ {
+				trial.Messages = append(trial.Messages, addition(i))
+			}
+			rep, err := rta.Analyze(trial.ToRTA(), analysis)
+			if err != nil {
+				return false, err
+			}
+			return rep.AllSchedulable(), nil
 		}
-		rep, err := rta.Analyze(trial.ToRTA(), analysis)
-		if err != nil {
-			return false, err
+	} else {
+		// The additions sit below every existing identifier, so each
+		// bisection probe re-analyses only the additions themselves; the
+		// existing matrix at the operating point is shared across probes.
+		sess := whatif.NewBusSession(k, cfg.Analysis, whatif.Options{Store: cfg.Cache, Workers: 1})
+		okWith = func(n int) (bool, error) {
+			sess.Reset()
+			changes := make([]whatif.Change, 0, n+1)
+			changes = append(changes, whatif.ScaleJitter{Scale: operatingScale, OnlyUnknown: cfg.OnlyUnknown})
+			for i := 0; i < n; i++ {
+				changes = append(changes, whatif.AddMessage{Row: addition(i)})
+			}
+			if err := sess.Apply(changes...); err != nil {
+				return false, err
+			}
+			rep, err := sess.Analyze()
+			if err != nil {
+				return false, err
+			}
+			return rep.AllSchedulable(), nil
 		}
-		return rep.AllSchedulable(), nil
 	}
 
 	ok0, err := okWith(0)

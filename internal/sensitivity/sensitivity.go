@@ -24,6 +24,7 @@ import (
 	"repro/internal/kmatrix"
 	"repro/internal/parallel"
 	"repro/internal/rta"
+	"repro/internal/whatif"
 )
 
 // DefaultScales is the paper's sweep grid: 0% to 60% of the message
@@ -51,6 +52,16 @@ type SweepConfig struct {
 	// tolerance/extensibility searches). Zero or negative selects
 	// GOMAXPROCS. Results are identical for every worker count.
 	Workers int
+	// Cache is the content-addressed store backing the incremental
+	// what-if sessions; nil gives every search a private store. Pass a
+	// shared store to let related searches (sweep plus tolerance table,
+	// repeated sweeps over variants of one matrix) share converged
+	// per-message results.
+	Cache *whatif.Store
+	// DisableWhatIf bypasses the incremental engine: every variant is a
+	// fresh clone put through a full analysis (the pre-whatif
+	// behaviour). Results are bit-identical either way.
+	DisableWhatIf bool
 }
 
 func (c SweepConfig) scales() []float64 {
@@ -153,10 +164,11 @@ func (r *Result) CurveByName(name string) *Curve {
 }
 
 // Sweep runs the jitter sweep over the matrix. The scales are analysed
-// concurrently on a worker pool (cfg.Workers): each scale is an
-// independent analysis of an independently scaled clone of the matrix,
-// and the result is assembled in scale order afterwards, so the outcome
-// is identical to the serial sweep.
+// concurrently on a worker pool (cfg.Workers): each scale is one
+// ChangeSet applied to a per-worker what-if session (falling back to an
+// independently scaled full clone under DisableWhatIf), and the result
+// is assembled in scale order afterwards, so the outcome is identical
+// to the serial sweep.
 func Sweep(k *kmatrix.KMatrix, cfg SweepConfig) (*Result, error) {
 	scales := cfg.scales()
 	res := &Result{Scales: scales, Reports: make([]*rta.Report, len(scales))}
@@ -165,15 +177,33 @@ func Sweep(k *kmatrix.KMatrix, cfg SweepConfig) (*Result, error) {
 	analysis.Bus = k.Bus()
 
 	errs := make([]error, len(scales))
-	parallel.For(len(scales), cfg.Workers, func(_, si int) {
-		scaled := k.WithJitterScale(scales[si], cfg.OnlyUnknown)
-		rep, err := rta.Analyze(scaled.ToRTA(), analysis)
-		if err != nil {
-			errs[si] = fmt.Errorf("sensitivity: scale %.2f: %w", scales[si], err)
-			return
-		}
-		res.Reports[si] = rep
-	})
+	if cfg.DisableWhatIf {
+		parallel.For(len(scales), cfg.Workers, func(_, si int) {
+			scaled := k.WithJitterScale(scales[si], cfg.OnlyUnknown)
+			rep, err := rta.Analyze(scaled.ToRTA(), analysis)
+			if err != nil {
+				errs[si] = fmt.Errorf("sensitivity: scale %.2f: %w", scales[si], err)
+				return
+			}
+			res.Reports[si] = rep
+		})
+	} else {
+		pool := whatif.NewSessionPool(k, cfg.Analysis, cfg.Cache, cfg.Workers)
+		parallel.For(len(scales), cfg.Workers, func(worker, si int) {
+			sess := pool.Session(worker)
+			sess.Reset()
+			if err := sess.Apply(whatif.ScaleJitter{Scale: scales[si], OnlyUnknown: cfg.OnlyUnknown}); err != nil {
+				errs[si] = fmt.Errorf("sensitivity: scale %.2f: %w", scales[si], err)
+				return
+			}
+			rep, err := sess.Analyze()
+			if err != nil {
+				errs[si] = fmt.Errorf("sensitivity: scale %.2f: %w", scales[si], err)
+				return
+			}
+			res.Reports[si] = rep
+		})
+	}
 	if err := parallel.FirstError(errs); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,100 @@
+package sensitivity
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/can"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+	"repro/internal/whatif"
+)
+
+// The incremental what-if path must be bit-identical to the clone-based
+// fallback for every derived search.
+
+func equivMatrix() *kmatrix.KMatrix {
+	return kmatrix.Powertrain(kmatrix.GenConfig{Seed: 3, Messages: 26})
+}
+
+func equivConfig(workers int) SweepConfig {
+	return SweepConfig{
+		Analysis: rta.Config{Stuffing: can.StuffingWorstCase, DeadlineModel: rta.DeadlineImplicit},
+		Workers:  workers,
+	}
+}
+
+func TestSweepWhatIfEquivalence(t *testing.T) {
+	k := equivMatrix()
+	for _, workers := range []int{1, 4} {
+		cfg := equivConfig(workers)
+		fast, err := Sweep(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.DisableWhatIf = true
+		slow, err := Sweep(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("workers=%d: whatif sweep differs from clone-based sweep", workers)
+		}
+	}
+}
+
+func TestToleranceWhatIfEquivalence(t *testing.T) {
+	k := equivMatrix()
+	cfg := equivConfig(2)
+	fast, err := ToleranceTable(k, cfg, 0.1, 1.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = equivConfig(2)
+	cfg.DisableWhatIf = true
+	slow, err := ToleranceTable(k, cfg, 0.1, 1.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatal("whatif tolerance table differs from clone-based table")
+	}
+}
+
+func TestExtensibilityWhatIfEquivalence(t *testing.T) {
+	k := equivMatrix()
+	template := kmatrix.Message{
+		Name: "Ext", DLC: 8, Period: 20 * ms, Sender: "ECU1",
+	}
+	fast, err := Extensibility(k, template, equivConfig(1), 0.1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := equivConfig(1)
+	cfg.DisableWhatIf = true
+	slow, err := Extensibility(k, template, cfg, 0.1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != slow {
+		t.Fatalf("whatif extensibility %d != clone-based %d", fast, slow)
+	}
+}
+
+// TestToleranceSharedCacheAcrossRows checks that the table actually
+// shares work across rows when given one store.
+func TestToleranceSharedCacheAcrossRows(t *testing.T) {
+	k := equivMatrix()
+	cfg := equivConfig(1)
+	cfg.Cache = whatif.NewStore(0)
+	if _, err := ToleranceTable(k, cfg, 0.1, 1.0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.Cache.Stats()
+	// Every row probes single-message edits of the same operating point;
+	// the untouched high-priority prefixes must be served from the
+	// shared store many times over.
+	if st.Hits < uint64(len(k.Messages)) {
+		t.Fatalf("tolerance table shared almost nothing: %d hits vs %d misses", st.Hits, st.Misses)
+	}
+}

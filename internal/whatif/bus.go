@@ -1,0 +1,169 @@
+package whatif
+
+import (
+	"repro/internal/contenthash"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+)
+
+// Options configures a session.
+type Options struct {
+	// Store is the shared content-addressed memo; nil creates a private
+	// store with DefaultCapacity. Sharing one store across sessions (a
+	// tolerance table's rows, a GA's workers) lets variants share work.
+	Store *Store
+	// Workers bounds the fan-out of per-session analyses (<= 0 selects
+	// GOMAXPROCS). Results are identical for every worker count.
+	Workers int
+}
+
+// Stats counts what a session's analyses actually did.
+type Stats struct {
+	// ReportHits counts analyses satisfied entirely by a memoized
+	// whole-report entry (e.g. a revert to an already-analysed variant).
+	ReportHits uint64
+	// Hits counts per-message results reused from the store.
+	Hits uint64
+	// Misses counts per-message analyses actually recomputed.
+	Misses uint64
+	// Store snapshots the (possibly shared) backing store.
+	Store StoreStats
+}
+
+// tagBusReport is the key-family tag of whole-bus reports.
+const tagBusReport = 0x4255535245503161 // "BUSREP1a"
+
+// BusSession is an incremental what-if session over one communication
+// matrix: apply ChangeSets, re-analyse, and pay only for the messages a
+// change can reach. The returned reports are bit-identical to
+// rta.Analyze on the edited matrix and shared with the memo store —
+// treat them as read-only.
+type BusSession struct {
+	store   *Store
+	cfg     rta.Config
+	workers int
+	busName string
+	bitRate int
+	base    []kmatrix.Message
+	cur     []kmatrix.Message
+	stats   Stats
+}
+
+// NewBusSession opens a session on a snapshot of k. The analysis
+// configuration's Bus field is overwritten from the matrix, mirroring
+// the sweep and optimizer entry points.
+func NewBusSession(k *kmatrix.KMatrix, analysis rta.Config, opts Options) *BusSession {
+	store := opts.Store
+	if store == nil {
+		store = NewStore(0)
+	}
+	analysis.Bus = k.Bus()
+	return &BusSession{
+		store:   store,
+		cfg:     analysis,
+		workers: opts.Workers,
+		busName: k.BusName,
+		bitRate: k.BitRate,
+		base:    cloneRows(k.Messages),
+		cur:     cloneRows(k.Messages),
+	}
+}
+
+// cloneRows copies the row structs only: sessions never mutate a
+// Receivers slice in place, so base and working copies may share them
+// (Matrix deep-copies before handing rows to callers).
+func cloneRows(rows []kmatrix.Message) []kmatrix.Message {
+	out := make([]kmatrix.Message, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// Apply applies the changes in order. On error the session state is the
+// result of the changes that succeeded before it.
+func (s *BusSession) Apply(changes ...Change) error {
+	for _, c := range changes {
+		next, err := c.apply(s.cur)
+		if err != nil {
+			return err
+		}
+		s.cur = next
+	}
+	return nil
+}
+
+// Reset restores the session to the base matrix (revert-to-original).
+func (s *BusSession) Reset() {
+	s.cur = cloneRows(s.base)
+}
+
+// Matrix returns a deep copy of the current (edited) matrix.
+func (s *BusSession) Matrix() *kmatrix.KMatrix {
+	rows := cloneRows(s.cur)
+	for i := range rows {
+		if rcv := rows[i].Receivers; rcv != nil {
+			rows[i].Receivers = append([]string(nil), rcv...)
+		}
+	}
+	return &kmatrix.KMatrix{BusName: s.busName, BitRate: s.bitRate, Messages: rows}
+}
+
+// Analyze re-verifies the current matrix. A variant already in the
+// store returns its memoized report outright; otherwise only messages
+// whose input digests are new are re-analysed (rta.AnalyzeCached).
+func (s *BusSession) Analyze() (*rta.Report, error) {
+	msgs := make([]rta.Message, len(s.cur))
+	for i, m := range s.cur {
+		msgs[i] = m.ToRTA()
+	}
+	key := reportKey(tagBusReport, s.cfg, msgs)
+	if v, ok := s.store.Get(key); ok {
+		if rep, ok := v.(*rta.Report); ok {
+			s.stats.ReportHits++
+			return rep, nil
+		}
+	}
+	cache := countingCache{store: s.store, stats: &s.stats}
+	rep, err := rta.AnalyzeCached(msgs, s.cfg, &cache, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	s.store.Put(key, rep)
+	return rep, nil
+}
+
+// Stats returns the session's hit/miss counters plus a snapshot of the
+// backing store.
+func (s *BusSession) Stats() Stats {
+	st := s.stats
+	st.Store = s.store.Stats()
+	return st
+}
+
+// reportKey digests a whole resource: configuration plus all messages
+// in the given order.
+func reportKey(tag uint64, cfg rta.Config, msgs []rta.Message) contenthash.Digest {
+	h := contenthash.New(tag)
+	rta.HashConfig(&h, cfg)
+	rta.HashMessages(&h, msgs)
+	return h.Sum()
+}
+
+// countingCache forwards to the shared store while attributing hits and
+// misses to one session. Analyses call Get and Put serially, so plain
+// counters suffice.
+type countingCache struct {
+	store *Store
+	stats *Stats
+}
+
+func (c *countingCache) Get(key contenthash.Digest) (any, bool) {
+	v, ok := c.store.Get(key)
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return v, ok
+}
+
+func (c *countingCache) Put(key contenthash.Digest, v any) { c.store.Put(key, v) }

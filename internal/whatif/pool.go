@@ -1,0 +1,50 @@
+package whatif
+
+import (
+	"repro/internal/kmatrix"
+	"repro/internal/parallel"
+	"repro/internal/rta"
+)
+
+// SessionPool lazily hands out one BusSession per worker, all sharing
+// one store — the idiom of every parallel consumer (jitter sweeps, GA
+// evaluation): the fan-out layer owns worker indices, the pool owns
+// session lifetime, and the shared store lets variants analysed on
+// different workers reuse each other's converged results.
+//
+// parallel.For guarantees a worker id runs on a single goroutine at a
+// time, so sessions need no locking; the store is safe for concurrent
+// use.
+type SessionPool struct {
+	k        *kmatrix.KMatrix
+	cfg      rta.Config
+	store    *Store
+	sessions []*BusSession
+}
+
+// NewSessionPool sizes a pool for the given worker count (<= 0 selects
+// GOMAXPROCS). A nil store creates a private one.
+func NewSessionPool(k *kmatrix.KMatrix, analysis rta.Config, store *Store, workers int) *SessionPool {
+	if store == nil {
+		store = NewStore(0)
+	}
+	return &SessionPool{
+		k:        k,
+		cfg:      analysis,
+		store:    store,
+		sessions: make([]*BusSession, parallel.Workers(workers)),
+	}
+}
+
+// Session returns worker w's session, creating it on first use. Each
+// per-session analysis runs single-threaded (Workers: 1); parallelism
+// belongs to the fan-out layer that owns the worker ids.
+func (p *SessionPool) Session(worker int) *BusSession {
+	if p.sessions[worker] == nil {
+		p.sessions[worker] = NewBusSession(p.k, p.cfg, Options{Store: p.store, Workers: 1})
+	}
+	return p.sessions[worker]
+}
+
+// Store returns the shared backing store.
+func (p *SessionPool) Store() *Store { return p.store }

@@ -1,0 +1,113 @@
+package whatif
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/kmatrix"
+)
+
+func TestParseScript(t *testing.T) {
+	src := `
+# supplier revision 2026-07
+set-jitter   M001_10ms 1200us
+set-period   M002_20ms 25ms
+set-id       M003_50ms 0x123   # moved up
+set-dlc      M003_50ms 4
+set-deadline M001_10ms 8ms
+scale-jitter 0.25 only-unknown
+add LateMsg id=0x700 dlc=8 period=100ms jitter=2ms sender=ECU9
+remove M004_100ms
+`
+	got, err := ParseScript(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChangeSet{
+		SetJitter{Message: "M001_10ms", Jitter: 1200 * time.Microsecond},
+		SetPeriod{Message: "M002_20ms", Period: 25 * time.Millisecond},
+		SetID{Message: "M003_50ms", ID: 0x123},
+		SetDLC{Message: "M003_50ms", DLC: 4},
+		SetDeadline{Message: "M001_10ms", Deadline: 8 * time.Millisecond},
+		ScaleJitter{Scale: 0.25, OnlyUnknown: true},
+		AddMessage{Row: kmatrix.Message{
+			Name: "LateMsg", ID: 0x700, DLC: 8,
+			Period: 100 * time.Millisecond, Jitter: 2 * time.Millisecond, Sender: "ECU9",
+		}},
+		RemoveMessage{Message: "M004_100ms"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, src := range []string{
+		"frobnicate M 1ms",          // unknown op
+		"set-jitter M",              // missing arg
+		"set-jitter M soon",         // bad duration
+		"set-id M notanid",          // bad id
+		"scale-jitter lots",         // bad float
+		"scale-jitter 0.2 sideways", // bad option
+		"add",                       // missing name
+		"add X id",                  // not key=value
+		"add X color=red",           // unknown key
+		"remove",                    // missing arg
+	} {
+		if _, err := ParseScript(strings.NewReader(src)); err == nil {
+			t.Errorf("script %q accepted", src)
+		}
+	}
+}
+
+// TestScriptRoundTrip: rendering a parsed change re-parses to the same
+// change (the String forms double as the script syntax).
+func TestScriptRoundTrip(t *testing.T) {
+	changes := ChangeSet{
+		SetJitter{Message: "M", Jitter: 200 * time.Microsecond},
+		SetPeriod{Message: "M", Period: 10 * time.Millisecond},
+		SetDLC{Message: "M", DLC: 4},
+		SetDeadline{Message: "M", Deadline: 5 * time.Millisecond},
+		ScaleJitter{Scale: 0.25, OnlyUnknown: true},
+		RemoveMessage{Message: "M"},
+	}
+	for _, c := range changes {
+		got, err := ParseScript(strings.NewReader(c.String()))
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", c.String(), err)
+		}
+		if len(got) != 1 || !reflect.DeepEqual(got[0], c) {
+			t.Fatalf("round trip of %q: got %#v", c.String(), got)
+		}
+	}
+	// SetID renders the identifier in the can.ID format; just check it
+	// re-parses.
+	id := SetID{Message: "M", ID: can.ID(0x123)}
+	if _, err := ParseScript(strings.NewReader(id.String())); err != nil {
+		t.Fatalf("re-parse %q: %v", id.String(), err)
+	}
+}
+
+// TestScriptDrivesSession ties the parser to a session end to end.
+func TestScriptDrivesSession(t *testing.T) {
+	k := testMatrix(12)
+	sess := NewBusSession(k, worstCfg(), Options{})
+	script := "set-jitter " + k.Messages[0].Name + " 900us\nremove " + k.Messages[1].Name + "\n"
+	cs, err := ParseScript(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Apply(cs...); err != nil {
+		t.Fatal(err)
+	}
+	m := sess.Matrix()
+	if got := m.ByName(k.Messages[0].Name).Jitter; got != 900*time.Microsecond {
+		t.Fatalf("jitter = %v", got)
+	}
+	if m.ByName(k.Messages[1].Name) != nil {
+		t.Fatal("removed message still present")
+	}
+}

@@ -1,0 +1,293 @@
+package whatif
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+	"repro/internal/osek"
+	"repro/internal/rta"
+	"repro/internal/tdma"
+)
+
+func busMsg(name string, id can.ID, dlc int, period time.Duration) rta.Message {
+	return rta.Message{
+		Name:  name,
+		Frame: can.Frame{ID: id, Format: can.Standard11Bit, DLC: dlc},
+		Event: eventmodel.Periodic(period),
+	}
+}
+
+func ecuTask(name string, prio int, wcet, bcet, period time.Duration) osek.Task {
+	return osek.Task{
+		Name: name, Priority: prio, WCET: wcet, BCET: bcet,
+		Event: eventmodel.Periodic(period), Kind: osek.Preemptive,
+	}
+}
+
+// fullSystem wires every resource kind: sensor ECU -> CAN bus A ->
+// store-and-forward gateway -> CAN bus B -> actuator ECU, plus a
+// forwarding ECU task bridging bus A onto a TDMA backbone.
+func fullSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.NewSystem()
+	if err := s.AddECU("ECU1", osek.Config{}, []osek.Task{
+		ecuTask("sensor", 2, 1*ms, 500*us, 10*ms),
+		ecuTask("housekeeping", 1, 2*ms, 2*ms, 50*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("busA", rta.Config{Bus: can.Bus{BitRate: can.Rate500k}}, []rta.Message{
+		busMsg("M1", 0x100, 8, 10*ms),
+		busMsg("noiseA", 0x200, 8, 20*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGateway("gw", gateway.Config{
+		Service: eventmodel.Periodic(2 * ms), QueueDepth: 4,
+	}, []string{"m", "n"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBus("busB", rta.Config{Bus: can.Bus{BitRate: can.Rate250k}}, []rta.Message{
+		busMsg("M2", 0x110, 8, 10*ms),
+		busMsg("noiseB", 0x210, 8, 20*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("ECU2", osek.Config{}, []osek.Task{
+		ecuTask("actuator", 1, 500*us, 500*us, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("BridgeECU", osek.Config{}, []osek.Task{
+		ecuTask("forward", 1, 200*us, 100*us, 10*ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sched := tdma.Schedule{Slots: []tdma.Slot{
+		{Owner: "M1TT", Length: 1 * ms},
+		{Owner: "other", Length: 1 * ms},
+	}}
+	if err := s.AddTDMABus("backbone", sched,
+		can.Bus{BitRate: can.Rate500k}, can.StuffingWorstCase,
+		[]tdma.Message{{
+			Name:  "M1TT",
+			Frame: can.Frame{ID: 0x100, Format: can.Standard11Bit, DLC: 8},
+			Event: eventmodel.Periodic(10 * ms),
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range [][2]core.ElementRef{
+		{{Resource: "ECU1", Element: "sensor"}, {Resource: "busA", Element: "M1"}},
+		{{Resource: "busA", Element: "M1"}, {Resource: "gw", Element: "m"}},
+		{{Resource: "gw", Element: "m"}, {Resource: "busB", Element: "M2"}},
+		{{Resource: "busA", Element: "noiseA"}, {Resource: "gw", Element: "n"}},
+		{{Resource: "gw", Element: "n"}, {Resource: "busB", Element: "noiseB"}},
+		{{Resource: "busB", Element: "M2"}, {Resource: "ECU2", Element: "actuator"}},
+		{{Resource: "busA", Element: "M1"}, {Resource: "BridgeECU", Element: "forward"}},
+		{{Resource: "BridgeECU", Element: "forward"}, {Resource: "backbone", Element: "M1TT"}},
+	} {
+		if err := s.Connect(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddPath("sensor-to-actuator",
+		core.ElementRef{Resource: "ECU1", Element: "sensor"},
+		core.ElementRef{Resource: "busA", Element: "M1"},
+		core.ElementRef{Resource: "gw", Element: "m"},
+		core.ElementRef{Resource: "busB", Element: "M2"},
+		core.ElementRef{Resource: "ECU2", Element: "actuator"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPath("can-to-backbone",
+		core.ElementRef{Resource: "busA", Element: "M1"},
+		core.ElementRef{Resource: "BridgeECU", Element: "forward"},
+		core.ElementRef{Resource: "backbone", Element: "M1TT"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// analyzeFresh runs core.Analyze on a freshly rebuilt system equal to
+// the session's current state.
+func analyzeFresh(t *testing.T, sess *SystemSession, maxIter int) *core.Analysis {
+	t.Helper()
+	sys, err := sess.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Analyze(maxIter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSystemSessionMatchesCore(t *testing.T) {
+	sess := NewSystemSession(fullSystem(t), Options{})
+
+	base, err := sess.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := analyzeFresh(t, sess, 0); !reflect.DeepEqual(base, want) {
+		t.Fatal("base session analysis differs from core.Analyze")
+	}
+
+	// Repeat run: every resource must hit the memo and the result must
+	// be unchanged (same fixpoint from the same pristine inputs).
+	before := sess.Stats()
+	again, err := sess.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, base) {
+		t.Fatal("repeat analysis differs")
+	}
+	after := sess.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("repeat analysis recomputed %d units", after.Misses-before.Misses)
+	}
+
+	// Edits across every resource kind, verified one by one.
+	edits := []SystemChange{
+		SetEventJitter{Resource: "busA", Element: "noiseA", Jitter: 900 * us},
+		SetEventJitter{Resource: "ECU1", Element: "sensor", Jitter: 300 * us},
+		SetEventPeriod{Resource: "busB", Element: "noiseB", Period: 25 * ms},
+		SetFrameDLC{Resource: "busA", Message: "noiseA", DLC: 4},
+		SetFrameID{Resource: "busB", Message: "noiseB", ID: 0x105},
+		SetEventJitter{Resource: "backbone", Element: "M1TT", Jitter: 2 * ms},
+		RetuneGateway{Resource: "gw", Config: gateway.Config{
+			Service: eventmodel.Periodic(3 * ms), Batch: 2,
+			Policy: gateway.PerMessageBuffer,
+		}},
+		SetTDMASlot{Resource: "backbone", Owner: "other", Length: 2 * ms},
+		SetTDMASchedule{Resource: "backbone", Schedule: tdma.Schedule{Slots: []tdma.Slot{
+			{Owner: "other", Length: 1 * ms},
+			{Owner: "M1TT", Length: 2 * ms},
+		}}},
+		AddBusMessage{Resource: "busA", Message: busMsg("lateA", 0x300, 8, 40*ms)},
+	}
+	for i, edit := range edits {
+		if err := sess.Apply(edit); err != nil {
+			t.Fatalf("edit %d (%s): %v", i, edit, err)
+		}
+		got, err := sess.Analyze(0)
+		if err != nil {
+			t.Fatalf("edit %d (%s): %v", i, edit, err)
+		}
+		if want := analyzeFresh(t, sess, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("edit %d (%s): incremental analysis differs from core.Analyze", i, edit)
+		}
+	}
+
+	// Remove the added message again, then reset to the very base.
+	if err := sess.Apply(RemoveBusMessage{Resource: "busA", Message: "lateA"}); err != nil {
+		t.Fatal(err)
+	}
+	sess.Reset()
+	final, err := sess.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final, base) {
+		t.Fatal("reset analysis differs from the base analysis")
+	}
+}
+
+func TestSystemSessionEditAddressing(t *testing.T) {
+	sess := NewSystemSession(fullSystem(t), Options{})
+	bad := []SystemChange{
+		SetEventJitter{Resource: "nope", Element: "x", Jitter: us},
+		SetEventJitter{Resource: "busA", Element: "nope", Jitter: us},
+		SetEventJitter{Resource: "gw", Element: "m", Jitter: us}, // derived
+		SetFrameID{Resource: "ECU1", Message: "sensor", ID: 1},   // not a bus
+		RemoveBusMessage{Resource: "busA", Message: "M1"},        // link endpoint
+		RetuneGateway{Resource: "busA", Config: gateway.Config{}},
+		SetTDMASlot{Resource: "backbone", Owner: "nope", Length: ms},
+	}
+	for i, c := range bad {
+		if err := sess.Apply(c); err == nil {
+			t.Errorf("bad edit %d (%s) accepted", i, c)
+		}
+	}
+	// The session must still analyse identically to the comparator.
+	got, err := sess.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := analyzeFresh(t, sess, 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("session diverged after rejected edits")
+	}
+}
+
+// TestSystemSessionUntouchedResourcesHit checks the invalidation story:
+// after an edit confined to busB, the busA/ECU/TDMA chain must be
+// served from the memo in every fixpoint round.
+func TestSystemSessionUntouchedResourcesHit(t *testing.T) {
+	sess := NewSystemSession(fullSystem(t), Options{})
+	if _, err := sess.Analyze(0); err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Stats()
+	// noiseB has no outgoing links; only busB's local analysis changes.
+	if err := sess.Apply(SetEventJitter{Resource: "busB", Element: "noiseB", Jitter: 800 * us}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(0); err != nil {
+		t.Fatal(err)
+	}
+	after := sess.Stats()
+	// Re-analysed units: only busB messages may miss, and of those only
+	// the dirty suffix (noiseB is the lowest-priority message of busB).
+	recomputed := after.Misses - before.Misses
+	if recomputed == 0 {
+		t.Fatal("edit recomputed nothing")
+	}
+	if recomputed > 2 {
+		t.Errorf("edit confined to busB recomputed %d units, want <= 2", recomputed)
+	}
+	if after.ReportHits <= before.ReportHits {
+		t.Error("untouched resources did not hit the whole-report memo")
+	}
+}
+
+func TestSystemSessionDivergentParity(t *testing.T) {
+	// A cyclic jitter-amplifying system: the session must reproduce
+	// core's divergence behaviour bit for bit.
+	s := core.NewSystem()
+	if err := s.AddECU("E1", osek.Config{}, []osek.Task{ecuTask("a", 1, 2*ms, 1*ms, 10*ms)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddECU("E2", osek.Config{}, []osek.Task{ecuTask("b", 1, 2*ms, 1*ms, 10*ms)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(core.ElementRef{Resource: "E1", Element: "a"}, core.ElementRef{Resource: "E2", Element: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(core.ElementRef{Resource: "E2", Element: "b"}, core.ElementRef{Resource: "E1", Element: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSystemSession(s, Options{})
+	got, err := sess.Analyze(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analyzeFresh(t, sess, 16)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("divergent system analysis differs from core.Analyze")
+	}
+}
+
+func TestSystemSessionEmpty(t *testing.T) {
+	sess := NewSystemSession(core.NewSystem(), Options{})
+	if _, err := sess.Analyze(0); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
