@@ -858,3 +858,26 @@ func BenchmarkWhatIfToleranceTable(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------
+// BenchmarkCampaign measures the sharded population study: a
+// 64-scenario corpus through the full pipeline (generation, incremental
+// analysis, network-simulation cross-validation, what-if perturbation).
+// Scales with -cpu; run with -benchtime 1x for the CI smoke pass.
+// ---------------------------------------------------------------------
+
+func BenchmarkCampaign(b *testing.B) {
+	var scenarios, frames, violations int
+	for i := 0; i < b.N; i++ {
+		rep, _, err := experiments.RunCampaign(experiments.CampaignParams{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = rep.Scenarios
+		frames = rep.Frames
+		violations = rep.Violations
+	}
+	b.ReportMetric(float64(scenarios), "scenarios")
+	b.ReportMetric(float64(frames), "frames")
+	b.ReportMetric(float64(violations), "violations")
+}

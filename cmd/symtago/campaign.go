@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// cmdCampaign runs a population-scale study: generate a scenario
+// corpus, fan it across the worker pool, and report aggregate
+// statistics (plus optional per-scenario CSV and corpus listing).
+func cmdCampaign(args []string) error {
+	fs := newFlagSet("campaign")
+	n := fs.Int("n", 0, "corpus size (0 = spec default, 500)")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	specPath := fs.String("spec", "", "corpus spec file (TOML subset; flags override)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	seeds := fs.Int("seeds", 0, "simulation runs per scenario (0 = default 2, negative disables)")
+	duration := fs.Duration("duration", 0, "simulated span per run (0 = default 200ms)")
+	csvPath := fs.String("csv", "", "write per-scenario results as CSV here")
+	corpusPath := fs.String("corpus", "", "write the canonical corpus listing here")
+	quick := fs.Bool("quick", false, "64-scenario corpus with a 100ms simulation span")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	var spec scenario.Spec
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		parsed, perr := scenario.ParseSpec(f)
+		f.Close()
+		if perr != nil {
+			return usageErrf("%v", perr)
+		}
+		spec = parsed
+	}
+	if *n != 0 {
+		if *n < 0 {
+			return usageErrf("campaign: -n must be positive, got %d", *n)
+		}
+		spec.Count = *n
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	// The documented default seed (1) also applies when a spec file
+	// omits the seed key.
+	if seedSet || spec.Seed == 0 {
+		spec.Seed = *seed
+	}
+
+	start := time.Now()
+	rep, corpus, err := experiments.RunCampaign(experiments.CampaignParams{
+		Spec: spec,
+		Config: campaign.Config{
+			Workers:  *workers,
+			Seeds:    *seeds,
+			Duration: *duration,
+		},
+		Quick: *quick,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Render())
+	fmt.Printf("wall time %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *corpusPath != "" {
+		if err := writeFile(*corpusPath, corpus.Encode); err != nil {
+			return err
+		}
+		fmt.Printf("corpus listing written to %s\n", *corpusPath)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, rep.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("per-scenario CSV written to %s\n", *csvPath)
+	}
+	if rep.Violations > 0 {
+		return fmt.Errorf("%d observations exceeded compositional bounds", rep.Violations)
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -17,6 +17,8 @@
 //	symtago whatif   [-kmatrix file] [-scenario best|worst] [-script file] [-all]
 //	symtago tolerance [-kmatrix file] [-operating s] [-top n]
 //	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
+//	symtago campaign [-n count] [-seed n] [-spec file] [-workers n] [-seeds n]
+//	                 [-duration d] [-csv file] [-corpus file] [-quick]
 //
 // A missing -kmatrix selects the built-in synthetic power-train matrix
 // (the case-study substitute documented in DESIGN.md).
@@ -68,6 +70,8 @@ func main() {
 		err = cmdTolerance(os.Args[2:])
 	case "extend":
 		err = cmdExtend(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -146,6 +150,7 @@ commands:
   whatif       incremental re-verification of a change script (supplier revision)
   tolerance    per-message maximum send jitter (supplier requirements)
   extend       how many more messages fit (Section 2's extensibility)
+  campaign     population-scale scenario corpus study (analysis + netsim + what-if)
 
 exit codes: 0 success, 1 runtime failure, 2 usage error`)
 }

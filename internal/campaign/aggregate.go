@@ -1,0 +1,267 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// Distribution summarises one per-scenario metric.
+type Distribution struct {
+	// N counts scenarios contributing a value.
+	N int
+	// Min, Median, Mean, Max span the contributed values.
+	Min, Median, Mean, Max float64
+}
+
+// distribution folds the non-NaN values.
+func distribution(values []float64) Distribution {
+	var kept []float64
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return Distribution{}
+	}
+	sort.Float64s(kept)
+	d := Distribution{
+		N:   len(kept),
+		Min: kept[0],
+		Max: kept[len(kept)-1],
+	}
+	if n := len(kept); n%2 == 1 {
+		d.Median = kept[n/2]
+	} else {
+		d.Median = (kept[n/2-1] + kept[n/2]) / 2
+	}
+	sum := 0.0
+	for _, v := range kept {
+		sum += v
+	}
+	d.Mean = sum / float64(len(kept))
+	return d
+}
+
+// MarginBuckets label the bound-vs-observed margin histogram.
+var MarginBuckets = []string{"<0% (violation)", "0-20%", "20-40%", "40-60%", "60-80%", "80-100%"}
+
+// Report is the deterministic outcome of a campaign.
+type Report struct {
+	// Spec echoes the corpus parameters; Fingerprint identifies the
+	// exact corpus; Config echoes the run parameters.
+	Spec        scenario.Spec
+	Fingerprint string
+	Config      Config
+
+	// Rows holds the per-scenario results in corpus order.
+	Rows []ScenarioResult
+
+	// Scenario population counters.
+	Scenarios   int
+	Converged   int
+	Schedulable int
+	WithTDMA    int
+	WithErrors  int
+
+	// Cross-validation totals.
+	SimRuns    int
+	Frames     int
+	Violations int
+	Losses     int
+	// LossOnlyPredicted reports that every scenario with gateway losses
+	// also predicted them — the converse direction of the dominance
+	// check.
+	LossOnlyPredicted bool
+
+	// MarginHist counts scenarios per MarginBuckets entry (tightest
+	// observed path margin).
+	MarginHist []int
+	// Margins, HitRates and Utilizations summarise the per-scenario
+	// distributions (margins and hit rates in percent).
+	Margins      Distribution
+	HitRates     Distribution
+	Utilizations Distribution
+
+	// Perturbation outcome counters.
+	FlippedUnschedulable int
+	FlippedSchedulable   int
+}
+
+// aggregate folds rows (in index order) into the campaign report.
+func aggregate(corpus *scenario.Corpus, cfg Config, rows []ScenarioResult) *Report {
+	rep := &Report{
+		Spec:        corpus.Spec,
+		Fingerprint: corpus.Fingerprint().String(),
+		Config:      cfg,
+		Rows:        rows,
+		Scenarios:   len(rows),
+		MarginHist:  make([]int, len(MarginBuckets)),
+	}
+	margins := make([]float64, 0, len(rows))
+	hitRates := make([]float64, 0, len(rows))
+	utils := make([]float64, 0, len(rows))
+	rep.LossOnlyPredicted = true
+	for i := range rows {
+		r := &rows[i]
+		if r.Converged {
+			rep.Converged++
+		}
+		if r.Schedulable {
+			rep.Schedulable++
+		}
+		if r.TDMA {
+			rep.WithTDMA++
+		}
+		if r.BurstErrors {
+			rep.WithErrors++
+		}
+		rep.SimRuns += r.SimRuns
+		rep.Frames += r.Frames
+		rep.Violations += r.Violations
+		rep.Losses += r.Losses
+		if r.Losses > 0 && !r.LossPredicted {
+			rep.LossOnlyPredicted = false
+		}
+		if !math.IsNaN(r.MinMarginPct) {
+			margins = append(margins, r.MinMarginPct)
+			rep.MarginHist[marginBucket(r.MinMarginPct)]++
+		}
+		hitRates = append(hitRates, 100*r.HitRate)
+		utils = append(utils, 100*r.MaxUtilization)
+		if r.Flipped {
+			if r.Schedulable {
+				rep.FlippedUnschedulable++
+			} else {
+				rep.FlippedSchedulable++
+			}
+		}
+	}
+	rep.Margins = distribution(margins)
+	rep.HitRates = distribution(hitRates)
+	rep.Utilizations = distribution(utils)
+	return rep
+}
+
+// marginBucket maps a margin percentage to its histogram bucket.
+func marginBucket(pct float64) int {
+	switch {
+	case pct < 0:
+		return 0
+	case pct >= 100:
+		return len(MarginBuckets) - 1
+	default:
+		return 1 + int(pct/20)
+	}
+}
+
+// pct formats a count as a percentage of the population.
+func pct(n, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+// fdist formats a distribution for the report tables.
+func fdist(d Distribution) string {
+	if d.N == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("min %.1f / med %.1f / mean %.1f / max %.1f",
+		d.Min, d.Median, d.Mean, d.Max)
+}
+
+// Render produces the campaign's ASCII report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign — %d scenarios (corpus %s), %d sim runs, %d frames\n\n",
+		r.Scenarios, r.Fingerprint[:16], r.SimRuns, r.Frames)
+
+	rows := [][]string{
+		{"scenarios", fmt.Sprint(r.Scenarios), "100%"},
+		{"converged", fmt.Sprint(r.Converged), pct(r.Converged, r.Scenarios)},
+		{"schedulable", fmt.Sprint(r.Schedulable), pct(r.Schedulable, r.Scenarios)},
+		{"with TDMA backbone", fmt.Sprint(r.WithTDMA), pct(r.WithTDMA, r.Scenarios)},
+		{"with burst errors", fmt.Sprint(r.WithErrors), pct(r.WithErrors, r.Scenarios)},
+	}
+	b.WriteString(report.Table([]string{"population", "count", "share"}, rows))
+
+	b.WriteString("\ncross-validation (holistic simulation vs. compositional bounds):\n")
+	loss := "loss only where predicted"
+	if !r.LossOnlyPredicted {
+		loss = "UNPREDICTED LOSS"
+	}
+	rows = [][]string{
+		{"bound violations", fmt.Sprint(r.Violations)},
+		{"gateway losses", fmt.Sprintf("%d (%s)", r.Losses, loss)},
+		{"path margin %", fdist(r.Margins)},
+	}
+	b.WriteString(report.Table([]string{"check", "outcome"}, rows))
+
+	b.WriteString("\ntightest path margin per scenario:\n")
+	rows = rows[:0]
+	for i, label := range MarginBuckets {
+		rows = append(rows, []string{label, fmt.Sprint(r.MarginHist[i]),
+			pct(r.MarginHist[i], r.Margins.N)})
+	}
+	b.WriteString(report.Table([]string{"margin", "scenarios", "share"}, rows))
+
+	b.WriteString("\nwhat-if perturbation (incremental supplier-revision replay):\n")
+	rows = [][]string{
+		{"flipped to unschedulable", fmt.Sprint(r.FlippedUnschedulable)},
+		{"flipped to schedulable", fmt.Sprint(r.FlippedSchedulable)},
+		{"cache hit rate %", fdist(r.HitRates)},
+		{"max bus utilisation %", fdist(r.Utilizations)},
+	}
+	b.WriteString(report.Table([]string{"metric", "value"}, rows))
+
+	if r.Violations == 0 {
+		b.WriteString("\nNo observation exceeded its compositional bound across the corpus:\nthe analysis dominates holistic simulation for every generated topology.\n")
+	} else {
+		b.WriteString("\nWARNING: observations exceeded compositional bounds.\n")
+	}
+	return b.String()
+}
+
+// csvHeader names the per-scenario CSV columns.
+var csvHeader = []string{
+	"index", "seed", "buses", "messages", "gateways", "tdma",
+	"worst_stuffing", "burst_errors",
+	"converged", "iterations", "schedulable", "miss_count", "max_utilization",
+	"paths", "bounded_paths",
+	"sim_runs", "frames", "violations", "losses", "loss_predicted", "min_margin_pct",
+	"changes", "perturbed_schedulable", "flipped", "cache_hits", "cache_misses", "hit_rate",
+}
+
+// WriteCSV streams the per-scenario rows as CSV, in corpus order.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
+		return err
+	}
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		margin := "NaN"
+		if !math.IsNaN(row.MinMarginPct) {
+			margin = fmt.Sprintf("%.3f", row.MinMarginPct)
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%t,%t,%t,%t,%d,%t,%d,%.4f,%d,%d,%d,%d,%d,%d,%t,%s,%d,%t,%t,%d,%d,%.4f\n",
+			row.Index, row.Seed, row.Buses, row.Messages, row.Gateways, row.TDMA,
+			row.WorstStuffing, row.BurstErrors,
+			row.Converged, row.Iterations, row.Schedulable, row.MissCount, row.MaxUtilization,
+			row.Paths, row.BoundedPaths,
+			row.SimRuns, row.Frames, row.Violations, row.Losses, row.LossPredicted, margin,
+			row.Changes, row.PerturbedSchedulable, row.Flipped,
+			row.CacheHits, row.CacheMisses, row.HitRate)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

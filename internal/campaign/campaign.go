@@ -1,0 +1,283 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/parallel"
+	"repro/internal/rta"
+	"repro/internal/scenario"
+	"repro/internal/tdma"
+	"repro/internal/whatif"
+)
+
+// Config parameterises a campaign run.
+type Config struct {
+	// Workers bounds the worker pool (<= 0 selects GOMAXPROCS). The
+	// report is bit-identical for every worker count.
+	Workers int
+	// Seeds is the number of network-simulation runs per scenario
+	// (default 2; negative disables the simulation stage).
+	Seeds int
+	// Duration is the simulated span per run (default 200ms).
+	Duration time.Duration
+	// StoreCapacity bounds each scenario's what-if store, in cost units
+	// (default 4096).
+	StoreCapacity int
+	// MaxIterations bounds the compositional fixpoint (default
+	// core.DefaultMaxIterations).
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds == 0 {
+		c.Seeds = 2
+	}
+	if c.Duration == 0 {
+		c.Duration = 200 * time.Millisecond
+	}
+	if c.StoreCapacity == 0 {
+		c.StoreCapacity = 4096
+	}
+	return c
+}
+
+// ScenarioResult is the per-scenario row of a campaign.
+type ScenarioResult struct {
+	// Index and Seed identify the scenario in its corpus.
+	Index int
+	Seed  int64
+
+	// Topology size: CAN buses, total messages (generated plus
+	// forwarded), gateways (including a TDMA feed), TDMA backbone.
+	Buses, Messages, Gateways int
+	TDMA                      bool
+	// WorstStuffing and BurstErrors echo the scenario's drawn analysis
+	// regime.
+	WorstStuffing, BurstErrors bool
+
+	// Baseline analysis outcome.
+	Converged      bool
+	Iterations     int
+	Schedulable    bool
+	MissCount      int
+	MaxUtilization float64
+	Paths          int
+	BoundedPaths   int
+
+	// Network-simulation cross-validation (converged scenarios only).
+	SimRuns       int
+	Frames        int
+	Violations    int
+	Losses        int
+	LossPredicted bool
+	// MinMarginPct is the tightest observed path margin,
+	// 100*(bound-observed)/bound over bounded traced paths; NaN when
+	// nothing was observed.
+	MinMarginPct float64
+
+	// What-if perturbation outcome.
+	Changes              int
+	PerturbedConverged   bool
+	PerturbedSchedulable bool
+	// Flipped reports that the perturbation changed system-level
+	// schedulability in either direction.
+	Flipped bool
+	// CacheHits / CacheMisses count memo-store hits (per-message plus
+	// whole-report) and recomputations across both analyses.
+	CacheHits, CacheMisses uint64
+	// HitRate is CacheHits / (CacheHits + CacheMisses).
+	HitRate float64
+}
+
+// runOne executes the three-stage pipeline for one scenario. All
+// stages share one what-if store scoped to the scenario, so the
+// perturbed re-analysis pays only for what the changes can reach and
+// the row is independent of worker scheduling.
+func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
+	row := ScenarioResult{
+		Index: sc.Index, Seed: sc.Seed, MinMarginPct: math.NaN(),
+		WorstStuffing: sc.WorstStuffing, BurstErrors: sc.BurstErrors,
+	}
+
+	sys, changes, err := sc.Build()
+	if err != nil {
+		return row, err
+	}
+	topo, err := netsim.FromSystem(sys)
+	if err != nil {
+		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
+	}
+
+	row.Buses = len(topo.Buses)
+	row.TDMA = len(topo.TDMABuses) > 0
+	row.Gateways = len(topo.Gateways)
+	for _, b := range topo.Buses {
+		row.Messages += len(b.Messages)
+	}
+	for _, d := range topo.TDMABuses {
+		row.Messages += len(d.Messages)
+	}
+
+	store := whatif.NewStore(cfg.StoreCapacity)
+	sess := whatif.NewSystemSession(sys, whatif.Options{Store: store, Workers: 1})
+	base, err := sess.Analyze(cfg.MaxIterations)
+	if err != nil {
+		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
+	}
+	row.Converged = base.Converged
+	row.Iterations = base.Iterations
+	row.Schedulable = base.AllSchedulable()
+	for _, rep := range base.BusReports {
+		row.MissCount += rep.MissCount()
+		if rep.Utilization > row.MaxUtilization {
+			row.MaxUtilization = rep.Utilization
+		}
+	}
+	row.Paths = len(base.Paths)
+	for _, p := range base.Paths {
+		if p.Latency != core.Unbounded {
+			row.BoundedPaths++
+		}
+	}
+
+	if row.Converged && cfg.Seeds > 0 {
+		if err := crossValidate(&row, sys, base, topo, cfg); err != nil {
+			return row, err
+		}
+	}
+
+	if err := sess.Apply(changes...); err != nil {
+		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
+	}
+	pert, err := sess.Analyze(cfg.MaxIterations)
+	if err != nil {
+		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
+	}
+	row.Changes = len(changes)
+	row.PerturbedConverged = pert.Converged
+	row.PerturbedSchedulable = pert.AllSchedulable()
+	row.Flipped = row.PerturbedSchedulable != row.Schedulable
+
+	st := sess.Stats()
+	row.CacheHits = st.Hits + st.ReportHits
+	row.CacheMisses = st.Misses
+	if total := row.CacheHits + row.CacheMisses; total > 0 {
+		row.HitRate = float64(row.CacheHits) / float64(total)
+	}
+	return row, nil
+}
+
+// crossValidate simulates the topology over the configured seed fan and
+// folds every observation against its compositional bound, mirroring
+// the network-validation experiment at corpus scale.
+func crossValidate(row *ScenarioResult, sys *core.System, a *core.Analysis,
+	topo *netsim.Topology, cfg Config) error {
+	// Per-path bounds over the simulated hops; unbounded paths are
+	// excluded from the margin but still traced.
+	type pathBound struct {
+		name    string
+		bound   time.Duration
+		bounded bool
+	}
+	bounds := make([]pathBound, len(topo.Paths))
+	for i, ps := range topo.Paths {
+		b, ok := netsim.SimulatedPathBound(sys, a, ps.Name)
+		bounds[i] = pathBound{name: ps.Name, bound: b, bounded: ok}
+	}
+	lossPredicted := map[string]bool{}
+	for _, g := range topo.Gateways {
+		rep := a.GatewayReports[g.Name]
+		predicted := rep.Overflow
+		for _, fr := range rep.Flows {
+			predicted = predicted || fr.OverwriteLoss
+		}
+		lossPredicted[g.Name] = predicted
+		row.LossPredicted = row.LossPredicted || predicted
+	}
+
+	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		res, err := netsim.Run(topo, netsim.Config{Duration: cfg.Duration, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("scenario %d seed %d: %w", row.Index, seed, err)
+		}
+		row.SimRuns++
+		for _, pb := range bounds {
+			pr := res.Path(pb.name)
+			if pr == nil || pr.Completed == 0 || !pb.bounded {
+				continue
+			}
+			if pr.MaxLatency > pb.bound {
+				row.Violations++
+			}
+			margin := 100 * float64(pb.bound-pr.MaxLatency) / float64(pb.bound)
+			if math.IsNaN(row.MinMarginPct) || margin < row.MinMarginPct {
+				row.MinMarginPct = margin
+			}
+		}
+		for _, br := range res.Buses {
+			rep := a.BusReports[br.Name]
+			for _, st := range br.Stats {
+				row.Frames += st.Sent
+				r := rep.ByName(st.Name)
+				if r == nil || r.WCRT == rta.Unschedulable || st.Sent == 0 {
+					continue
+				}
+				if st.MaxResponse > r.WCRT {
+					row.Violations++
+				}
+			}
+		}
+		for _, br := range res.TDMABuses {
+			rep := a.TDMAReports[br.Name]
+			for _, st := range br.Stats {
+				row.Frames += st.Sent
+				r := rep.ByName(st.Name)
+				if r == nil || r.WCRT == tdma.Unschedulable || st.Sent == 0 {
+					continue
+				}
+				if st.MaxResponse > r.WCRT {
+					row.Violations++
+				}
+			}
+		}
+		for _, g := range topo.Gateways {
+			gr := res.Gateway(g.Name)
+			// Backlog saturates to MaxInt on overloaded gateways, so the
+			// bound check stays valid there.
+			rep := a.GatewayReports[g.Name]
+			if gr.MaxBacklog > rep.Backlog {
+				row.Violations++
+			}
+			lost := gr.Lost()
+			row.Losses += lost
+			if lost > 0 && !lossPredicted[g.Name] {
+				row.Violations++
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the campaign over the corpus: scenarios are sharded
+// across the pool, rows are written by index, and the aggregate is
+// folded serially — the report is bit-identical for any worker count.
+// The first failing scenario (by index) aborts the campaign.
+func Run(corpus *scenario.Corpus, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(corpus.Scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: empty corpus")
+	}
+	rows := make([]ScenarioResult, len(corpus.Scenarios))
+	errs := make([]error, len(corpus.Scenarios))
+	parallel.For(len(corpus.Scenarios), cfg.Workers, func(_, i int) {
+		rows[i], errs[i] = runOne(&corpus.Scenarios[i], cfg)
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return aggregate(corpus, cfg, rows), nil
+}

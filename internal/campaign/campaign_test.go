@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// testCorpus generates a small deterministic corpus.
+func testCorpus(t *testing.T, count int) *scenario.Corpus {
+	t.Helper()
+	corpus, err := scenario.Generate(scenario.Spec{Count: count, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// TestCampaignDeterministicAcrossWorkers pins the sharding contract:
+// the whole report — rows, aggregates, CSV bytes, rendered text — is
+// bit-identical at 1, 4 and 8 workers.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	corpus := testCorpus(t, 24)
+	var ref *Report
+	var refCSV []byte
+	var refText string
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := Run(corpus, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var csv bytes.Buffer
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatalf("workers=%d: csv: %v", workers, err)
+		}
+		text := rep.Render()
+		if ref == nil {
+			ref, refCSV, refText = rep, csv.Bytes(), text
+			continue
+		}
+		// NaN margins (scenarios without traced paths) defeat
+		// reflect.DeepEqual, so rows compare via their printed form. The
+		// echoed Config.Workers is the one legitimate difference.
+		if got, want := fmt.Sprintf("%+v", rep.Rows), fmt.Sprintf("%+v", ref.Rows); got != want {
+			t.Fatalf("workers=%d: rows differ from workers=1", workers)
+		}
+		norm := *rep
+		norm.Config.Workers = ref.Config.Workers
+		if got, want := fmt.Sprintf("%+v", norm), fmt.Sprintf("%+v", *ref); got != want {
+			t.Fatalf("workers=%d: report differs from workers=1", workers)
+		}
+		if !bytes.Equal(csv.Bytes(), refCSV) {
+			t.Fatalf("workers=%d: CSV differs from workers=1", workers)
+		}
+		if text != refText {
+			t.Fatalf("workers=%d: rendered report differs from workers=1", workers)
+		}
+	}
+}
+
+// TestCampaignCrossValidation checks the dominance property over a
+// generated population: no observation beyond its bound, loss only
+// where the analysis predicted it.
+func TestCampaignCrossValidation(t *testing.T) {
+	corpus := testCorpus(t, 40)
+	rep, err := Run(corpus, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios != 40 || len(rep.Rows) != 40 {
+		t.Fatalf("expected 40 rows, got %d/%d", rep.Scenarios, len(rep.Rows))
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d observations exceeded compositional bounds", rep.Violations)
+	}
+	if !rep.LossOnlyPredicted {
+		t.Fatal("gateway loss occurred without a predicted overflow/overwrite")
+	}
+	if rep.Converged == 0 || rep.Frames == 0 {
+		t.Fatalf("implausible campaign: converged=%d frames=%d", rep.Converged, rep.Frames)
+	}
+	for i, row := range rep.Rows {
+		if row.Index != i {
+			t.Fatalf("row %d carries index %d", i, row.Index)
+		}
+		if row.Changes == 0 {
+			t.Fatalf("row %d: no perturbation applied", i)
+		}
+		if row.CacheHits+row.CacheMisses == 0 {
+			t.Fatalf("row %d: what-if session did no work", i)
+		}
+	}
+}
+
+// TestCampaignAnalysisOnly disables the simulation stage.
+func TestCampaignAnalysisOnly(t *testing.T) {
+	corpus := testCorpus(t, 8)
+	rep, err := Run(corpus, Config{Workers: 2, Seeds: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimRuns != 0 || rep.Frames != 0 {
+		t.Fatalf("simulation ran despite Seeds<0: runs=%d frames=%d", rep.SimRuns, rep.Frames)
+	}
+	if rep.Converged == 0 {
+		t.Fatal("no scenario converged")
+	}
+}
+
+// TestCampaignEmptyCorpus rejects an empty population.
+func TestCampaignEmptyCorpus(t *testing.T) {
+	if _, err := Run(&scenario.Corpus{}, Config{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}

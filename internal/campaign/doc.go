@@ -1,0 +1,19 @@
+// Package campaign is the sharded population-study engine: it fans a
+// scenario corpus (package scenario) across the shared worker pool
+// (package parallel) and, per scenario, runs the full verification
+// pipeline the paper prescribes for one integration — compositional
+// analysis (through an incremental what-if session), holistic
+// network simulation cross-validating every observation against its
+// bound (package netsim), and an incremental what-if perturbation (the
+// supplier-revision replay, package whatif) — then folds the
+// per-scenario rows into aggregate statistics: schedulability and
+// convergence rates, bound-versus-observed margins, loss accounting,
+// perturbation flip rates and cache-hit distributions.
+//
+// Determinism: workers write per-scenario rows by index and the
+// aggregation folds them serially in index order; each scenario owns
+// its what-if store (shared across that scenario's baseline and
+// perturbed analyses), so cache statistics do not depend on which
+// worker ran which scenario. The whole report — CSV and rendered —
+// is therefore bit-identical for any worker count.
+package campaign

@@ -19,4 +19,9 @@
 // because only 34+8s bits of the frame are subject to stuffing. Extended
 // (29-bit identifier) frames occupy 67+8s and 67+8s+floor((54+8s-1)/4)
 // bits respectively.
+//
+// In the source paper this is the substrate of Section 2: the CAN
+// networks whose integration the OEM must verify, where "the worst-case
+// load situations cannot be tested" and protocol-level detail (stuffing,
+// arbitration) decides schedulability.
 package can

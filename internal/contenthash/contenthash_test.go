@@ -25,10 +25,10 @@ func TestSensitivity(t *testing.T) {
 	}
 	ref := base().Sum()
 	variants := []func() Digest{
-		func() Digest { h := New(2); h.Word(10); h.String("m"); return h.Sum() }, // tag
-		func() Digest { h := New(1); h.Word(11); h.String("m"); return h.Sum() }, // word value
-		func() Digest { h := New(1); h.String("m"); h.Word(10); return h.Sum() }, // order
-		func() Digest { h := New(1); h.Word(10); h.String("n"); return h.Sum() }, // string content
+		func() Digest { h := New(2); h.Word(10); h.String("m"); return h.Sum() },            // tag
+		func() Digest { h := New(1); h.Word(11); h.String("m"); return h.Sum() },            // word value
+		func() Digest { h := New(1); h.String("m"); h.Word(10); return h.Sum() },            // order
+		func() Digest { h := New(1); h.Word(10); h.String("n"); return h.Sum() },            // string content
 		func() Digest { h := New(1); h.Word(10); h.String("m"); h.Word(0); return h.Sum() }, // length
 		func() Digest { h := base(); h.Bool(true); return h.Sum() },
 		func() Digest { h := base(); h.Bool(false); return h.Sum() },

@@ -1,0 +1,23 @@
+// Package contenthash provides the 128-bit content digest behind the
+// what-if engine's content-addressed result store (internal/whatif) and
+// the incremental response-time analysis (rta.AnalyzeCached): analysis
+// inputs are folded word by word into a running Hasher, and the final
+// Digest addresses the converged result computed from exactly those
+// inputs.
+//
+// The hash is two chained splitmix64 lanes with independent injections —
+// fast (a handful of multiplications per word, no allocations) and
+// well mixed, but NOT cryptographic. For cache addressing that is the
+// right trade: keys are derived from benign analysis models, a 128-bit
+// state makes accidental collisions about as likely as a hardware
+// fault, and key derivation must stay cheap relative to the analyses it
+// short-circuits.
+//
+// Hasher is a value type: copying one snapshots the absorbed prefix, so
+// chained per-priority keys (message i's key covers messages 0..i) cost
+// O(1) amortised per message instead of re-hashing the prefix.
+//
+// The digest is infrastructure for the paper's Section 4 iteration
+// loop: supplier revisions re-verify incrementally because unchanged
+// analysis inputs keep addressing their memoized results.
+package contenthash

@@ -1,0 +1,23 @@
+// Package core is the compositional system-level analysis engine — the
+// SymTA/S methodology itself (Richter 2005, Jersak 2004): local
+// schedulability analyses per resource, coupled by standard event models
+// propagated along the communication flows until a global fixpoint is
+// reached.
+//
+// A System holds CAN buses (analysed by package rta) and ECUs (analysed
+// by package osek), plus links: "the output of task T activates message
+// M", "the arrival of message M activates gateway task G", and so on.
+// Analysis alternates local analyses with event-model propagation — each
+// element's output model (input model plus response-time jitter) becomes
+// the activation model of its successors. Jitters grow monotonically, so
+// iteration either converges or visibly diverges; divergence is reported,
+// not hidden.
+//
+// End-to-end paths (sensor task -> message -> gateway -> message ->
+// actuator task) are bounded by the sum of the from-arrival worst-case
+// responses along the path, the standard compositional latency bound.
+//
+// This is the source paper's Section 5: integration analysed at the
+// network level — ECUs, buses and gateways coupled by the event-model
+// interfaces OEMs and suppliers exchange.
+package core

@@ -1,24 +1,3 @@
-// Package errormodel provides the bus-error overhead functions used by
-// error-aware CAN response-time analysis.
-//
-// Transmission errors on CAN are signalled with an error frame and
-// recovered by automatic retransmission. For worst-case analysis the
-// effect is captured by an overhead function E(t): an upper bound on the
-// total bus time consumed by error signalling and retransmissions in any
-// busy window of length t. The analysis in package rta adds E(t) to the
-// interference terms of its fixpoint equations.
-//
-// Two practically useful models from the literature are implemented, as
-// surveyed by the paper:
-//
-//   - Sporadic errors (Tindell & Burns, 1994): at most one error in any
-//     interval of a given length, similar to an MTBF figure.
-//   - Burst errors (Punnekkat, Hansson & Norström, RTAS 2000): error
-//     bursts of bounded length recur with a bounded rate; within a burst,
-//     errors hit as fast as the protocol admits.
-//
-// All models are deterministic worst-case envelopes, not stochastic
-// processes; the simulator in package sim injects matching traces.
 package errormodel
 
 import (

@@ -20,4 +20,8 @@
 // The package also provides the event model interfaces (EMIFs) of
 // Richter & Ernst (DATE 2002): lossless conversions between model classes
 // and the refinement partial order used by the supply-chain contract layer.
+//
+// In the source paper these models are the data OEMs and suppliers
+// exchange (Section 4, Figure 6): the jitter guarantees suppliers
+// publish and the activation assumptions OEMs verify against.
 package eventmodel

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+// CampaignParams tunes the population-scale study; the zero value runs
+// the default 500-scenario corpus.
+type CampaignParams struct {
+	// Spec parameterises the corpus (scenario.Spec zero value selects
+	// the default population).
+	Spec scenario.Spec
+	// Config parameterises the engine (workers, simulation fan,
+	// store budget).
+	Config campaign.Config
+	// Quick shrinks the corpus to 64 scenarios with a halved
+	// simulation span — the CI-friendly variant.
+	Quick bool
+}
+
+// RunCampaign generates the corpus and drives the sharded campaign
+// engine over it — the population-scale counterpart of the single
+// case-study experiments: instead of one proprietary-matrix
+// substitute, a whole randomized population of integrations is
+// analysed, cross-validated and perturbed. The generated corpus is
+// returned alongside the report so callers can encode its canonical
+// listing without regenerating it.
+func RunCampaign(p CampaignParams) (*campaign.Report, *scenario.Corpus, error) {
+	if p.Quick {
+		if p.Spec.Count == 0 {
+			p.Spec.Count = 64
+		}
+		if p.Config.Duration == 0 {
+			p.Config.Duration = 100 * time.Millisecond
+		}
+	}
+	corpus, err := scenario.Generate(p.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: %w", err)
+	}
+	rep, err := campaign.Run(corpus, p.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, corpus, nil
+}

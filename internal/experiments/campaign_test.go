@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+// TestRunCampaignQuick drives the experiments-level entry point on the
+// CI-sized corpus and sanity-checks the rendered report.
+func TestRunCampaignQuick(t *testing.T) {
+	rep, _, err := RunCampaign(CampaignParams{
+		Spec:   scenario.Spec{Count: 16},
+		Config: campaign.Config{Workers: 4},
+		Quick:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios != 16 {
+		t.Fatalf("expected 16 scenarios, got %d", rep.Scenarios)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d observations exceeded compositional bounds", rep.Violations)
+	}
+	text := rep.Render()
+	for _, want := range []string{"Campaign —", "cross-validation", "what-if perturbation"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report misses %q:\n%s", want, text)
+		}
+	}
+}

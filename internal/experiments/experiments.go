@@ -1,24 +1,3 @@
-// Package experiments contains one driver per figure of the paper. Each
-// driver returns structured data plus a Render method producing the
-// text/chart form; the CLI (cmd/symtago), the benchmark harness
-// (bench_test.go) and EXPERIMENTS.md all run the same code.
-//
-// The case-study workload is the synthetic power-train matrix of
-// package kmatrix (seed 1), substituting for the paper's proprietary
-// K-Matrix; see DESIGN.md for the substitution argument.
-//
-// Scenario conventions, fixed across all experiments:
-//
-//   - Best case (the paper's "ignoring bus errors"): nominal frame
-//     lengths, no errors.
-//   - Worst case: worst-case bit stuffing plus the Punnekkat-style burst
-//     error model (bursts of 3 errors, 100us apart, recurring every
-//     10ms).
-//   - Loss criterion (both cases): an instance is lost when it is still
-//     in the sender buffer as its successor arrives. With the jittered
-//     response R measured from the nominal activation this is exactly
-//     R > T — the "minimum re-arrival time as a deadline" of the paper,
-//     expressed at the nominal instant (rta.DeadlineImplicit).
 package experiments
 
 import (

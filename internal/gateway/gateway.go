@@ -1,24 +1,3 @@
-// Package gateway analyses store-and-forward gateways between buses:
-// queue backlog bounds, queueing delays, buffer dimensioning and
-// overflow/overwrite loss — the "gatewaying strategies ... provide many
-// parameters that can be tuned such as queue configuration" of the
-// paper's Section 5.
-//
-// The analysis is arrival-curve based: the incoming flows' eta+ curves
-// (package eventmodel) are summed and compared against the forwarding
-// task's guaranteed service (its eta- curve times the batch size). The
-// worst-case backlog
-//
-//	B = max_{dt} ( sum_i eta+_i(dt) − batch·eta-_service(dt) )
-//
-// bounds the queue occupancy; a queue shallower than B can overflow —
-// precisely the silent message loss that "N out of M" designs paper
-// over, which the paper argues should be analysed instead of tolerated.
-//
-// Two queue organisations are covered, mirroring the CAN controller
-// split: a shared FIFO of configurable depth, and per-message buffers
-// where a fresh instance overwrites a stale one (loss visible as
-// overwrite instead of overflow).
 package gateway
 
 import (

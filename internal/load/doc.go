@@ -1,0 +1,10 @@
+// Package load implements the simple average bus-load model the paper
+// reviews in Section 3.1 (Figure 1): per-message traffic is frequency
+// times frame length, summed and divided by the bus bandwidth.
+//
+// The paper's point — and this package's doc-level warning — is that the
+// load model says nothing about deadlines or buffer overflows. It is the
+// baseline against which response-time analysis (package rta) is shown
+// to matter: utilisation figures of 36% can hide messages that miss
+// every deadline once jitters and errors enter the picture.
+package load

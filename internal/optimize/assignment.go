@@ -1,19 +1,3 @@
-// Package optimize searches for CAN identifier (priority) assignments
-// that eliminate message loss and maximise robustness, reproducing the
-// optimization step of the paper's Section 4.3 (the solid curves of
-// Figure 5).
-//
-// The search engine is a multi-objective genetic algorithm in the style
-// of SPEA2 (Zitzler, Laumanns & Thiele, 2001 — the paper's reference
-// [10]): permutation-encoded priority orders, strength-based Pareto
-// fitness with nearest-neighbour density, environmental selection with
-// truncation, order crossover and swap mutation. Deterministic for a
-// fixed seed.
-//
-// Classic baselines are provided for comparison and seeding: the original
-// assignment, deadline/rate-monotonic orders, and Audsley's optimal
-// priority assignment driven by the response-time analysis as the
-// feasibility test.
 package optimize
 
 import (

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/eventmodel"
 )
 
 // maxIterations caps fixpoint loops; the iterated functions are monotone,
@@ -80,6 +82,14 @@ func analyzeTask(ordered []Task, charged []time.Duration, i int, cfg Config) Res
 		res.WCRT = Unschedulable
 		res.Schedulable = false
 		return res
+	}
+
+	// An effectively unbounded activation jitter (the sentinel an
+	// overloaded upstream resource propagates) admits no finite
+	// response; without this guard the jitter term overflows the WCRT
+	// sum below and wraps negative.
+	if t.Event.Jitter >= eventmodel.Unbounded/2 {
+		return markUnschedulable()
 	}
 
 	// Level-i busy period.

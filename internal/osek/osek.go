@@ -1,28 +1,3 @@
-// Package osek implements fixed-priority response-time analysis for
-// OSEK-style ECUs: preemptive and cooperative tasks plus hardware
-// interrupt service routines, with operating-system overheads — the
-// ECU-side analysis the paper mentions in Section 5.2 ("considers
-// operating system (OSEK) overhead, complex priority schemes with
-// cooperative and preemptive tasks as well as hardware interrupts").
-//
-// Its role in the reproduction is to close the supply-chain loop of
-// Figure 6: a supplier analyses its ECU with this package, derives the
-// send jitter of every message the ECU emits (response-time interval of
-// the producing task), and publishes that as a guarantee which the OEM
-// feeds into the bus analysis of package rta.
-//
-// Scheduling model:
-//
-//   - ISRs always beat tasks; among ISRs, Priority orders preemption.
-//   - Preemptive tasks are preempted by higher-priority tasks and ISRs.
-//   - Cooperative tasks cannot be preempted by other tasks (they yield
-//     only at completion here — the coarsest cooperative granularity)
-//     but remain preemptable by ISRs.
-//   - Non-preemptive tasks run to completion with interrupts locked,
-//     blocking even ISRs.
-//
-// Every activation is charged the OS overheads: C' = Activate + C +
-// Terminate + 2*ContextSwitch, the classic inflation used in practice.
 package osek
 
 import (

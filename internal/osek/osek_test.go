@@ -303,3 +303,21 @@ func TestPreemptionStrings(t *testing.T) {
 		t.Error("preemption names")
 	}
 }
+
+// An effectively unbounded activation jitter (propagated from an
+// overloaded upstream resource) must yield Unschedulable, not an
+// overflowed response.
+func TestAnalyzeUnboundedJitterUnschedulable(t *testing.T) {
+	fed := task("fed", 2, 1*ms, 20*ms)
+	fed.Event.Jitter = eventmodel.Unbounded
+	fed.Event.DMin = 2 * ms
+	rep, err := Analyze([]Task{fed, task("local", 1, 1*ms, 10*ms)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ByName("fed")
+	if r.WCRT != Unschedulable || r.Schedulable {
+		t.Fatalf("unbounded-jitter task: WCRT = %v, schedulable = %t; want Unschedulable",
+			r.WCRT, r.Schedulable)
+	}
+}

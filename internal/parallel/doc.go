@@ -1,0 +1,12 @@
+// Package parallel provides the one worker-pool primitive shared by the
+// batch layers of the analysis and simulation kernels: a bounded pool
+// pulling indices off an atomic counter. Work items must be independent;
+// determinism is the caller's job (write results by index, never append
+// from workers).
+//
+// The pool is pure infrastructure for the source paper's scale
+// argument: Section 5's "many parameters that can be tuned" only pay
+// off if candidate configurations (sweep scales, GA individuals,
+// Monte-Carlo seeds, campaign scenarios) verify in parallel without
+// perturbing the bit-exact results of the serial analyses.
+package parallel

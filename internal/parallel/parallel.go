@@ -1,8 +1,3 @@
-// Package parallel provides the one worker-pool primitive shared by the
-// batch layers of the analysis and simulation kernels: a bounded pool
-// pulling indices off an atomic counter. Work items must be independent;
-// determinism is the caller's job (write results by index, never append
-// from workers).
 package parallel
 
 import (

@@ -1,8 +1,3 @@
-// Package report renders analysis results as aligned text tables, ASCII
-// line charts (for regenerating the paper's figures in a terminal), CSV
-// series (for external plotting), and Gantt-style bus traces (Figure 2).
-// Everything is plain text on purpose: the experiment harness must run
-// without plotting dependencies.
 package report
 
 import (

@@ -206,6 +206,14 @@ func analyzeOne(ordered []Message, wire []time.Duration, i int, cfg Config, memo
 		return res
 	}
 
+	// An effectively unbounded activation jitter (the sentinel an
+	// overloaded upstream resource propagates) admits no finite
+	// response; without this guard the jitter term overflows the WCRT
+	// sum below and wraps negative.
+	if m.Event.Jitter >= eventmodel.Unbounded/2 {
+		return markUnschedulable()
+	}
+
 	if cfg.ClassicSingleInstance {
 		res.Instances = 1
 		res.BusyPeriod = res.Blocking + res.C

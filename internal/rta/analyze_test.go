@@ -427,3 +427,30 @@ func TestAnalyzeBurstActivationModel(t *testing.T) {
 		t.Errorf("WCRT(victim) = %v, want 540us with sparse burst", got)
 	}
 }
+
+// An effectively unbounded activation jitter — the sentinel an
+// overloaded gateway propagates into its destination messages — must
+// yield Unschedulable, not an overflowed (wrapped-negative) response.
+func TestAnalyzeUnboundedJitterUnschedulable(t *testing.T) {
+	m := msg("fed", 0x100, 8, 50*ms, 0)
+	m.Event.Jitter = eventmodel.Unbounded
+	// The minimum distance an output model keeps; large enough that the
+	// unbounded stream does not saturate the bus for lower priorities.
+	m.Event.DMin = 2 * ms
+	other := msg("local", 0x200, 8, 10*ms, 0)
+	rep, err := Analyze([]Message{m, other}, Config{Bus: bus500k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ByName("fed")
+	if r.WCRT != Unschedulable || r.Schedulable {
+		t.Fatalf("unbounded-jitter message: WCRT = %v, schedulable = %t; want Unschedulable",
+			r.WCRT, r.Schedulable)
+	}
+	// The sibling still gets a finite, positive bound (the unbounded
+	// stream interferes through its minimum distance only).
+	o := rep.ByName("local")
+	if o.WCRT <= 0 || o.WCRT == Unschedulable {
+		t.Fatalf("sibling WCRT = %v, want finite positive", o.WCRT)
+	}
+}

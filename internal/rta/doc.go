@@ -26,4 +26,8 @@
 // The classic single-instance analysis (shown by Davis et al. to be
 // optimistic when R may exceed T) is available as an ablation via
 // Config.ClassicSingleInstance.
+//
+// This is the formal core of the source paper's Section 3.2: the
+// worst-case message response analysis that replaces bus-load folklore
+// and test equipment in the OEM's integration verification.
 package rta

@@ -1,0 +1,22 @@
+// Package scenario generates randomized whole integration scenarios —
+// the populations of candidate networks the paper's OEM must verify
+// (Section 5's "network integration challenges" at corpus scale, not
+// single-case-study scale).
+//
+// A Spec parameterises a corpus: topology ranges (bus chains bridged by
+// gateways, optional TDMA backbones), K-Matrix profiles (message
+// counts, rate/DLC mixes, supplier-knowledge fractions, priority-noise
+// strengths), gateway tuning ranges (service periods, queue policies
+// and depths, deliberately under-dimensioned FIFOs), error models, and
+// a per-scenario what-if perturbation (the supplier revision to replay
+// incrementally).
+//
+// Generation is deterministic: scenario i of a corpus draws every
+// parameter, in a fixed order, from an RNG seeded by a content hash of
+// (spec seed, i), so the corpus is independent of generation order and
+// worker count, and equal (seed, spec) pairs yield byte-identical
+// corpora (Corpus.Encode). A Scenario stores only its drawn plan;
+// Build materialises the actual core.System (plus the what-if
+// SystemChanges) on demand, so corpora stay cheap to generate, encode
+// and ship to campaign workers.
+package scenario

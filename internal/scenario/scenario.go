@@ -1,0 +1,544 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/contenthash"
+	"repro/internal/core"
+	"repro/internal/errormodel"
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+	"repro/internal/kmatrix"
+	"repro/internal/rta"
+	"repro/internal/tdma"
+	"repro/internal/whatif"
+)
+
+// tagScenario is the contenthash domain of per-scenario seed derivation.
+const tagScenario = 0x5343454e41523161 // "SCENAR1a"
+
+// BusPlan is the drawn generation plan of one CAN bus.
+type BusPlan struct {
+	// Name is the bus resource name ("bus0", "bus1", ...).
+	Name string
+	// Gen fully parameterises the synthetic K-Matrix of the bus.
+	Gen kmatrix.GenConfig
+}
+
+// FlowPlan is one message stream forwarded through a gateway. The
+// source is named by index into the generated rows of the origin bus;
+// the destination message is derived (name "F<gw>_<source>", a fresh
+// high-priority identifier on the destination bus).
+type FlowPlan struct {
+	// SourceIndex selects the forwarded row on the origin bus.
+	SourceIndex int
+}
+
+// GatewayPlan is the drawn plan of one store-and-forward gateway
+// bridging bus FromBus to bus FromBus+1.
+type GatewayPlan struct {
+	// Name is the gateway resource name.
+	Name string
+	// FromBus indexes the origin bus of all flows.
+	FromBus int
+	// ServicePeriod is the forwarding task's period.
+	ServicePeriod time.Duration
+	// Batch is the number of messages forwarded per activation.
+	Batch int
+	// Policy selects the queue organisation.
+	Policy gateway.Policy
+	// QueueDepth caps the shared FIFO (0 for per-message buffers);
+	// depth 1 marks a deliberately under-dimensioned queue.
+	QueueDepth int
+	// Flows lists the forwarded streams.
+	Flows []FlowPlan
+}
+
+// TDMAPlan is the drawn plan of an optional time-triggered backbone fed
+// from the last CAN bus through a per-message-buffer gateway.
+type TDMAPlan struct {
+	// Slots is the number of schedule slots (one message each).
+	Slots int
+	// SlotLength is the uniform slot duration.
+	SlotLength time.Duration
+	// Periods holds the local arrival period of each slot's message;
+	// slot 0 carries the forwarded stream instead.
+	Periods []time.Duration
+	// FeedPeriod is the feeding gateway's service period.
+	FeedPeriod time.Duration
+	// FeedSourceIndex selects the forwarded row on the last CAN bus.
+	FeedSourceIndex int
+}
+
+// Change kinds of the per-scenario what-if perturbation.
+const (
+	// ChangeJitter sets a message's send jitter to Frac of its period.
+	ChangeJitter = iota
+	// ChangeDLC sets a message's payload length to DLC bytes.
+	ChangeDLC
+	// ChangePeriod halves (Frac < 1) or doubles the message's period.
+	ChangePeriod
+)
+
+// ChangePlan is one drawn edit of the what-if perturbation.
+type ChangePlan struct {
+	// Kind selects the edit (ChangeJitter, ChangeDLC, ChangePeriod).
+	Kind int
+	// Bus indexes the edited bus; Message indexes its generated row.
+	Bus, Message int
+	// Frac is the jitter fraction (ChangeJitter) or period factor
+	// (ChangePeriod).
+	Frac float64
+	// DLC is the new payload length (ChangeDLC).
+	DLC int
+}
+
+// Scenario is one drawn integration scenario: the plan only — Build
+// materialises the analysable/simulatable system.
+type Scenario struct {
+	// Index is the scenario's position in its corpus.
+	Index int
+	// Seed is the scenario's derived RNG seed.
+	Seed int64
+	// WorstStuffing selects worst-case bit stuffing for analysis and
+	// simulation.
+	WorstStuffing bool
+	// BurstErrors enables the Punnekkat-style burst error model in the
+	// analysis configuration.
+	BurstErrors bool
+	// Buses lists the CAN buses in chain order.
+	Buses []BusPlan
+	// Gateways bridges consecutive buses (len(Buses)-1 entries).
+	Gateways []GatewayPlan
+	// TDMA is the optional backbone plan.
+	TDMA *TDMAPlan
+	// Changes is the what-if perturbation replayed incrementally.
+	Changes []ChangePlan
+}
+
+// Corpus is a generated scenario population.
+type Corpus struct {
+	// Spec echoes the (defaulted) generation parameters.
+	Spec Spec
+	// Scenarios holds the drawn plans in index order.
+	Scenarios []Scenario
+}
+
+// scenarioSeed derives scenario i's RNG seed from the corpus seed by
+// content hashing, so neighbouring indices share no draw structure.
+func scenarioSeed(corpusSeed int64, index int) int64 {
+	h := contenthash.New(tagScenario)
+	h.Int(corpusSeed)
+	h.Int(int64(index))
+	d := h.Sum()
+	return int64(binary.LittleEndian.Uint64(d[:8]))
+}
+
+// Generate draws the corpus described by spec (defaulted first). The
+// draw order per scenario is fixed, and each scenario owns a derived
+// RNG, so the corpus depends only on (Seed, Spec) — never on generation
+// order or the machine.
+func Generate(spec Spec) (*Corpus, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Corpus{Spec: spec, Scenarios: make([]Scenario, spec.Count)}
+	for i := range c.Scenarios {
+		c.Scenarios[i] = generateOne(spec, i)
+	}
+	return c, nil
+}
+
+// intIn draws uniformly from [lo, hi].
+func intIn(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// floatIn draws uniformly from [lo, hi).
+func floatIn(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+// durationIn draws from [lo, hi] quantised to steps of q.
+func durationIn(rng *rand.Rand, lo, hi, q time.Duration) time.Duration {
+	steps := int((hi - lo) / q)
+	return lo + time.Duration(intIn(rng, 0, steps))*q
+}
+
+// generateOne draws scenario index of the corpus.
+func generateOne(spec Spec, index int) Scenario {
+	seed := scenarioSeed(spec.Seed, index)
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Index: index, Seed: seed}
+
+	nBuses := intIn(rng, spec.MinBuses, spec.MaxBuses)
+	for b := 0; b < nBuses; b++ {
+		sc.Buses = append(sc.Buses, BusPlan{
+			Name: fmt.Sprintf("bus%d", b),
+			Gen: kmatrix.GenConfig{
+				Seed:                rng.Int63(),
+				BusName:             fmt.Sprintf("bus%d", b),
+				BitRate:             spec.BitRates[rng.Intn(len(spec.BitRates))],
+				ECUs:                intIn(rng, 3, 8),
+				Gateways:            intIn(rng, 1, 2),
+				Messages:            intIn(rng, spec.MinMessages, spec.MaxMessages),
+				KnownJitterFraction: floatIn(rng, spec.KnownJitterMin, spec.KnownJitterMax),
+				IDShuffle:           floatIn(rng, spec.IDShuffleMin, spec.IDShuffleMax),
+			},
+		})
+	}
+	sc.WorstStuffing = rng.Float64() < spec.WorstStuffingProbability
+	sc.BurstErrors = rng.Float64() < spec.ErrorProbability
+
+	for g := 0; g+1 < nBuses; g++ {
+		plan := GatewayPlan{
+			Name:          fmt.Sprintf("gw%d", g),
+			FromBus:       g,
+			ServicePeriod: durationIn(rng, spec.GatewayPeriodMin, spec.GatewayPeriodMax, 100*time.Microsecond),
+			Batch:         intIn(rng, 1, 2),
+		}
+		if rng.Float64() < 0.6 {
+			plan.Policy = gateway.SharedFIFO
+			if rng.Float64() < spec.ShallowFIFOProbability {
+				plan.QueueDepth = 1
+			} else {
+				plan.QueueDepth = intIn(rng, spec.FIFODepthMin, spec.FIFODepthMax)
+			}
+		} else {
+			plan.Policy = gateway.PerMessageBuffer
+		}
+		nFlows := intIn(rng, spec.FlowsMin, spec.FlowsMax)
+		perm := rng.Perm(sc.Buses[g].Gen.Messages)
+		for f := 0; f < nFlows && f < len(perm); f++ {
+			plan.Flows = append(plan.Flows, FlowPlan{SourceIndex: perm[f]})
+		}
+		sc.Gateways = append(sc.Gateways, plan)
+	}
+
+	if rng.Float64() < spec.TDMAProbability {
+		t := &TDMAPlan{
+			Slots:      intIn(rng, 2, 4),
+			SlotLength: durationIn(rng, 400*time.Microsecond, 650*time.Microsecond, 50*time.Microsecond),
+			FeedPeriod: durationIn(rng, spec.GatewayPeriodMin, spec.GatewayPeriodMax, 100*time.Microsecond),
+		}
+		periodChoices := []time.Duration{
+			10 * time.Millisecond, 20 * time.Millisecond,
+			50 * time.Millisecond, 100 * time.Millisecond,
+		}
+		for s := 0; s < t.Slots; s++ {
+			t.Periods = append(t.Periods, periodChoices[rng.Intn(len(periodChoices))])
+		}
+		t.FeedSourceIndex = rng.Intn(sc.Buses[nBuses-1].Gen.Messages)
+		sc.TDMA = t
+	}
+
+	nChanges := intIn(rng, 1, spec.MaxChanges)
+	for c := 0; c < nChanges; c++ {
+		ch := ChangePlan{
+			Bus: rng.Intn(nBuses),
+		}
+		ch.Message = rng.Intn(sc.Buses[ch.Bus].Gen.Messages)
+		switch rng.Intn(3) {
+		case 0:
+			ch.Kind = ChangeJitter
+			ch.Frac = floatIn(rng, 0.05, 0.50)
+		case 1:
+			ch.Kind = ChangeDLC
+			ch.DLC = intIn(rng, 1, 8)
+		default:
+			ch.Kind = ChangePeriod
+			if rng.Float64() < 0.5 {
+				ch.Frac = 0.5
+			} else {
+				ch.Frac = 2.0
+			}
+		}
+		sc.Changes = append(sc.Changes, ch)
+	}
+	return sc
+}
+
+// stuffing maps the scenario's stuffing draw.
+func (s *Scenario) stuffing() can.Stuffing {
+	if s.WorstStuffing {
+		return can.StuffingWorstCase
+	}
+	return can.StuffingNominal
+}
+
+// analysisConfig assembles the per-bus analysis configuration (the Bus
+// field is filled from each matrix).
+func (s *Scenario) analysisConfig() (cfg rta.Config) {
+	cfg.Stuffing = s.stuffing()
+	cfg.DeadlineModel = rta.DeadlineImplicit
+	if s.BurstErrors {
+		cfg.Errors = errormodel.Burst{
+			Interval: 10 * time.Millisecond,
+			Length:   3,
+			Gap:      100 * time.Microsecond,
+		}
+	}
+	return cfg
+}
+
+// Build materialises the scenario: the core.System wiring (buses,
+// gateways, optional TDMA backbone, propagation links, traced paths)
+// plus the what-if perturbation as applicable SystemChanges. Building
+// is deterministic — it re-derives everything from the stored plan.
+func (s *Scenario) Build() (*core.System, []whatif.SystemChange, error) {
+	if len(s.Buses) == 0 {
+		return nil, nil, fmt.Errorf("scenario %d: no buses", s.Index)
+	}
+	matrices := make([]*kmatrix.KMatrix, len(s.Buses))
+	for i, plan := range s.Buses {
+		matrices[i] = kmatrix.Powertrain(plan.Gen)
+	}
+
+	acfg := s.analysisConfig()
+	sys := core.NewSystem()
+
+	// Per-bus message lists: generated rows first, forwarded
+	// destinations appended with fresh high-priority identifiers (the
+	// generator never assigns IDs below 0x80).
+	type fwd struct {
+		gw, flow, destBus, destName string
+		src                         core.ElementRef
+	}
+	var fwds []fwd
+	msgs := make([][]rta.Message, len(s.Buses))
+	for i, k := range matrices {
+		msgs[i] = k.ToRTA()
+	}
+	nextID := make([]can.ID, len(s.Buses))
+	for i := range nextID {
+		nextID[i] = 0x10
+	}
+	for _, g := range s.Gateways {
+		dest := g.FromBus + 1
+		for fi, fl := range g.Flows {
+			src := matrices[g.FromBus].Messages[fl.SourceIndex]
+			destName := fmt.Sprintf("F%s_%s", g.Name, src.Name)
+			msgs[dest] = append(msgs[dest], rta.Message{
+				Name:  destName,
+				Frame: can.Frame{ID: nextID[dest], DLC: src.DLC},
+				Event: eventmodel.PeriodicJitter(src.Period, src.Jitter),
+			})
+			nextID[dest]++
+			fwds = append(fwds, fwd{
+				gw: g.Name, flow: fmt.Sprintf("f%d", fi),
+				destBus: s.Buses[dest].Name, destName: destName,
+				src: core.ElementRef{Resource: s.Buses[g.FromBus].Name, Element: src.Name},
+			})
+		}
+	}
+
+	for i, plan := range s.Buses {
+		cfg := acfg
+		cfg.Bus = matrices[i].Bus()
+		if err := sys.AddBus(plan.Name, cfg, msgs[i]); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+	}
+
+	var tdmaFeed *fwd
+	if t := s.TDMA; t != nil {
+		lastBus := len(s.Buses) - 1
+		src := matrices[lastBus].Messages[t.FeedSourceIndex]
+		var slots []tdma.Slot
+		var ttMsgs []tdma.Message
+		for i := 0; i < t.Slots; i++ {
+			name := fmt.Sprintf("TT%d", i)
+			slots = append(slots, tdma.Slot{Owner: name, Length: t.SlotLength})
+			ev := eventmodel.Periodic(t.Periods[i])
+			if i == 0 {
+				// Slot 0 carries the forwarded stream; its local model is
+				// a placeholder the propagation overwrites.
+				ev = eventmodel.PeriodicJitter(src.Period, src.Jitter)
+			}
+			ttMsgs = append(ttMsgs, tdma.Message{
+				Name:  name,
+				Frame: can.Frame{ID: can.ID(i + 1), DLC: 8},
+				Event: ev,
+			})
+		}
+		if err := sys.AddTDMABus("backbone", tdma.Schedule{Slots: slots},
+			can.Bus{BitRate: can.Rate500k}, s.stuffing(), ttMsgs); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+		tdmaFeed = &fwd{
+			gw: "gwtt", flow: "tt", destBus: "backbone", destName: "TT0",
+			src: core.ElementRef{Resource: s.Buses[lastBus].Name, Element: src.Name},
+		}
+	}
+
+	for _, g := range s.Gateways {
+		flowNames := make([]string, len(g.Flows))
+		for i := range g.Flows {
+			flowNames[i] = fmt.Sprintf("f%d", i)
+		}
+		cfg := gateway.Config{
+			Service:    eventmodel.Periodic(g.ServicePeriod),
+			Batch:      g.Batch,
+			Policy:     g.Policy,
+			QueueDepth: g.QueueDepth,
+		}
+		if err := sys.AddGateway(g.Name, cfg, flowNames); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+	}
+	if tdmaFeed != nil {
+		cfg := gateway.Config{
+			Service: eventmodel.Periodic(s.TDMA.FeedPeriod),
+			Policy:  gateway.PerMessageBuffer,
+		}
+		if err := sys.AddGateway("gwtt", cfg, []string{"tt"}); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+		fwds = append(fwds, *tdmaFeed)
+	}
+
+	for _, f := range fwds {
+		flowRef := core.ElementRef{Resource: f.gw, Element: f.flow}
+		destRef := core.ElementRef{Resource: f.destBus, Element: f.destName}
+		if err := sys.Connect(f.src, flowRef); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+		if err := sys.Connect(flowRef, destRef); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+		name := fmt.Sprintf("%s_%s", f.gw, f.flow)
+		if err := sys.AddPath(name, f.src, flowRef, destRef); err != nil {
+			return nil, nil, fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+	}
+
+	changes := make([]whatif.SystemChange, 0, len(s.Changes))
+	for _, ch := range s.Changes {
+		m := matrices[ch.Bus].Messages[ch.Message]
+		busName := s.Buses[ch.Bus].Name
+		switch ch.Kind {
+		case ChangeJitter:
+			j := time.Duration(ch.Frac*float64(m.Period)) / time.Microsecond * time.Microsecond
+			changes = append(changes, whatif.SetEventJitter{
+				Resource: busName, Element: m.Name, Jitter: j,
+			})
+		case ChangeDLC:
+			changes = append(changes, whatif.SetFrameDLC{
+				Resource: busName, Message: m.Name, DLC: ch.DLC,
+			})
+			// A payload revision ripples end to end: frame sizes do not
+			// propagate through event-model links (only jitter/period
+			// do), so gateway-forwarded copies on CAN buses are edited
+			// explicitly. TDMA slot frames stay as scheduled.
+			srcRef := core.ElementRef{Resource: busName, Element: m.Name}
+			for _, f := range fwds {
+				if f.src == srcRef && f.destBus != "backbone" {
+					changes = append(changes, whatif.SetFrameDLC{
+						Resource: f.destBus, Message: f.destName, DLC: ch.DLC,
+					})
+				}
+			}
+		case ChangePeriod:
+			changes = append(changes, whatif.SetEventPeriod{
+				Resource: busName, Element: m.Name,
+				Period: time.Duration(ch.Frac * float64(m.Period)),
+			})
+		default:
+			return nil, nil, fmt.Errorf("scenario %d: unknown change kind %d", s.Index, ch.Kind)
+		}
+	}
+	return sys, changes, nil
+}
+
+// Encode writes the corpus as a canonical text listing: the defaulted
+// spec followed by every scenario's drawn plan, one field per token in
+// a fixed order. Equal (seed, spec) corpora encode byte-identically —
+// the determinism contract the tests pin.
+func (c *Corpus) Encode(w io.Writer) error {
+	bw := &errWriter{w: w}
+	sp := c.Spec
+	bw.printf("corpus seed=%d count=%d buses=[%d,%d] messages=[%d,%d] rates=%v\n",
+		sp.Seed, sp.Count, sp.MinBuses, sp.MaxBuses, sp.MinMessages, sp.MaxMessages, sp.BitRates)
+	bw.printf("known=[%g,%g] shuffle=[%g,%g] p_worst=%g p_err=%g p_tdma=%g p_shallow=%g\n",
+		sp.KnownJitterMin, sp.KnownJitterMax, sp.IDShuffleMin, sp.IDShuffleMax,
+		sp.WorstStuffingProbability, sp.ErrorProbability, sp.TDMAProbability,
+		sp.ShallowFIFOProbability)
+	bw.printf("gwperiod=[%v,%v] fifo=[%d,%d] flows=[%d,%d] changes<=%d\n",
+		sp.GatewayPeriodMin, sp.GatewayPeriodMax, sp.FIFODepthMin, sp.FIFODepthMax,
+		sp.FlowsMin, sp.FlowsMax, sp.MaxChanges)
+	for i := range c.Scenarios {
+		s := &c.Scenarios[i]
+		bw.printf("scenario %d seed=%d worst=%t burst=%t\n",
+			s.Index, s.Seed, s.WorstStuffing, s.BurstErrors)
+		for _, b := range s.Buses {
+			bw.printf("  bus %s seed=%d rate=%d ecus=%d gws=%d msgs=%d known=%.6f shuffle=%.6f\n",
+				b.Name, b.Gen.Seed, b.Gen.BitRate, b.Gen.ECUs, b.Gen.Gateways,
+				b.Gen.Messages, b.Gen.KnownJitterFraction, b.Gen.IDShuffle)
+		}
+		for _, g := range s.Gateways {
+			srcs := make([]string, len(g.Flows))
+			for i, f := range g.Flows {
+				srcs[i] = fmt.Sprint(f.SourceIndex)
+			}
+			bw.printf("  gw %s from=%d service=%v batch=%d policy=%d depth=%d flows=[%s]\n",
+				g.Name, g.FromBus, g.ServicePeriod, g.Batch, g.Policy, g.QueueDepth,
+				strings.Join(srcs, ","))
+		}
+		if t := s.TDMA; t != nil {
+			bw.printf("  tdma slots=%d len=%v periods=%v feed=%v src=%d\n",
+				t.Slots, t.SlotLength, t.Periods, t.FeedPeriod, t.FeedSourceIndex)
+		}
+		for _, ch := range s.Changes {
+			bw.printf("  change kind=%d bus=%d msg=%d frac=%.6f dlc=%d\n",
+				ch.Kind, ch.Bus, ch.Message, ch.Frac, ch.DLC)
+		}
+	}
+	return bw.err
+}
+
+// Fingerprint digests the canonical encoding — a compact corpus
+// identity for reports and cache keys.
+func (c *Corpus) Fingerprint() contenthash.Digest {
+	h := newHashWriter()
+	_ = c.Encode(h)
+	return h.Sum()
+}
+
+// errWriter folds fmt errors so Encode stays readable.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// hashWriter feeds written bytes into a contenthash Hasher.
+type hashWriter struct {
+	h contenthash.Hasher
+}
+
+func newHashWriter() *hashWriter {
+	return &hashWriter{h: contenthash.New(tagScenario)}
+}
+
+func (hw *hashWriter) Write(p []byte) (int, error) {
+	hw.h.String(string(p))
+	return len(p), nil
+}
+
+func (hw *hashWriter) Sum() contenthash.Digest { return hw.h.Sum() }

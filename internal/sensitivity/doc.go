@@ -1,0 +1,17 @@
+// Package sensitivity implements the what-if analyses of the paper's
+// case study: jitter sweeps over a communication matrix (Section 4,
+// Figures 4 and 5), the robust/sensitive classification of messages, and
+// the search for the maximum tolerable jitter of each message (Racu,
+// Jersak & Ernst, RTAS 2005).
+//
+// A sweep re-runs the worst-case response-time analysis of package rta
+// with every message's send jitter set to x% of its period, for x over a
+// configurable range. From the resulting per-message curves the package
+// derives:
+//
+//   - sensitivity classes (Figure 4): how fast the response time grows
+//     with jitter;
+//   - loss curves (Figure 5): the fraction of messages missing their
+//     deadline at each jitter level;
+//   - robustness margins: the largest jitter scale a message tolerates.
+package sensitivity

@@ -1,0 +1,18 @@
+// Package supplychain implements the contract layer of the paper's
+// Sections 5 and 6: the exchange of data sheets (guarantees) and
+// requirement specifications between OEMs and ECU suppliers, expressed
+// over event models so that intellectual property stays protected —
+// "internal implementation details (e.g. ECU task priorities or
+// gatewaying strategies etc.) need not be disclosed".
+//
+// The duality of Figure 6 is directly encoded:
+//
+//   - the OEM requires send-jitter bounds from suppliers and, from its
+//     bus analysis, guarantees arrival timing to them;
+//   - a supplier guarantees send jitters from its ECU analysis and
+//     requires arrival timing for the messages its algorithms consume.
+//
+// What one side assumes and requires, the other side must guarantee —
+// checked by Check, with event-model refinement (package eventmodel) as
+// the satisfaction relation.
+package supplychain

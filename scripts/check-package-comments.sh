@@ -1,0 +1,31 @@
+#!/bin/sh
+# check-package-comments.sh — the docs gate's godoc check: every
+# internal/* package must carry a package comment in a doc.go file
+# (role + paper section; see DESIGN.md "System inventory").
+#
+# Exits non-zero listing the offending packages, so CI fails loudly
+# when a new package lands without documentation.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if [ ! -f "$dir/doc.go" ]; then
+        echo "missing doc.go: internal/$pkg" >&2
+        fail=1
+        continue
+    fi
+    # The comment must be attached: a line starting "// Package <name>"
+    # immediately preceding the package clause.
+    if ! grep -q "^// Package $pkg " "$dir/doc.go"; then
+        echo "doc.go without '// Package $pkg ...' comment: internal/$pkg" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "package-comment check FAILED" >&2
+    exit 1
+fi
+echo "package-comment check ok: $(ls -d internal/*/ | wc -l | tr -d ' ') packages documented"
