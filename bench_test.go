@@ -704,6 +704,11 @@ func BenchmarkNetSim(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(frames), "frames_per_run")
+	// frames/s (wall throughput) feeds the CI bench gate alongside
+	// ns/op; no log scraping — benchparse reads the metric directly.
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(frames)*float64(b.N)/secs, "frames/s")
+	}
 }
 
 // BenchmarkNetSimSeeds measures the network Monte-Carlo fan on the
@@ -880,4 +885,9 @@ func BenchmarkCampaign(b *testing.B) {
 	b.ReportMetric(float64(scenarios), "scenarios")
 	b.ReportMetric(float64(frames), "frames")
 	b.ReportMetric(float64(violations), "violations")
+	// scenarios/s (wall throughput) feeds the CI bench gate alongside
+	// ns/op; no log scraping — benchparse reads the metric directly.
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
+	}
 }

@@ -20,7 +20,7 @@ func cmdCampaign(args []string) error {
 	n := fs.Int("n", 0, "corpus size (0 = spec default, 500)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	specPath := fs.String("spec", "", "corpus spec file (TOML subset; flags override)")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := workersFlag(fs)
 	seeds := fs.Int("seeds", 0, "simulation runs per scenario (0 = default 2, negative disables)")
 	duration := fs.Duration("duration", 0, "simulated span per run (0 = default 200ms)")
 	csvPath := fs.String("csv", "", "write per-scenario results as CSV here")

@@ -57,7 +57,7 @@ func parseController(name string) (sim.ControllerType, error) {
 
 func cmdLoad(args []string) error {
 	fs := newFlagSet("load")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
+	path := kmatrixFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -75,8 +75,8 @@ func cmdLoad(args []string) error {
 
 func cmdAnalyze(args []string) error {
 	fs := newFlagSet("analyze")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	scenario := fs.String("scenario", "worst", "best or worst")
+	path := kmatrixFlag(fs)
+	scenario := scenarioFlag(fs)
 	scale := fs.Float64("jitter-scale", 0, "set all jitters to this fraction of the period")
 	onlyUnknown := fs.Bool("only-unknown", false, "scale only assumed jitters")
 	if err := parseFlags(fs, args); err != nil {
@@ -123,7 +123,7 @@ func cmdAnalyze(args []string) error {
 
 func cmdSensitivity(args []string) error {
 	fs := newFlagSet("sensitivity")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
+	path := kmatrixFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -162,8 +162,8 @@ func cmdSensitivity(args []string) error {
 
 func cmdLoss(args []string) error {
 	fs := newFlagSet("loss")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	scenario := fs.String("scenario", "worst", "best or worst")
+	path := kmatrixFlag(fs)
+	scenario := scenarioFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -203,7 +203,7 @@ func cmdLoss(args []string) error {
 
 func cmdOptimize(args []string) error {
 	fs := newFlagSet("optimize")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
+	path := kmatrixFlag(fs)
 	seed := fs.Int64("seed", 1, "GA seed")
 	generations := fs.Int("generations", 0, "GA generations (0 = default)")
 	out := fs.String("out", "", "write the optimized K-Matrix CSV here")
@@ -245,7 +245,7 @@ func cmdOptimize(args []string) error {
 
 func cmdSimulate(args []string) error {
 	fs := newFlagSet("simulate")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
+	path := kmatrixFlag(fs)
 	duration := fs.Duration("duration", 2*time.Second, "simulated time span")
 	controller := fs.String("controller", "full", "full or basic (CAN controller type)")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -312,7 +312,7 @@ func cmdValidate(args []string) error {
 	seeds := fs.Int("seeds", 64, "number of Monte-Carlo runs")
 	duration := fs.Duration("duration", 2*time.Second, "simulated span per run")
 	controller := fs.String("controller", "full", "full or basic (CAN controller type)")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := workersFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -337,7 +337,7 @@ func cmdNetsim(args []string) error {
 	fs := newFlagSet("netsim")
 	seeds := fs.Int("seeds", 32, "number of network Monte-Carlo runs")
 	duration := fs.Duration("duration", 2*time.Second, "simulated span per run")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := workersFlag(fs)
 	shallow := fs.Bool("shallow", false, "under-dimension the FIFO to depth 1 (predicted-loss demonstration)")
 	gantt := fs.Bool("gantt", false, "render a multi-bus Gantt of the first seed")
 	window := fs.Duration("window", 50*time.Millisecond, "Gantt window length")

@@ -35,7 +35,7 @@ func cmdContract(args []string) error {
 
 func contractRequirements(args []string) error {
 	fs := newFlagSet("contract requirements")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
+	path := kmatrixFlag(fs)
 	scale := fs.Float64("scale", 0.25, "required send-jitter bound as fraction of the period")
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := parseFlags(fs, args); err != nil {
@@ -51,8 +51,8 @@ func contractRequirements(args []string) error {
 
 func contractGuarantees(args []string) error {
 	fs := newFlagSet("contract guarantees")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	scenario := fs.String("scenario", "worst", "best or worst")
+	path := kmatrixFlag(fs)
+	scenario := scenarioFlag(fs)
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -130,8 +130,8 @@ func writeArtifact(path string, write func(w io.Writer) error) error {
 // cmdTolerance prints the per-message jitter tolerance table.
 func cmdTolerance(args []string) error {
 	fs := newFlagSet("tolerance")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	scenario := fs.String("scenario", "worst", "best or worst")
+	path := kmatrixFlag(fs)
+	scenario := scenarioFlag(fs)
 	operating := fs.Float64("operating", 0.10, "jitter scale of all other messages")
 	top := fs.Int("top", 15, "show only the most critical N messages (0 = all)")
 	if err := parseFlags(fs, args); err != nil {
@@ -172,8 +172,8 @@ func cmdTolerance(args []string) error {
 // cmdExtend answers "how many more messages fit?".
 func cmdExtend(args []string) error {
 	fs := newFlagSet("extend")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	scenario := fs.String("scenario", "worst", "best or worst")
+	path := kmatrixFlag(fs)
+	scenario := scenarioFlag(fs)
 	operating := fs.Float64("operating", 0.10, "operating jitter scale")
 	period := fs.Duration("period", 20*time.Millisecond, "period of the added messages")
 	dlc := fs.Int("dlc", 8, "payload length of the added messages")

@@ -1,0 +1,24 @@
+package main
+
+import "flag"
+
+// The flag helpers below register the flags shared by many
+// subcommands, so name, default and help text stay uniform across the
+// CLI (and docs/cli.md documents them once).
+
+// kmatrixFlag registers the uniform -kmatrix flag.
+func kmatrixFlag(fs *flag.FlagSet) *string {
+	return fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
+}
+
+// scenarioFlag registers the uniform -scenario flag (see
+// scenarioConfig for the mapping).
+func scenarioFlag(fs *flag.FlagSet) *string {
+	return fs.String("scenario", "worst", "best or worst")
+}
+
+// workersFlag registers the uniform -workers flag of the parallel
+// drivers.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+}

@@ -19,6 +19,8 @@
 //	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
 //	symtago campaign [-n count] [-seed n] [-spec file] [-workers n] [-seeds n]
 //	                 [-duration d] [-csv file] [-corpus file] [-quick]
+//	symtago serve    [-addr host:port] [-workers n] [-cache n] [-ttl d]
+//	                 [-selftest [-clients n] [-revisions n] [-seed n]]
 //
 // A missing -kmatrix selects the built-in synthetic power-train matrix
 // (the case-study substitute documented in DESIGN.md).
@@ -72,6 +74,8 @@ func main() {
 		err = cmdExtend(os.Args[2:])
 	case "campaign":
 		err = cmdCampaign(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -151,6 +155,7 @@ commands:
   tolerance    per-message maximum send jitter (supplier requirements)
   extend       how many more messages fit (Section 2's extensibility)
   campaign     population-scale scenario corpus study (analysis + netsim + what-if)
+  serve        long-running HTTP/JSON analysis service with persistent sessions
 
 exit codes: 0 success, 1 runtime failure, 2 usage error`)
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/whatif"
+)
+
+// cmdServe runs the long-running analysis service — the paper's
+// iterative OEM/supplier exchange as a concurrent endpoint with
+// persistent what-if sessions — or, with -selftest, the seeded
+// concurrent load driver proving that parallel clients get responses
+// byte-identical to serial execution.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8479", "listen address")
+	workers := workersFlag(fs)
+	cache := fs.Int("cache", 0, "shared what-if store budget in cost units (0 = default)")
+	ttl := fs.Duration("ttl", 0, "idle session lifetime (0 = default 15m)")
+	selftest := fs.Bool("selftest", false, "run the concurrent determinism selftest and exit")
+	clients := fs.Int("clients", 8, "selftest: concurrent clients")
+	revisions := fs.Int("revisions", 50, "selftest: change-script length per client")
+	seed := fs.Int64("seed", 7, "selftest: scenario seed")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	if *selftest {
+		if *clients < 1 || *revisions < 1 {
+			return usageErrf("serve: -clients and -revisions must be positive")
+		}
+		res, err := service.LoadTest(service.LoadTestConfig{
+			Clients: *clients, Revisions: *revisions, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if !res.Passed() {
+			return fmt.Errorf("serve selftest failed")
+		}
+		return nil
+	}
+
+	srv := service.New(service.Config{
+		StoreCapacity: *cache,
+		SessionTTL:    *ttl,
+		Workers:       *workers,
+	})
+	defer srv.Close()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("symtago serve: listening on http://%s (sessions expire after %v idle)\n",
+		*addr, sessionTTL(*ttl))
+	err := hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// sessionTTL echoes the effective TTL for the startup banner.
+func sessionTTL(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return whatif.DefaultSessionTTL
+	}
+	return ttl
+}

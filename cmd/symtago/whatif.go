@@ -17,10 +17,10 @@ import (
 // changes can reach.
 func cmdWhatIf(args []string) error {
 	fs := newFlagSet("whatif")
-	path := fs.String("kmatrix", "", "K-Matrix CSV (default: built-in case study)")
-	scenario := fs.String("scenario", "worst", "best or worst")
+	path := kmatrixFlag(fs)
+	scenario := scenarioFlag(fs)
 	script := fs.String("script", "", "change script file (default: stdin)")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := workersFlag(fs)
 	cacheSize := fs.Int("cache", 0, "LRU budget in cost units (~one per-message result; 0 = default)")
 	all := fs.Bool("all", false, "print unchanged messages too")
 	if err := parseFlags(fs, args); err != nil {

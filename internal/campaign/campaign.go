@@ -1,16 +1,14 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
-	"repro/internal/parallel"
-	"repro/internal/rta"
 	"repro/internal/scenario"
-	"repro/internal/tdma"
 	"repro/internal/whatif"
 )
 
@@ -145,9 +143,16 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 	}
 
 	if row.Converged && cfg.Seeds > 0 {
-		if err := crossValidate(&row, sys, base, topo, cfg); err != nil {
-			return row, err
+		st, err := CrossValidate(sys, base, topo, cfg.Seeds, cfg.Duration)
+		if err != nil {
+			return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
 		}
+		row.SimRuns = st.SimRuns
+		row.Frames = st.Frames
+		row.Violations = st.Violations
+		row.Losses = st.Losses
+		row.LossPredicted = st.LossPredicted
+		row.MinMarginPct = st.MinMarginPct
 	}
 
 	if err := sess.Apply(changes...); err != nil {
@@ -171,113 +176,15 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 	return row, nil
 }
 
-// crossValidate simulates the topology over the configured seed fan and
-// folds every observation against its compositional bound, mirroring
-// the network-validation experiment at corpus scale.
-func crossValidate(row *ScenarioResult, sys *core.System, a *core.Analysis,
-	topo *netsim.Topology, cfg Config) error {
-	// Per-path bounds over the simulated hops; unbounded paths are
-	// excluded from the margin but still traced.
-	type pathBound struct {
-		name    string
-		bound   time.Duration
-		bounded bool
-	}
-	bounds := make([]pathBound, len(topo.Paths))
-	for i, ps := range topo.Paths {
-		b, ok := netsim.SimulatedPathBound(sys, a, ps.Name)
-		bounds[i] = pathBound{name: ps.Name, bound: b, bounded: ok}
-	}
-	lossPredicted := map[string]bool{}
-	for _, g := range topo.Gateways {
-		rep := a.GatewayReports[g.Name]
-		predicted := rep.Overflow
-		for _, fr := range rep.Flows {
-			predicted = predicted || fr.OverwriteLoss
-		}
-		lossPredicted[g.Name] = predicted
-		row.LossPredicted = row.LossPredicted || predicted
-	}
-
-	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-		res, err := netsim.Run(topo, netsim.Config{Duration: cfg.Duration, Seed: seed})
-		if err != nil {
-			return fmt.Errorf("scenario %d seed %d: %w", row.Index, seed, err)
-		}
-		row.SimRuns++
-		for _, pb := range bounds {
-			pr := res.Path(pb.name)
-			if pr == nil || pr.Completed == 0 || !pb.bounded {
-				continue
-			}
-			if pr.MaxLatency > pb.bound {
-				row.Violations++
-			}
-			margin := 100 * float64(pb.bound-pr.MaxLatency) / float64(pb.bound)
-			if math.IsNaN(row.MinMarginPct) || margin < row.MinMarginPct {
-				row.MinMarginPct = margin
-			}
-		}
-		for _, br := range res.Buses {
-			rep := a.BusReports[br.Name]
-			for _, st := range br.Stats {
-				row.Frames += st.Sent
-				r := rep.ByName(st.Name)
-				if r == nil || r.WCRT == rta.Unschedulable || st.Sent == 0 {
-					continue
-				}
-				if st.MaxResponse > r.WCRT {
-					row.Violations++
-				}
-			}
-		}
-		for _, br := range res.TDMABuses {
-			rep := a.TDMAReports[br.Name]
-			for _, st := range br.Stats {
-				row.Frames += st.Sent
-				r := rep.ByName(st.Name)
-				if r == nil || r.WCRT == tdma.Unschedulable || st.Sent == 0 {
-					continue
-				}
-				if st.MaxResponse > r.WCRT {
-					row.Violations++
-				}
-			}
-		}
-		for _, g := range topo.Gateways {
-			gr := res.Gateway(g.Name)
-			// Backlog saturates to MaxInt on overloaded gateways, so the
-			// bound check stays valid there.
-			rep := a.GatewayReports[g.Name]
-			if gr.MaxBacklog > rep.Backlog {
-				row.Violations++
-			}
-			lost := gr.Lost()
-			row.Losses += lost
-			if lost > 0 && !lossPredicted[g.Name] {
-				row.Violations++
-			}
-		}
-	}
-	return nil
-}
-
 // Run executes the campaign over the corpus: scenarios are sharded
 // across the pool, rows are written by index, and the aggregate is
 // folded serially — the report is bit-identical for any worker count.
-// The first failing scenario (by index) aborts the campaign.
+// The first failing scenario (by index) aborts the campaign. Run is
+// the one-shot form of a Job run to completion.
 func Run(corpus *scenario.Corpus, cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
-	if len(corpus.Scenarios) == 0 {
-		return nil, fmt.Errorf("campaign: empty corpus")
+	j, err := NewJob(corpus, cfg)
+	if err != nil {
+		return nil, err
 	}
-	rows := make([]ScenarioResult, len(corpus.Scenarios))
-	errs := make([]error, len(corpus.Scenarios))
-	parallel.For(len(corpus.Scenarios), cfg.Workers, func(_, i int) {
-		rows[i], errs[i] = runOne(&corpus.Scenarios[i], cfg)
-	})
-	if err := parallel.FirstError(errs); err != nil {
-		return nil, fmt.Errorf("campaign: %w", err)
-	}
-	return aggregate(corpus, cfg, rows), nil
+	return j.Run(context.Background())
 }

@@ -1,0 +1,118 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/scenario"
+)
+
+// Job is a resumable campaign execution: per-scenario rows are
+// recorded as they complete, so a run interrupted by context
+// cancellation (service shutdown, operator cancel) keeps its finished
+// work and a later Run continues with only the pending scenarios. The
+// final report is bit-identical no matter how many times the run was
+// interrupted and resumed, because rows are independent and the
+// aggregate folds them in corpus order.
+//
+// Job is safe for concurrent Progress/Report reads while one Run is
+// executing; concurrent Runs of the same job are not supported.
+type Job struct {
+	corpus *scenario.Corpus
+	cfg    Config
+
+	mu        sync.Mutex
+	rows      []ScenarioResult
+	done      []bool
+	completed int
+	report    *Report
+}
+
+// NewJob prepares a campaign over the corpus without starting it. The
+// configuration is defaulted exactly as Run defaults it.
+func NewJob(corpus *scenario.Corpus, cfg Config) (*Job, error) {
+	if len(corpus.Scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: empty corpus")
+	}
+	return &Job{
+		corpus: corpus,
+		cfg:    cfg.withDefaults(),
+		rows:   make([]ScenarioResult, len(corpus.Scenarios)),
+		done:   make([]bool, len(corpus.Scenarios)),
+	}, nil
+}
+
+// Total returns the corpus size.
+func (j *Job) Total() int { return len(j.corpus.Scenarios) }
+
+// Progress returns how many scenarios have completed.
+func (j *Job) Progress() (completed, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed, len(j.corpus.Scenarios)
+}
+
+// Report returns the final report, or nil while scenarios are pending.
+func (j *Job) Report() *Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Run processes every pending scenario, sharded over the worker pool.
+// On context cancellation it stops claiming new scenarios, keeps every
+// completed row, and returns the context error — a later Run resumes
+// from exactly the pending set. A scenario failure also leaves
+// completed rows in place (the deterministic first failure by index is
+// returned; failed scenarios stay pending). When the last scenario
+// completes, the aggregate report is folded once and returned; calling
+// Run on a finished job returns the same report.
+func (j *Job) Run(ctx context.Context) (*Report, error) {
+	j.mu.Lock()
+	if j.report != nil {
+		rep := j.report
+		j.mu.Unlock()
+		return rep, nil
+	}
+	pending := make([]int, 0, len(j.done)-j.completed)
+	for i, d := range j.done {
+		if !d {
+			pending = append(pending, i)
+		}
+	}
+	j.mu.Unlock()
+
+	errs := make([]error, len(pending))
+	var interrupted atomic.Bool
+	parallel.For(len(pending), j.cfg.Workers, func(_, k int) {
+		if ctx.Err() != nil {
+			interrupted.Store(true)
+			return
+		}
+		i := pending[k]
+		row, err := runOne(&j.corpus.Scenarios[i], j.cfg)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		j.mu.Lock()
+		j.rows[i] = row
+		j.done[i] = true
+		j.completed++
+		j.mu.Unlock()
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if interrupted.Load() || ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.report = aggregate(j.corpus, j.cfg, j.rows)
+	return j.report, nil
+}

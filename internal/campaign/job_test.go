@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// canonical renders a report plus its per-scenario CSV — the byte
+// identity the determinism tests pin (NaN margins defeat DeepEqual).
+func canonical(t *testing.T, r *Report) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(r.Render())
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// jobCorpus draws a small corpus shared by the job tests.
+func jobCorpus(t *testing.T) *scenario.Corpus {
+	t.Helper()
+	corpus, err := scenario.Generate(scenario.Spec{Seed: 11, Count: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func TestJobMatchesRun(t *testing.T) {
+	corpus := jobCorpus(t)
+	cfg := Config{Workers: 4, Seeds: 1, Duration: 50e6}
+	want, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatal("job report differs from one-shot Run report")
+	}
+	// A second Run on a finished job returns the identical report.
+	again, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatal("re-running a finished job rebuilt the report")
+	}
+}
+
+// TestJobResumeAfterCancel interrupts a run mid-flight and checks that
+// the resumed job completes with a report bit-identical to an
+// uninterrupted run, and that the interruption preserved progress.
+func TestJobResumeAfterCancel(t *testing.T) {
+	corpus := jobCorpus(t)
+	cfg := Config{Workers: 2, Seeds: 1, Duration: 50e6}
+	want, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A context cancelled from the start: workers claim nothing.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := j.Run(cancelled); err != context.Canceled {
+		t.Fatalf("cancelled Run error = %v, want context.Canceled", err)
+	}
+	if done, total := j.Progress(); done != 0 || total != 12 {
+		t.Fatalf("progress after cancelled run = %d/%d, want 0/12", done, total)
+	}
+	if j.Report() != nil {
+		t.Fatal("cancelled job produced a report")
+	}
+
+	// Resume in two halves: cancel after a few scenarios, then finish.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	mid, err := NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if done, _ := mid.Progress(); done >= 3 {
+				cancelMid()
+				return
+			}
+		}
+	}()
+	_, err = mid.Run(ctx)
+	done, _ := mid.Progress()
+	if err == nil {
+		// The run may finish before the watcher cancels on small
+		// corpora; that is fine — the resume path is then trivial.
+		if done != 12 {
+			t.Fatalf("nil error with %d/12 done", done)
+		}
+	} else if err != context.Canceled {
+		t.Fatalf("mid-run cancel error = %v", err)
+	}
+	got, err := mid.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatal("resumed report differs from uninterrupted run")
+	}
+	if done, total := mid.Progress(); done != total {
+		t.Fatalf("finished job reports %d/%d", done, total)
+	}
+}
+
+func TestJobEmptyCorpus(t *testing.T) {
+	if _, err := NewJob(&scenario.Corpus{}, Config{}); err == nil {
+		t.Fatal("NewJob accepted an empty corpus")
+	}
+}

@@ -156,6 +156,24 @@ func Generate(spec Spec) (*Corpus, error) {
 	return c, nil
 }
 
+// GenerateOne draws only scenario index of the corpus described by
+// spec — identical to Generate(spec).Scenarios[index] for any spec
+// Count covering the index, in O(1): per-scenario seeds are derived
+// from (corpus seed, index), never from neighbouring draws. The
+// analysis service uses this so an uploaded spec with a huge index
+// costs one plan, not a corpus.
+func GenerateOne(spec Spec, index int) (*Scenario, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if index < 0 {
+		return nil, fmt.Errorf("scenario: negative index %d", index)
+	}
+	sc := generateOne(spec, index)
+	return &sc, nil
+}
+
 // intIn draws uniformly from [lo, hi].
 func intIn(rng *rand.Rand, lo, hi int) int {
 	if hi <= lo {

@@ -201,6 +201,48 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Encode writes the spec in the `key = value` format ParseSpec reads:
+// every key is emitted (defaulted specs round-trip exactly), so an
+// encoded spec is a self-contained wire representation of the corpus
+// parameters — the upload format of the analysis service.
+func (s Spec) Encode(w io.Writer) error {
+	rates := make([]string, len(s.BitRates))
+	for i, r := range s.BitRates {
+		rates[i] = strconv.Itoa(r)
+	}
+	_, err := fmt.Fprintf(w, `seed = %d
+count = %d
+min_buses = %d
+max_buses = %d
+min_messages = %d
+max_messages = %d
+bit_rates = [%s]
+known_jitter_min = %g
+known_jitter_max = %g
+id_shuffle_min = %g
+id_shuffle_max = %g
+worst_stuffing_probability = %g
+error_probability = %g
+tdma_probability = %g
+shallow_fifo_probability = %g
+gateway_period_min = "%v"
+gateway_period_max = "%v"
+fifo_depth_min = %d
+fifo_depth_max = %d
+flows_min = %d
+flows_max = %d
+max_changes = %d
+`,
+		s.Seed, s.Count, s.MinBuses, s.MaxBuses, s.MinMessages, s.MaxMessages,
+		strings.Join(rates, ", "),
+		s.KnownJitterMin, s.KnownJitterMax, s.IDShuffleMin, s.IDShuffleMax,
+		s.WorstStuffingProbability, s.ErrorProbability, s.TDMAProbability,
+		s.ShallowFIFOProbability,
+		s.GatewayPeriodMin, s.GatewayPeriodMax,
+		s.FIFODepthMin, s.FIFODepthMax, s.FlowsMin, s.FlowsMax, s.MaxChanges)
+	return err
+}
+
 // ParseSpec reads a corpus spec file: a TOML subset of `key = value`
 // lines with `#` comments. Values are integers, floats, quoted duration
 // strings ("500us"), or `[a, b]` integer arrays (bit_rates). Unknown

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGenerateOneMatchesCorpus pins the O(1) single-scenario path the
+// analysis service uses against full corpus generation.
+func TestGenerateOneMatchesCorpus(t *testing.T) {
+	spec := Spec{Seed: 9, Count: 8}
+	corpus, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, index := range []int{0, 3, 7} {
+		one, err := GenerateOne(spec, index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*one, corpus.Scenarios[index]) {
+			t.Fatalf("GenerateOne(%d) differs from corpus scenario", index)
+		}
+	}
+	// Indices beyond the spec count still cost one plan.
+	far, err := GenerateOne(spec, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Index != 1<<20 || len(far.Buses) == 0 {
+		t.Fatalf("far scenario: %+v", far)
+	}
+	if _, err := GenerateOne(spec, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// TestSpecEncodeRoundTrip pins the wire contract of the analysis
+// service: a defaulted spec encodes to text that parses back to the
+// identical spec, and the re-encoded corpus is byte-identical.
+func TestSpecEncodeRoundTrip(t *testing.T) {
+	for _, sp := range []Spec{
+		Spec{}.WithDefaults(),
+		Spec{Seed: 42, Count: 3, MinBuses: 2, MaxBuses: 3,
+			GatewayPeriodMin: 700 * time.Microsecond,
+			TDMAProbability:  -1}.WithDefaults(),
+	} {
+		var buf bytes.Buffer
+		if err := sp.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseSpec(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing encoded spec:\n%s\n%v", buf.String(), err)
+		}
+		// Negative probabilities ("never") survive the trip; zeroes are
+		// re-defaulted on use, which WithDefaults makes explicit here.
+		if !reflect.DeepEqual(parsed.WithDefaults(), sp) {
+			t.Fatalf("round trip changed the spec:\n got %+v\nwant %+v", parsed.WithDefaults(), sp)
+		}
+		a, err := Generate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatal("round-tripped spec generates a different corpus")
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/whatif"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	store := s.store.Stats()
+	reg := s.reg.Stats()
+	hits := reg.Sessions.Hits + reg.Sessions.ReportHits
+	rate := 0.0
+	if total := hits + reg.Sessions.Misses; total > 0 {
+		rate = 100 * float64(hits) / float64(total)
+	}
+	resp := MetricsResponse{
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		BucketLabels:  LatencyBucketLabels,
+		Requests:      s.metrics.snapshot(),
+		WhatIf: WhatIfMetrics{
+			StoreEntries:   store.Entries,
+			StoreHits:      store.Hits,
+			StoreMisses:    store.Misses,
+			StoreEvictions: store.Evictions,
+			SessionHits:    hits,
+			SessionMisses:  reg.Sessions.Misses,
+			SessionHitRate: rate,
+		},
+		Sessions: SessionsMetrics{Active: reg.Active, Created: reg.Created, Evicted: reg.Evicted},
+	}
+	s.jobsMu.Lock()
+	resp.Campaigns.Jobs = len(s.jobs)
+	for _, cj := range s.jobs {
+		switch cj.stateNow() {
+		case "running":
+			resp.Campaigns.Running++
+		case "done":
+			resp.Campaigns.Done++
+		case "failed":
+			resp.Campaigns.Failed++
+		case "cancelled":
+			resp.Campaigns.Cancelled++
+		}
+	}
+	s.jobsMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAnalyze runs the one-shot compositional analysis of an
+// uploaded spec. Repeated uploads of the same system are served from
+// the shared memo store.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	index, err := queryInt(r, "index", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sys, _, err := buildScenario(body, index)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
+	a, err := sess.Analyze(s.cfg.MaxIterations)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, summarize(a))
+}
+
+// handleSimulate cross-validates an uploaded spec: a netsim seed fan
+// folded against the compositional bounds, exactly the campaign's
+// per-scenario validation stage.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	index, err := queryInt(r, "index", 0)
+	if err == nil {
+		var seeds int
+		if seeds, err = queryInt(r, "seeds", 2); err == nil && seeds <= 0 {
+			err = fmt.Errorf("query seeds: %d must be positive", seeds)
+		}
+		if err == nil {
+			var duration time.Duration
+			if duration, err = queryDuration(r, "duration", 200*time.Millisecond); err == nil {
+				s.simulate(w, body, index, seeds, duration)
+				return
+			}
+		}
+	}
+	writeErr(w, http.StatusBadRequest, "%v", err)
+}
+
+func (s *Server) simulate(w http.ResponseWriter, body []byte, index, seeds int, duration time.Duration) {
+	sys, _, err := buildScenario(body, index)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	topo, err := netsim.FromSystem(sys)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
+	a, err := sess.Analyze(s.cfg.MaxIterations)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		return
+	}
+	if !a.Converged {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"analysis did not converge; bounds are not comparable")
+		return
+	}
+	st, err := campaign.CrossValidate(sys, a, topo, seeds, duration)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "simulation: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Runs: st.SimRuns, Frames: st.Frames, Violations: st.Violations,
+		Losses: st.Losses, LossPredicted: st.LossPredicted,
+		MinMarginPct: marginString(st.MinMarginPct),
+	})
+}
+
+// handleSessionCreate opens a persistent what-if session on scenario
+// `index` of the uploaded spec.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.reg.Sweep()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	index, err := queryInt(r, "index", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sys, _, err := buildScenario(body, index)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
+	id := s.reg.Add(sess)
+	writeJSON(w, http.StatusCreated, SessionCreated{
+		ID: id, TTLSeconds: s.reg.TTL().Seconds(),
+	})
+}
+
+// acquireSession resolves {id}, answering 404 when unknown.
+func (s *Server) acquireSession(w http.ResponseWriter, r *http.Request) (*whatif.SystemSession, func(), bool) {
+	s.reg.Sweep()
+	id := r.PathValue("id")
+	sess, release, ok := s.reg.Acquire(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+		return nil, nil, false
+	}
+	return sess, release, true
+}
+
+func (s *Server) handleSessionAnalysis(w http.ResponseWriter, r *http.Request) {
+	sess, release, ok := s.acquireSession(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	a, err := sess.Analyze(s.cfg.MaxIterations)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, summarize(a))
+}
+
+// handleSessionChanges applies an uploaded system change script and
+// re-verifies incrementally — the supplier-revision hot path.
+func (s *Server) handleSessionChanges(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	changes, err := whatif.ParseSystemScript(bytes.NewReader(body))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(changes) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty change script")
+		return
+	}
+	sess, release, ok := s.acquireSession(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if err := sess.Apply(changes...); err != nil {
+		// Addressing errors: part of the script may have applied; the
+		// client should treat the session as dirty and re-create it.
+		writeErr(w, http.StatusBadRequest, "apply: %v", err)
+		return
+	}
+	a, err := sess.Analyze(s.cfg.MaxIterations)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		return
+	}
+	resp := ChangesApplied{Applied: len(changes), Analysis: summarize(a)}
+	for _, c := range changes {
+		resp.Changes = append(resp.Changes, c.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, release, ok := s.acquireSession(w, r)
+	if !ok {
+		return
+	}
+	st := sess.Stats()
+	release()
+	hits := st.Hits + st.ReportHits
+	rate := 0.0
+	if total := hits + st.Misses; total > 0 {
+		rate = 100 * float64(hits) / float64(total)
+	}
+	writeJSON(w, http.StatusOK, SessionInfo{
+		ID: r.PathValue("id"), ReportHits: st.ReportHits,
+		Hits: st.Hits, Misses: st.Misses, HitRatePct: rate,
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.reg.Sweep()
+	if !s.reg.Remove(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// campaignJob tracks one async campaign job.
+type campaignJob struct {
+	id string
+
+	mu     sync.Mutex
+	job    *campaign.Job
+	cancel context.CancelFunc
+	state  string // running | done | failed | cancelled
+	err    error
+	report *campaign.Report
+}
+
+func (cj *campaignJob) stateNow() string {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.state
+}
+
+// start launches (or resumes) the job under a context derived from the
+// server's lifetime.
+func (cj *campaignJob) start(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	cj.cancel = cancel
+	cj.state = "running"
+	go func() {
+		rep, err := cj.job.Run(ctx)
+		cancel()
+		cj.mu.Lock()
+		defer cj.mu.Unlock()
+		switch {
+		case err == nil:
+			cj.state = "done"
+			cj.report = rep
+		case errors.Is(err, context.Canceled):
+			cj.state = "cancelled"
+		default:
+			cj.state = "failed"
+			cj.err = err
+		}
+	}()
+}
+
+// handleCampaignCreate starts an async sharded campaign over the
+// uploaded spec.
+func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	sp, err := parseSpecBody(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var seeds int
+	var duration time.Duration
+	if seeds, err = queryInt(r, "seeds", 0); err == nil {
+		duration, err = queryDuration(r, "duration", 0)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("quick") == "true" {
+		if sp.Count == 0 {
+			sp.Count = 64
+		}
+		if duration == 0 {
+			duration = 100 * time.Millisecond
+		}
+	}
+	corpus, err := scenario.Generate(sp)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := campaign.NewJob(corpus, campaign.Config{
+		Workers: s.cfg.Workers, Seeds: seeds, Duration: duration,
+		MaxIterations: s.cfg.MaxIterations,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.jobsMu.Lock()
+	s.nextJob++
+	cj := &campaignJob{id: fmt.Sprintf("c%d", s.nextJob), job: job}
+	s.jobsMu.Unlock()
+	// Start before publishing, so no observer can see a stateless job
+	// (a cancel racing the create would otherwise be silently lost).
+	cj.mu.Lock()
+	cj.start(s.ctx)
+	cj.mu.Unlock()
+	s.jobsMu.Lock()
+	s.jobs[cj.id] = cj
+	s.jobsMu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, CampaignStarted{ID: cj.id, Scenarios: job.Total()})
+}
+
+// lookupJob resolves {id}, answering 404 when unknown.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*campaignJob, bool) {
+	s.jobsMu.Lock()
+	cj := s.jobs[r.PathValue("id")]
+	s.jobsMu.Unlock()
+	if cj == nil {
+		writeErr(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return nil, false
+	}
+	return cj, true
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	done, total := cj.job.Progress()
+	cj.mu.Lock()
+	st := CampaignStatus{ID: cj.id, State: cj.state, Done: done, Total: total}
+	if cj.err != nil {
+		st.Error = cj.err.Error()
+	}
+	if cj.report != nil {
+		rep := cj.report
+		st.Summary = &CampaignSummary{
+			Corpus:               rep.Fingerprint,
+			Scenarios:            rep.Scenarios,
+			Converged:            rep.Converged,
+			Schedulable:          rep.Schedulable,
+			SimRuns:              rep.SimRuns,
+			Frames:               rep.Frames,
+			Violations:           rep.Violations,
+			Losses:               rep.Losses,
+			LossOnlyPredicted:    rep.LossOnlyPredicted,
+			MedianHitRatePct:     rep.HitRates.Median,
+			FlippedUnschedulable: rep.FlippedUnschedulable,
+			FlippedSchedulable:   rep.FlippedSchedulable,
+		}
+	}
+	cj.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	cj.mu.Lock()
+	rep := cj.report
+	state := cj.state
+	cj.mu.Unlock()
+	if rep == nil {
+		writeErr(w, http.StatusConflict, "campaign %s is %s; no report yet", cj.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, rep.Render())
+}
+
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	cj.mu.Lock()
+	state := cj.state
+	if state == "running" && cj.cancel != nil {
+		cj.cancel()
+		state = "cancelling"
+	}
+	cj.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": cj.id, "state": state})
+}
+
+// handleCampaignDelete drops a finished job from the table so
+// long-running servers do not accumulate corpora and reports; running
+// jobs must be cancelled first.
+func (s *Server) handleCampaignDelete(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	if cj.stateNow() == "running" {
+		writeErr(w, http.StatusConflict, "campaign %s is running; cancel it first", cj.id)
+		return
+	}
+	s.jobsMu.Lock()
+	delete(s.jobs, cj.id)
+	s.jobsMu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCampaignResume restarts a cancelled job over its pending
+// scenarios — completed rows are kept, so the eventual report is
+// bit-identical to an uninterrupted run.
+func (s *Server) handleCampaignResume(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	switch cj.state {
+	case "cancelled", "failed":
+		cj.err = nil
+		cj.start(s.ctx)
+	case "running", "done":
+		// Nothing to do; report the current state.
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": cj.id, "state": cj.state})
+}

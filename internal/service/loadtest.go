@@ -1,0 +1,297 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// LoadTestConfig parameterises the service selftest.
+type LoadTestConfig struct {
+	// Clients is the number of concurrent replaying clients (default 8).
+	Clients int
+	// Revisions is the length of the change script each client replays
+	// (default 50).
+	Revisions int
+	// Seed draws the scenario under test (default 7).
+	Seed int64
+	// Workers bounds the per-analysis fan-out of the server under test.
+	Workers int
+}
+
+func (c LoadTestConfig) withDefaults() LoadTestConfig {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Revisions == 0 {
+		c.Revisions = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// LoadTestResult reports the selftest outcome.
+type LoadTestResult struct {
+	// Clients and Revisions echo the configuration.
+	Clients, Revisions int
+	// Requests counts HTTP requests issued across both phases.
+	Requests int
+	// Mismatches counts concurrent responses that differed from the
+	// serial golden replay; FirstMismatch describes the first one.
+	Mismatches    int
+	FirstMismatch string
+	// HitRatePct is the aggregate what-if session hit rate reported by
+	// /v1/metrics after the concurrent phase.
+	HitRatePct float64
+	// Elapsed is the wall time of both phases.
+	Elapsed time.Duration
+}
+
+// Passed reports whether the selftest met its contract: byte-identical
+// concurrent responses and a session hit rate above 50%.
+func (r *LoadTestResult) Passed() bool {
+	return r.Mismatches == 0 && r.HitRatePct > 50
+}
+
+// Render formats the result for the CLI.
+func (r *LoadTestResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve selftest: %d clients x %d revisions, %d requests in %v\n",
+		r.Clients, r.Revisions, r.Requests, r.Elapsed.Round(time.Millisecond))
+	if r.Mismatches == 0 {
+		fmt.Fprintf(&b, "  responses: byte-identical to serial execution\n")
+	} else {
+		fmt.Fprintf(&b, "  responses: %d MISMATCHES (first: %s)\n", r.Mismatches, r.FirstMismatch)
+	}
+	fmt.Fprintf(&b, "  what-if session hit rate: %.1f%%", r.HitRatePct)
+	if r.HitRatePct > 50 {
+		b.WriteString(" (> 50% required: ok)")
+	} else {
+		b.WriteString(" (> 50% required: FAIL)")
+	}
+	return b.String()
+}
+
+// loadTestSpec is the scenario population the selftest draws scenario
+// 0 from: always a multi-bus gateway chain, so incremental revisions
+// have untouched resources to reuse.
+func loadTestSpec(seed int64) scenario.Spec {
+	return scenario.Spec{Seed: seed, Count: 1, MinBuses: 2, MaxBuses: 3}.WithDefaults()
+}
+
+// revisionScript derives a deterministic Revisions-line change script
+// against scenario 0 of spec: jitter cycles on the two lowest-priority
+// unforwarded messages of bus0 (the cheapest incremental edits — the
+// untouched interference prefix stays memoized), with a payload
+// revision every fifth line.
+func revisionScript(spec scenario.Spec, revisions int) ([]string, error) {
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	sys, _, err := corpus.Scenarios[0].Build()
+	if err != nil {
+		return nil, err
+	}
+	forwarded := map[string]bool{}
+	for _, l := range sys.Links() {
+		if l.From.Resource == "bus0" {
+			forwarded[l.From.Element] = true
+		}
+	}
+	var targets []string
+	for _, b := range sys.Buses() {
+		if b.Name != "bus0" {
+			continue
+		}
+		// Select by maximum frame ID (lowest priority) from the raw
+		// messages — edits there dirty the smallest interference suffix.
+		type cand struct {
+			name string
+			id   uint32
+		}
+		var cands []cand
+		for _, m := range b.Messages {
+			if !forwarded[m.Name] {
+				cands = append(cands, cand{m.Name, uint32(m.Frame.ID)})
+			}
+		}
+		for len(targets) < 2 && len(cands) > 0 {
+			best := 0
+			for i := range cands {
+				if cands[i].id > cands[best].id {
+					best = i
+				}
+			}
+			targets = append(targets, cands[best].name)
+			cands = append(cands[:best], cands[best+1:]...)
+		}
+	}
+	if len(targets) < 2 {
+		return nil, fmt.Errorf("service: selftest scenario has %d editable bus0 messages, need 2", len(targets))
+	}
+	lines := make([]string, revisions)
+	for i := range lines {
+		if i%5 == 4 {
+			lines[i] = fmt.Sprintf("set-frame-dlc bus0/%s %d", targets[0], 1+i%8)
+		} else {
+			lines[i] = fmt.Sprintf("set-event-jitter bus0/%s %dus", targets[i%2], 50+13*i)
+		}
+	}
+	return lines, nil
+}
+
+// ltClient replays the full session protocol once and returns the
+// comparable response bodies: the base analysis plus one body per
+// revision.
+func ltClient(client *http.Client, base, specText string, script []string) ([][]byte, error) {
+	post := func(path, body string, wantStatus int) ([]byte, error) {
+		resp, err := client.Post(base+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != wantStatus {
+			return nil, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, data)
+		}
+		return data, nil
+	}
+	created, err := post("/v1/sessions", specText, http.StatusCreated)
+	if err != nil {
+		return nil, err
+	}
+	var sc SessionCreated
+	if err := json.Unmarshal(created, &sc); err != nil {
+		return nil, fmt.Errorf("session create response: %w", err)
+	}
+
+	bodies := make([][]byte, 0, len(script)+1)
+	resp, err := client.Get(base + "/v1/sessions/" + sc.ID + "/analysis")
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET analysis: status %d: %s", resp.StatusCode, data)
+	}
+	bodies = append(bodies, data)
+
+	for _, line := range script {
+		data, err := post("/v1/sessions/"+sc.ID+"/changes", line, http.StatusOK)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, data)
+	}
+	return bodies, nil
+}
+
+// LoadTest drives the service end to end: a serial golden replay of a
+// seeded revision script, then Clients concurrent clients replaying
+// the same script against their own sessions on one shared store. It
+// proves the session-reuse contract — every concurrent response is
+// byte-identical to serial execution — and reports the aggregate
+// what-if hit rate.
+func LoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	spec := loadTestSpec(cfg.Seed)
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		return nil, err
+	}
+	specText := specBuf.String()
+	script, err := revisionScript(spec, cfg.Revisions)
+	if err != nil {
+		return nil, err
+	}
+
+	srv := New(Config{Workers: cfg.Workers})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Phase 1: the serial golden replay.
+	golden, err := ltClient(client, base, specText, script)
+	if err != nil {
+		return nil, fmt.Errorf("serial replay: %w", err)
+	}
+
+	res := &LoadTestResult{
+		Clients: cfg.Clients, Revisions: cfg.Revisions,
+		Requests: (cfg.Clients + 1) * (len(script) + 2),
+	}
+
+	// Phase 2: concurrent replays, each against its own session.
+	type clientOut struct {
+		bodies [][]byte
+		err    error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			outs[c].bodies, outs[c].err = ltClient(client, base, specText, script)
+		}(c)
+	}
+	wg.Wait()
+	for c, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("client %d: %w", c, out.err)
+		}
+		for i, body := range out.bodies {
+			if !bytes.Equal(body, golden[i]) {
+				res.Mismatches++
+				if res.FirstMismatch == "" {
+					res.FirstMismatch = fmt.Sprintf("client %d response %d", c, i)
+				}
+			}
+		}
+	}
+
+	// The reported hit rate aggregates every live session.
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("metrics response: %w", err)
+	}
+	res.HitRatePct = m.WhatIf.SessionHitRate
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadTestShort runs a reduced selftest: concurrent clients must
+// replay the revision script byte-identically and the shared store
+// must lift the session hit rate over the contract threshold.
+func TestLoadTestShort(t *testing.T) {
+	res, err := LoadTest(LoadTestConfig{Clients: 4, Revisions: 12, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("selftest mismatches: %d (first %s)", res.Mismatches, res.FirstMismatch)
+	}
+	if res.HitRatePct <= 50 {
+		t.Fatalf("session hit rate %.1f%%, want > 50%%", res.HitRatePct)
+	}
+	if !res.Passed() {
+		t.Fatalf("Passed() = false for %+v", res)
+	}
+	out := res.Render()
+	for _, frag := range []string{"byte-identical", "> 50% required: ok"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render misses %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketBounds are the upper bounds of the request latency
+// histogram; the final bucket is unbounded.
+var latencyBucketBounds = []time.Duration{
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second, 10 * time.Second,
+}
+
+// LatencyBucketLabels label the histogram buckets in /v1/metrics.
+var LatencyBucketLabels = []string{
+	"<1ms", "<10ms", "<100ms", "<1s", "<10s", ">=10s",
+}
+
+// routeMetrics accumulates one route's counters.
+type routeMetrics struct {
+	count   uint64
+	errors  uint64 // responses with status >= 400
+	buckets [6]uint64
+}
+
+// metrics collects per-route request counters and latency histograms.
+type metrics struct {
+	mu     sync.Mutex
+	start  time.Time
+	routes map[string]*routeMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: map[string]*routeMetrics{}}
+}
+
+// observe records one request against its route pattern.
+func (m *metrics) observe(route string, status int, elapsed time.Duration) {
+	b := 0
+	for b < len(latencyBucketBounds) && elapsed >= latencyBucketBounds[b] {
+		b++
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &routeMetrics{}
+		m.routes[route] = rm
+	}
+	rm.count++
+	if status >= 400 {
+		rm.errors++
+	}
+	rm.buckets[b]++
+}
+
+// RouteMetrics is the wire form of one route's counters.
+type RouteMetrics struct {
+	Route   string   `json:"route"`
+	Count   uint64   `json:"count"`
+	Errors  uint64   `json:"errors"`
+	Buckets []uint64 `json:"latency_buckets"`
+}
+
+// snapshot returns the per-route counters sorted by route.
+func (m *metrics) snapshot() []RouteMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RouteMetrics, 0, len(m.routes))
+	for route, rm := range m.routes {
+		out = append(out, RouteMetrics{
+			Route: route, Count: rm.count, Errors: rm.errors,
+			Buckets: append([]uint64(nil), rm.buckets[:]...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// statusRecorder captures the response status for the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler, attributing its requests to route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		startedAt := time.Now()
+		h(rec, r)
+		s.metrics.observe(route, rec.status, time.Since(startedAt))
+	}
+}
+
+// MetricsResponse is the response of GET /v1/metrics.
+type MetricsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	BucketLabels  []string         `json:"latency_bucket_labels"`
+	Requests      []RouteMetrics   `json:"requests"`
+	WhatIf        WhatIfMetrics    `json:"whatif"`
+	Sessions      SessionsMetrics  `json:"sessions"`
+	Campaigns     CampaignsMetrics `json:"campaigns"`
+}
+
+// WhatIfMetrics aggregates the cache behaviour of the shared store and
+// the live sessions.
+type WhatIfMetrics struct {
+	StoreEntries   int     `json:"store_entries"`
+	StoreHits      uint64  `json:"store_hits"`
+	StoreMisses    uint64  `json:"store_misses"`
+	StoreEvictions uint64  `json:"store_evictions"`
+	SessionHits    uint64  `json:"session_hits"`
+	SessionMisses  uint64  `json:"session_misses"`
+	SessionHitRate float64 `json:"session_hit_rate_pct"`
+}
+
+// SessionsMetrics reports the registry population.
+type SessionsMetrics struct {
+	Active  int    `json:"active"`
+	Created uint64 `json:"created"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// CampaignsMetrics reports the job table population.
+type CampaignsMetrics struct {
+	Jobs      int `json:"jobs"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}

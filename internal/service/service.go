@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/whatif"
+)
+
+// Config parameterises a Server. The zero value serves with defaults.
+type Config struct {
+	// StoreCapacity bounds the shared what-if memo store in cost units
+	// (<= 0 selects whatif.DefaultCapacity).
+	StoreCapacity int
+	// SessionTTL is the idle lifetime of persistent sessions (<= 0
+	// selects whatif.DefaultSessionTTL).
+	SessionTTL time.Duration
+	// Workers bounds each analysis fan-out (<= 0 selects GOMAXPROCS).
+	// Responses are bit-identical for every worker count.
+	Workers int
+	// MaxBodyBytes caps uploaded specs and change scripts (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxIterations bounds the compositional fixpoint (<= 0 selects
+	// core.DefaultMaxIterations).
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the long-running analysis service: it owns the shared
+// what-if store, the session registry and the campaign job table, and
+// serves the /v1 API. Create with New, expose with Handler.
+type Server struct {
+	cfg     Config
+	store   *whatif.Store
+	reg     *whatif.Registry
+	metrics *metrics
+	mux     *http.ServeMux
+
+	ctx    context.Context // parent of all campaign jobs
+	cancel context.CancelFunc
+
+	jobsMu  sync.Mutex
+	jobs    map[string]*campaignJob
+	nextJob int64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   whatif.NewStore(cfg.StoreCapacity),
+		reg:     whatif.NewRegistry(cfg.SessionTTL),
+		metrics: newMetrics(),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    map[string]*campaignJob{},
+	}
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("GET /v1/healthz", s.handleHealthz)
+	route("GET /v1/metrics", s.handleMetrics)
+	route("POST /v1/analyze", s.handleAnalyze)
+	route("POST /v1/simulate", s.handleSimulate)
+	route("POST /v1/sessions", s.handleSessionCreate)
+	route("GET /v1/sessions/{id}", s.handleSessionInfo)
+	route("GET /v1/sessions/{id}/analysis", s.handleSessionAnalysis)
+	route("POST /v1/sessions/{id}/changes", s.handleSessionChanges)
+	route("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	route("POST /v1/campaigns", s.handleCampaignCreate)
+	route("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	route("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
+	route("POST /v1/campaigns/{id}/cancel", s.handleCampaignCancel)
+	route("POST /v1/campaigns/{id}/resume", s.handleCampaignResume)
+	route("DELETE /v1/campaigns/{id}", s.handleCampaignDelete)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every running campaign job. In-flight requests finish
+// normally; the owning http.Server handles connection shutdown.
+func (s *Server) Close() { s.cancel() }
+
+// writeJSON marshals v with a trailing newline (curl-friendly) and a
+// deterministic byte sequence for a given value.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Wire types are marshal-safe by construction; this is a bug.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeErr emits the uniform JSON error body.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody slurps a size-capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: %v", key, err)
+	}
+	return n, nil
+}
+
+// queryDuration parses a duration query parameter with a default.
+func queryDuration(r *http.Request, key string, def time.Duration) (time.Duration, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: %v", key, err)
+	}
+	return d, nil
+}
+
+// parseSpecBody parses an uploaded corpus spec (the system wire
+// format).
+func parseSpecBody(body []byte) (scenario.Spec, error) {
+	return scenario.ParseSpec(bytes.NewReader(body))
+}
+
+// buildScenario materialises scenario `index` of the uploaded spec.
+// Scenario plans are derived per index (identical to the scenario's
+// position in any corpus of the same spec), so the cost is one plan
+// regardless of the index or the spec's count.
+func buildScenario(body []byte, index int) (*core.System, []whatif.SystemChange, error) {
+	if index < 0 {
+		return nil, nil, fmt.Errorf("index %d must be non-negative", index)
+	}
+	sp, err := parseSpecBody(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := scenario.GenerateOne(sp, index)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc.Build()
+}

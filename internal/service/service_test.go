@@ -1,0 +1,447 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// newTestServer starts a service over httptest and returns the base
+// URL.
+func newTestServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := New(Config{Workers: 1})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs.URL
+}
+
+// testSpec encodes a one-scenario corpus spec.
+func testSpec(t *testing.T, seed int64) string {
+	t.Helper()
+	var b bytes.Buffer
+	sp := scenario.Spec{Seed: seed, Count: 1}.WithDefaults()
+	if err := sp.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// do issues a request and returns status and body.
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestHealthz(t *testing.T) {
+	_, base := newTestServer(t)
+	status, body := do(t, "GET", base+"/v1/healthz", "")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+}
+
+func TestAnalyzeHappyPath(t *testing.T) {
+	_, base := newTestServer(t)
+	status, body := do(t, "POST", base+"/v1/analyze", testSpec(t, 5))
+	if status != http.StatusOK {
+		t.Fatalf("analyze: %d %s", status, body)
+	}
+	var sum AnalysisSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Buses) == 0 || sum.Iterations == 0 {
+		t.Fatalf("empty summary: %+v", sum)
+	}
+	// A repeated upload is served from the shared store and must be
+	// byte-identical.
+	status2, body2 := do(t, "POST", base+"/v1/analyze", testSpec(t, 5))
+	if status2 != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatalf("repeated analyze differs: %d", status2)
+	}
+}
+
+func TestAnalyzeMalformedSpec(t *testing.T) {
+	_, base := newTestServer(t)
+	for name, body := range map[string]string{
+		"unknown-key": "coont = 3\n",
+		"bad-value":   "count = many\n",
+		"bad-range":   "min_messages = 2\nmax_messages = 1\n",
+	} {
+		status, data := do(t, "POST", base+"/v1/analyze", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d %s, want 400", name, status, data)
+		}
+		var e errorBody
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", name, data)
+		}
+	}
+	if status, _ := do(t, "POST", base+"/v1/analyze?index=-1", testSpec(t, 5)); status != http.StatusBadRequest {
+		t.Errorf("negative index: status %d, want 400", status)
+	}
+	if status, _ := do(t, "POST", base+"/v1/analyze?index=x", testSpec(t, 5)); status != http.StatusBadRequest {
+		t.Errorf("non-numeric index: status %d, want 400", status)
+	}
+	// A huge index costs one scenario plan, not a corpus (O(1) via
+	// scenario.GenerateOne) — the request must simply succeed.
+	if status, _ := do(t, "POST", base+"/v1/analyze?index=2000000000", testSpec(t, 5)); status != http.StatusOK {
+		t.Errorf("large index: status %d, want 200", status)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, base := newTestServer(t)
+	status, body := do(t, "POST", base+"/v1/sessions", testSpec(t, 5))
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	var sc SessionCreated
+	if err := json.Unmarshal(body, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.ID == "" || sc.TTLSeconds <= 0 {
+		t.Fatalf("create response: %+v", sc)
+	}
+
+	// Base analysis must match the one-shot endpoint's summary.
+	status, sessBody := do(t, "GET", base+"/v1/sessions/"+sc.ID+"/analysis", "")
+	if status != http.StatusOK {
+		t.Fatalf("session analysis: %d %s", status, sessBody)
+	}
+	status, oneShot := do(t, "POST", base+"/v1/analyze", testSpec(t, 5))
+	if status != http.StatusOK || !bytes.Equal(sessBody, oneShot) {
+		t.Fatalf("session analysis differs from one-shot analyze")
+	}
+
+	// Apply a revision; the analysis in the response reflects it.
+	status, chBody := do(t, "POST", base+"/v1/sessions/"+sc.ID+"/changes",
+		"set-event-jitter bus0/M001_25ms 200us\n")
+	if status != http.StatusOK {
+		t.Fatalf("changes: %d %s", status, chBody)
+	}
+	var ch ChangesApplied
+	if err := json.Unmarshal(chBody, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Applied != 1 || len(ch.Changes) != 1 || ch.Analysis == nil {
+		t.Fatalf("changes response: %+v", ch)
+	}
+
+	// Session stats report the incremental reuse.
+	status, infoBody := do(t, "GET", base+"/v1/sessions/"+sc.ID, "")
+	if status != http.StatusOK {
+		t.Fatalf("info: %d %s", status, infoBody)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(infoBody, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != sc.ID || info.Misses == 0 {
+		t.Fatalf("info response: %+v", info)
+	}
+
+	// Close and observe 404s afterwards.
+	if status, _ := do(t, "DELETE", base+"/v1/sessions/"+sc.ID, ""); status != http.StatusNoContent {
+		t.Fatalf("delete: %d", status)
+	}
+	for _, probe := range [][2]string{
+		{"GET", "/v1/sessions/" + sc.ID},
+		{"GET", "/v1/sessions/" + sc.ID + "/analysis"},
+		{"POST", "/v1/sessions/" + sc.ID + "/changes"},
+		{"DELETE", "/v1/sessions/" + sc.ID},
+	} {
+		body := ""
+		if probe[0] == "POST" {
+			body = "set-event-jitter bus0/M001_25ms 1us\n"
+		}
+		if status, _ := do(t, probe[0], base+probe[1], body); status != http.StatusNotFound {
+			t.Errorf("%s %s after delete: %d, want 404", probe[0], probe[1], status)
+		}
+	}
+}
+
+func TestSessionChangeErrors(t *testing.T) {
+	_, base := newTestServer(t)
+	_, body := do(t, "POST", base+"/v1/sessions", testSpec(t, 5))
+	var sc SessionCreated
+	if err := json.Unmarshal(body, &sc); err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"bad-syntax":      {"twiddle bus0/M001_25ms 1ms\n", http.StatusBadRequest},
+		"empty":           {"# nothing\n", http.StatusBadRequest},
+		"unknown-element": {"set-event-jitter bus0/NOPE 1ms\n", http.StatusBadRequest},
+		"unknown-bus":     {"set-frame-dlc busX/M001_25ms 4\n", http.StatusBadRequest},
+	} {
+		status, data := do(t, "POST", base+"/v1/sessions/"+sc.ID+"/changes", tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d %s, want %d", name, status, data, tc.want)
+		}
+	}
+	// Unknown session beats script parsing concerns.
+	status, _ := do(t, "POST", base+"/v1/sessions/s999/changes", "set-event-jitter bus0/M001_25ms 1ms\n")
+	if status != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", status)
+	}
+}
+
+// TestConcurrentSessionMutation posts distinct revisions to one
+// session from many goroutines; per-session locking must serialize
+// them so the final state equals a serial application of the same
+// edits (in any order — the edits commute).
+func TestConcurrentSessionMutation(t *testing.T) {
+	_, base := newTestServer(t)
+	_, body := do(t, "POST", base+"/v1/sessions", testSpec(t, 5))
+	var sc SessionCreated
+	if err := json.Unmarshal(body, &sc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct fixed-value jitter edits on distinct messages commute.
+	edits := []string{
+		"set-event-jitter bus0/M001_25ms 110us\n",
+		"set-event-jitter bus0/M003_100ms 120us\n",
+		"set-event-jitter bus0/M005_25ms 130us\n",
+		"set-event-jitter bus0/M007_500ms 140us\n",
+		"set-event-jitter bus0/M009_20ms 150us\n",
+		"set-event-jitter bus0/M011_20ms 160us\n",
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(edits))
+	for i, e := range edits {
+		wg.Add(1)
+		go func(i int, e string) {
+			defer wg.Done()
+			status, data := do(t, "POST", base+"/v1/sessions/"+sc.ID+"/changes", e)
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("edit %d: %d %s", i, status, data)
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	status, got := do(t, "GET", base+"/v1/sessions/"+sc.ID+"/analysis", "")
+	if status != http.StatusOK {
+		t.Fatalf("final analysis: %d %s", status, got)
+	}
+
+	// Serial reference: a fresh session, all edits in one script.
+	_, body = do(t, "POST", base+"/v1/sessions", testSpec(t, 5))
+	var ref SessionCreated
+	if err := json.Unmarshal(body, &ref); err != nil {
+		t.Fatal(err)
+	}
+	status, chBody := do(t, "POST", base+"/v1/sessions/"+ref.ID+"/changes", strings.Join(edits, ""))
+	if status != http.StatusOK {
+		t.Fatalf("serial edits: %d %s", status, chBody)
+	}
+	var ch ChangesApplied
+	if err := json.Unmarshal(chBody, &ch); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ch.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimSpace(got)) != string(want) {
+		t.Fatalf("concurrent final state differs from serial application:\n%s\n%s", got, want)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	_, base := newTestServer(t)
+	status, body := do(t, "POST", base+"/v1/simulate?seeds=1&duration=50ms", testSpec(t, 5))
+	if status != http.StatusOK {
+		t.Fatalf("simulate: %d %s", status, body)
+	}
+	var sim SimulateResponse
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Runs != 1 || sim.Frames == 0 {
+		t.Fatalf("simulate response: %+v", sim)
+	}
+	if sim.Violations != 0 {
+		t.Fatalf("simulate found %d bound violations", sim.Violations)
+	}
+	for name, q := range map[string]string{
+		"bad-seeds":    "?seeds=0",
+		"bad-duration": "?duration=soon",
+	} {
+		if status, _ := do(t, "POST", base+"/v1/simulate"+q, testSpec(t, 5)); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+}
+
+func TestCampaignLifecycle(t *testing.T) {
+	_, base := newTestServer(t)
+	spec := "seed = 3\ncount = 6\n"
+	status, body := do(t, "POST", base+"/v1/campaigns?seeds=1&duration=50ms", spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("campaign create: %d %s", status, body)
+	}
+	var started CampaignStarted
+	if err := json.Unmarshal(body, &started); err != nil {
+		t.Fatal(err)
+	}
+	if started.Scenarios != 6 {
+		t.Fatalf("campaign size %d, want 6", started.Scenarios)
+	}
+
+	var st CampaignStatus
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		status, body = do(t, "GET", base+"/v1/campaigns/"+started.ID, "")
+		if status != http.StatusOK {
+			t.Fatalf("status: %d %s", status, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.State != "done" || st.Summary == nil || st.Done != 6 {
+		t.Fatalf("final status: %+v", st)
+	}
+	if st.Summary.Violations != 0 {
+		t.Fatalf("campaign violations: %+v", st.Summary)
+	}
+
+	status, rep := do(t, "GET", base+"/v1/campaigns/"+started.ID+"/report", "")
+	if status != http.StatusOK || !strings.Contains(string(rep), "Campaign — 6 scenarios") {
+		t.Fatalf("report: %d %s", status, rep[:min(len(rep), 200)])
+	}
+
+	// Resume of a done job is a no-op; cancel echoes the real state.
+	if status, _ = do(t, "POST", base+"/v1/campaigns/"+started.ID+"/resume", ""); status != http.StatusAccepted {
+		t.Errorf("resume done: %d", status)
+	}
+	status, body = do(t, "POST", base+"/v1/campaigns/"+started.ID+"/cancel", "")
+	if status != http.StatusAccepted || !strings.Contains(string(body), `"done"`) {
+		t.Errorf("cancel of done job: %d %s, want state done", status, body)
+	}
+
+	// A finished job can be dropped; afterwards it is unknown.
+	if status, _ = do(t, "DELETE", base+"/v1/campaigns/"+started.ID, ""); status != http.StatusNoContent {
+		t.Errorf("delete done job: %d, want 204", status)
+	}
+	if status, _ = do(t, "GET", base+"/v1/campaigns/"+started.ID, ""); status != http.StatusNotFound {
+		t.Errorf("status after delete: %d, want 404", status)
+	}
+	for _, p := range []string{"", "/report", "/cancel", "/resume"} {
+		method := "GET"
+		if strings.HasSuffix(p, "cancel") || strings.HasSuffix(p, "resume") {
+			method = "POST"
+		}
+		if status, _ := do(t, method, base+"/v1/campaigns/c999"+p, ""); status != http.StatusNotFound {
+			t.Errorf("unknown campaign %s%s: %d, want 404", method, p, status)
+		}
+	}
+}
+
+func TestCampaignCancelResume(t *testing.T) {
+	_, base := newTestServer(t)
+	// A larger corpus so cancellation usually lands mid-run; the test
+	// is correct for any interleaving.
+	spec := "seed = 4\ncount = 24\n"
+	status, body := do(t, "POST", base+"/v1/campaigns?seeds=1&duration=50ms", spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	var started CampaignStarted
+	if err := json.Unmarshal(body, &started); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := do(t, "POST", base+"/v1/campaigns/"+started.ID+"/cancel", ""); status != http.StatusAccepted {
+		t.Fatalf("cancel: %d", status)
+	}
+	// Wait out the transition, then resume until done.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var st CampaignStatus
+		_, body = do(t, "GET", base+"/v1/campaigns/"+started.ID, "")
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			if st.Done != st.Total {
+				t.Fatalf("done with %d/%d", st.Done, st.Total)
+			}
+			break
+		}
+		if st.State == "cancelled" {
+			do(t, "POST", base+"/v1/campaigns/"+started.ID+"/resume", "")
+		}
+		if st.State == "failed" {
+			t.Fatalf("campaign failed: %+v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, base := newTestServer(t)
+	do(t, "POST", base+"/v1/analyze", testSpec(t, 5))
+	do(t, "POST", base+"/v1/analyze", "garbage\n")
+	status, body := do(t, "GET", base+"/v1/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d %s", status, body)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	var analyze *RouteMetrics
+	for i := range m.Requests {
+		if m.Requests[i].Route == "POST /v1/analyze" {
+			analyze = &m.Requests[i]
+		}
+	}
+	if analyze == nil || analyze.Count != 2 || analyze.Errors != 1 {
+		t.Fatalf("analyze route metrics: %+v", m.Requests)
+	}
+	if m.WhatIf.StoreMisses == 0 {
+		t.Fatalf("whatif metrics: %+v", m.WhatIf)
+	}
+}

@@ -1,0 +1,170 @@
+package whatif
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultSessionTTL is the idle lifetime of a registered session when
+// the registry is constructed without an explicit TTL.
+const DefaultSessionTTL = 15 * time.Minute
+
+// Registry hands out persistent SystemSessions to a long-running
+// service: sessions are registered under dense ids ("s1", "s2", ...),
+// serialised by a per-session lock so concurrent requests against one
+// session stay bit-deterministic, and evicted after a TTL of
+// inactivity so abandoned supplier sessions do not pin their snapshots
+// forever. A session that is currently acquired is never evicted —
+// the sweep only collects idle entries.
+//
+// The registry itself is safe for concurrent use; the sessions it
+// hands out are not, which is exactly why Acquire returns the
+// per-session lock already held.
+type Registry struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	now     func() time.Time // injectable for eviction tests
+	next    int64
+	items   map[string]*registered
+	created uint64
+	evicted uint64
+}
+
+// registered pairs a session with its lock and idle clock.
+type registered struct {
+	sess     *SystemSession
+	mu       sync.Mutex
+	lastUsed time.Time
+	inUse    int
+}
+
+// RegistryStats snapshots the registry counters plus the aggregate
+// cache behaviour of the live sessions.
+type RegistryStats struct {
+	// Active counts currently registered sessions.
+	Active int
+	// Created and Evicted count registrations and TTL evictions over
+	// the registry's lifetime.
+	Created, Evicted uint64
+	// Sessions folds the Stats of every live session (report hits,
+	// per-message hits, misses).
+	Sessions Stats
+}
+
+// NewRegistry returns an empty registry evicting sessions idle longer
+// than ttl (<= 0 selects DefaultSessionTTL).
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	return &Registry{
+		ttl:   ttl,
+		now:   time.Now,
+		items: make(map[string]*registered),
+	}
+}
+
+// TTL returns the configured idle lifetime.
+func (r *Registry) TTL() time.Duration { return r.ttl }
+
+// Add registers sess and returns its id.
+func (r *Registry) Add(sess *SystemSession) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	r.created++
+	id := fmt.Sprintf("s%d", r.next)
+	r.items[id] = &registered{sess: sess, lastUsed: r.now()}
+	return id
+}
+
+// Acquire locks the named session for exclusive use and returns it
+// with its release function. The release function refreshes the idle
+// clock. ok is false when the id is unknown (or already evicted).
+func (r *Registry) Acquire(id string) (sess *SystemSession, release func(), ok bool) {
+	r.mu.Lock()
+	it := r.items[id]
+	if it == nil {
+		r.mu.Unlock()
+		return nil, nil, false
+	}
+	it.inUse++
+	r.mu.Unlock()
+
+	it.mu.Lock()
+	return it.sess, func() {
+		it.mu.Unlock()
+		r.mu.Lock()
+		it.inUse--
+		it.lastUsed = r.now()
+		r.mu.Unlock()
+	}, true
+}
+
+// Remove unregisters the named session, reporting whether it existed.
+// A caller that has the session acquired keeps its (now anonymous)
+// session until release.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.items[id]; !ok {
+		return false
+	}
+	delete(r.items, id)
+	return true
+}
+
+// Len counts registered sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Sweep evicts every idle session whose last use is older than the
+// TTL and returns how many were evicted. Sessions currently acquired
+// are skipped regardless of age.
+func (r *Registry) Sweep() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.ttl)
+	n := 0
+	for id, it := range r.items {
+		if it.inUse == 0 && it.lastUsed.Before(cutoff) {
+			delete(r.items, id)
+			r.evicted++
+			n++
+		}
+	}
+	return n
+}
+
+// Stats aggregates the registry counters and the cache stats of every
+// idle session. Sessions currently acquired (mid-analysis) are
+// skipped rather than waited for, so a metrics scrape never stalls
+// behind in-flight work; and — unlike Acquire — the idle clock is not
+// refreshed, so periodic scrapes never keep abandoned sessions alive
+// past their TTL. The aggregate is therefore a momentary lower bound
+// under load and exact when the registry is quiescent.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	items := make([]*registered, 0, len(r.items))
+	for _, it := range r.items {
+		items = append(items, it)
+	}
+	st := RegistryStats{Active: len(r.items), Created: r.created, Evicted: r.evicted}
+	r.mu.Unlock()
+
+	for _, it := range items {
+		if !it.mu.TryLock() {
+			continue
+		}
+		s := it.sess.Stats()
+		it.mu.Unlock()
+		st.Sessions.ReportHits += s.ReportHits
+		st.Sessions.Hits += s.Hits
+		st.Sessions.Misses += s.Misses
+	}
+	return st
+}

@@ -1,0 +1,171 @@
+package whatif
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestRegistry registers n fullSystem sessions sharing one store.
+func newTestRegistry(t *testing.T, ttl time.Duration, n int) (*Registry, []string) {
+	t.Helper()
+	r := NewRegistry(ttl)
+	store := NewStore(0)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = r.Add(NewSystemSession(fullSystem(t), Options{Store: store, Workers: 1}))
+	}
+	return r, ids
+}
+
+func TestRegistryAcquireRelease(t *testing.T) {
+	r, ids := newTestRegistry(t, 0, 2)
+	if r.TTL() != DefaultSessionTTL {
+		t.Fatalf("default TTL = %v, want %v", r.TTL(), DefaultSessionTTL)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if ids[0] == ids[1] {
+		t.Fatalf("duplicate session ids %q", ids[0])
+	}
+	sess, release, ok := r.Acquire(ids[0])
+	if !ok || sess == nil {
+		t.Fatalf("Acquire(%q) failed", ids[0])
+	}
+	if _, err := sess.Analyze(0); err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	if _, _, ok := r.Acquire("nope"); ok {
+		t.Fatal("Acquire of unknown id succeeded")
+	}
+	if !r.Remove(ids[1]) {
+		t.Fatalf("Remove(%q) = false", ids[1])
+	}
+	if r.Remove(ids[1]) {
+		t.Fatal("second Remove succeeded")
+	}
+	if _, _, ok := r.Acquire(ids[1]); ok {
+		t.Fatal("Acquire of removed session succeeded")
+	}
+}
+
+func TestRegistrySweepEvictsIdleOnly(t *testing.T) {
+	r, ids := newTestRegistry(t, time.Minute, 3)
+	base := time.Unix(1000, 0)
+	now := base
+	r.mu.Lock()
+	r.now = func() time.Time { return now }
+	for _, it := range r.items {
+		it.lastUsed = base
+	}
+	r.mu.Unlock()
+
+	// Within the TTL nothing is evicted.
+	now = base.Add(30 * time.Second)
+	if n := r.Sweep(); n != 0 {
+		t.Fatalf("early Sweep evicted %d", n)
+	}
+
+	// Refresh one session via acquire/release; hold another acquired.
+	_, release0, _ := r.Acquire(ids[0])
+	release0() // lastUsed = base+30s
+	_, release1, ok := r.Acquire(ids[1])
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+
+	now = base.Add(70 * time.Second)
+	// ids[2] is idle since base and must go; ids[0] was refreshed;
+	// ids[1] is in use and must survive despite its age.
+	if n := r.Sweep(); n != 1 {
+		t.Fatalf("Sweep evicted %d sessions, want 1", n)
+	}
+	if _, _, ok := r.Acquire(ids[2]); ok {
+		t.Fatal("evicted session still acquirable")
+	}
+	release1()
+
+	st := r.Stats()
+	if st.Active != 2 || st.Created != 3 || st.Evicted != 1 {
+		t.Fatalf("Stats = %+v, want active 2, created 3, evicted 1", st)
+	}
+}
+
+// TestRegistryConcurrentSessions hammers the registry from many
+// goroutines — concurrent edits of distinct sessions plus serialized
+// edits of one shared session — and checks under the race detector
+// that per-session locking keeps every analysis internally consistent.
+func TestRegistryConcurrentSessions(t *testing.T) {
+	r, ids := newTestRegistry(t, time.Minute, 4)
+	shared := ids[0]
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := shared
+			if g%2 == 0 {
+				id = ids[1+g%3]
+			}
+			for i := 0; i < 5; i++ {
+				sess, release, ok := r.Acquire(id)
+				if !ok {
+					errs <- fmt.Errorf("goroutine %d: acquire %q failed", g, id)
+					return
+				}
+				err := sess.Apply(SetEventJitter{
+					Resource: "busA", Element: "M1",
+					Jitter: time.Duration(g*10+i+1) * 10 * time.Microsecond,
+				})
+				if err == nil {
+					_, err = sess.Analyze(0)
+				}
+				release()
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				r.Stats() // concurrent aggregation must be safe too
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The shared session's final state is one of the applied jitters;
+	// a serial re-application of that jitter must reproduce its bounds.
+	sess, release, ok := r.Acquire(shared)
+	if !ok {
+		t.Fatal("shared session vanished")
+	}
+	defer release()
+	got, err := sess.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sess.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("path count %d != %d", len(got.Paths), len(want.Paths))
+	}
+	for i := range got.Paths {
+		if got.Paths[i].Latency != want.Paths[i].Latency {
+			t.Errorf("path %s: session latency %v != from-scratch %v",
+				got.Paths[i].Name, got.Paths[i].Latency, want.Paths[i].Latency)
+		}
+	}
+}

@@ -27,6 +27,26 @@ import (
 //	remove <message>
 func ParseScript(r io.Reader) (ChangeSet, error) {
 	var changes ChangeSet
+	err := forEachScriptLine(r, func(line string) error {
+		c, err := parseLine(line)
+		if err != nil {
+			return err
+		}
+		changes = append(changes, c)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("whatif: script %w", err)
+	}
+	return changes, nil
+}
+
+// forEachScriptLine runs fn over the meaningful lines of a change
+// script — '#' comments and blank lines skipped — wrapping fn errors
+// (and scan errors) with the 1-based line position. Both script
+// dialects (bus-level ParseScript, system-level ParseSystemScript)
+// share this loop.
+func forEachScriptLine(r io.Reader, fn func(line string) error) error {
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -38,16 +58,14 @@ func ParseScript(r io.Reader) (ChangeSet, error) {
 		if line == "" {
 			continue
 		}
-		c, err := parseLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("whatif: script line %d: %w", lineNo, err)
+		if err := fn(line); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		changes = append(changes, c)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("whatif: script: %w", err)
+		return fmt.Errorf("read: %w", err)
 	}
-	return changes, nil
+	return nil
 }
 
 func parseLine(line string) (Change, error) {

@@ -1,0 +1,160 @@
+package whatif
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+)
+
+// ParseSystemScript reads a system-level change script: one
+// SystemChange per line, '#' comments and blank lines ignored. This is
+// the wire format of the analysis service's session endpoints — the
+// multi-resource counterpart of ParseScript. Elements are addressed as
+// <resource>/<element>:
+//
+//	set-event-jitter <resource>/<element> <duration>
+//	set-event-period <resource>/<element> <duration>
+//	set-frame-id     <bus>/<message> <id>            (0x-prefixed or decimal)
+//	set-frame-dlc    <bus>/<message> <bytes>
+//	set-tdma-slot    <bus>/<owner> <duration>
+//	retune-gateway   <gateway> period=<duration> [jitter=<duration>]
+//	                 [batch=<n>] [policy=fifo|buffer] [depth=<n>]
+//
+// Only syntax is validated here; addressing errors surface when the
+// changes are applied to a session, and model errors at analysis time,
+// exactly as for programmatic SystemChanges.
+func ParseSystemScript(r io.Reader) ([]SystemChange, error) {
+	var changes []SystemChange
+	err := forEachScriptLine(r, func(line string) error {
+		c, err := parseSystemLine(line)
+		if err != nil {
+			return err
+		}
+		changes = append(changes, c)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("whatif: system script %w", err)
+	}
+	return changes, nil
+}
+
+// splitRef splits "resource/element", requiring both halves.
+func splitRef(s string) (resource, element string, err error) {
+	resource, element, ok := strings.Cut(s, "/")
+	if !ok || resource == "" || element == "" {
+		return "", "", fmt.Errorf("want <resource>/<element>, got %q", s)
+	}
+	return resource, element, nil
+}
+
+func parseSystemLine(line string) (SystemChange, error) {
+	fields := strings.Fields(line)
+	op, args := fields[0], fields[1:]
+	argc := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d arguments, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "set-event-jitter", "set-event-period", "set-tdma-slot":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		res, el, err := splitRef(args[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "set-event-jitter":
+			return SetEventJitter{Resource: res, Element: el, Jitter: d}, nil
+		case "set-event-period":
+			return SetEventPeriod{Resource: res, Element: el, Period: d}, nil
+		default:
+			return SetTDMASlot{Resource: res, Owner: el, Length: d}, nil
+		}
+	case "set-frame-id":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		res, el, err := splitRef(args[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return SetFrameID{Resource: res, Message: el, ID: id}, nil
+	case "set-frame-dlc":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		res, el, err := splitRef(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return SetFrameDLC{Resource: res, Message: el, DLC: n}, nil
+	case "retune-gateway":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("retune-gateway needs a gateway name and at least period=<duration>")
+		}
+		return parseRetune(args[0], args[1:])
+	default:
+		return nil, fmt.Errorf("unknown system change %q", op)
+	}
+}
+
+// parseRetune assembles a RetuneGateway from key=value pairs.
+func parseRetune(name string, kvs []string) (SystemChange, error) {
+	cfg := gateway.Config{Service: eventmodel.Model{}}
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("retune-gateway: want key=value, got %q", kv)
+		}
+		var err error
+		switch k {
+		case "period":
+			cfg.Service.Period, err = time.ParseDuration(v)
+		case "jitter":
+			cfg.Service.Jitter, err = time.ParseDuration(v)
+		case "batch":
+			cfg.Batch, err = strconv.Atoi(v)
+		case "depth":
+			cfg.QueueDepth, err = strconv.Atoi(v)
+		case "policy":
+			switch v {
+			case "fifo":
+				cfg.Policy = gateway.SharedFIFO
+			case "buffer":
+				cfg.Policy = gateway.PerMessageBuffer
+			default:
+				err = fmt.Errorf("want fifo or buffer, got %q", v)
+			}
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("retune-gateway %s: %w", k, err)
+		}
+	}
+	if cfg.Service.Period <= 0 {
+		return nil, fmt.Errorf("retune-gateway: period=<duration> is required")
+	}
+	return RetuneGateway{Resource: name, Config: cfg}, nil
+}

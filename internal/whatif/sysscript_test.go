@@ -1,0 +1,111 @@
+package whatif
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+)
+
+func TestParseSystemScript(t *testing.T) {
+	src := `
+# supplier revision 42
+set-event-jitter busA/M1 150us
+set-event-period busA/M1 12ms   # stretched
+set-frame-id     busA/M1 0x180
+set-frame-dlc    busB/M2 4
+set-tdma-slot    backbone/M1TT 800us
+retune-gateway   gw period=1ms jitter=50us batch=2 policy=fifo depth=8
+retune-gateway   gw2 period=2ms policy=buffer
+`
+	got, err := ParseSystemScript(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SystemChange{
+		SetEventJitter{Resource: "busA", Element: "M1", Jitter: 150 * time.Microsecond},
+		SetEventPeriod{Resource: "busA", Element: "M1", Period: 12 * time.Millisecond},
+		SetFrameID{Resource: "busA", Message: "M1", ID: 0x180},
+		SetFrameDLC{Resource: "busB", Message: "M2", DLC: 4},
+		SetTDMASlot{Resource: "backbone", Owner: "M1TT", Length: 800 * time.Microsecond},
+		RetuneGateway{Resource: "gw", Config: gateway.Config{
+			Service: eventmodel.Model{Period: time.Millisecond, Jitter: 50 * time.Microsecond},
+			Batch:   2, Policy: gateway.SharedFIFO, QueueDepth: 8,
+		}},
+		RetuneGateway{Resource: "gw2", Config: gateway.Config{
+			Service: eventmodel.Model{Period: 2 * time.Millisecond},
+			Policy:  gateway.PerMessageBuffer,
+		}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed changes:\n%#v\nwant:\n%#v", got, want)
+	}
+}
+
+func TestParseSystemScriptErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, frag string }{
+		{"unknown-op", "twiddle busA/M1 1ms", "unknown system change"},
+		{"missing-element", "set-event-jitter busA 1ms", "want <resource>/<element>"},
+		{"bad-duration", "set-event-period busA/M1 soon", "line 1"},
+		{"bad-id", "set-frame-id busA/M1 0xZZ", "line 1"},
+		{"bad-dlc", "set-frame-dlc busA/M1 four", "line 1"},
+		{"arity", "set-tdma-slot backbone/M1TT", "takes 2 arguments"},
+		{"retune-no-period", "retune-gateway gw batch=2", "period=<duration> is required"},
+		{"retune-bad-kv", "retune-gateway gw period=1ms depth", "want key=value"},
+		{"retune-bad-policy", "retune-gateway gw period=1ms policy=stack", "want fifo or buffer"},
+		{"retune-unknown-key", "retune-gateway gw period=1ms color=red", "unknown key"},
+		{"retune-no-args", "retune-gateway gw", "at least period"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSystemScript(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestParseSystemScriptApplies round-trips a parsed script through a
+// real session: the applied edits must land in the rebuilt system.
+func TestParseSystemScriptApplies(t *testing.T) {
+	sess := NewSystemSession(fullSystem(t), Options{Workers: 1})
+	changes, err := ParseSystemScript(strings.NewReader(`
+set-event-jitter busA/M1 150us
+set-frame-dlc busB/M2 4
+retune-gateway gw period=1ms batch=2 policy=fifo depth=8
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Apply(changes...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(0); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sess.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sys.Buses() {
+		for _, m := range b.Messages {
+			if b.Name == "busA" && m.Name == "M1" && m.Event.Jitter != 150*time.Microsecond {
+				t.Errorf("busA/M1 jitter = %v, want 150us", m.Event.Jitter)
+			}
+			if b.Name == "busB" && m.Name == "M2" && m.Frame.DLC != 4 {
+				t.Errorf("busB/M2 DLC = %d, want 4", m.Frame.DLC)
+			}
+		}
+	}
+	for _, g := range sys.Gateways() {
+		if g.Name == "gw" && (g.Config.Batch != 2 || g.Config.QueueDepth != 8) {
+			t.Errorf("gw config = %+v, want batch 2 depth 8", g.Config)
+		}
+	}
+}
