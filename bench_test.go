@@ -16,6 +16,7 @@ import (
 	"repro/internal/osek"
 	"repro/internal/rta"
 	"repro/internal/sensitivity"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/tdma"
 	"repro/internal/whatif"
@@ -890,4 +891,41 @@ func BenchmarkCampaign(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
 	}
+}
+
+// ---------------------------------------------------------------------
+// BenchmarkServeLoad measures the multi-tenant admission path end to
+// end: an in-process storm through the service middleware (token
+// buckets, bounded queue, deadline race), reporting the client-observed
+// p99 per route in milliseconds so the CI bench gate tracks tail
+// latency alongside throughput. The drain phase is skipped — it
+// measures campaign wall time, not the admission path.
+// ---------------------------------------------------------------------
+
+func BenchmarkServeLoad(b *testing.B) {
+	var res *service.LoadTestResult
+	for i := 0; i < b.N; i++ {
+		r, err := service.LoadTest(service.LoadTestConfig{
+			Clients: 64, Revisions: 8, Workers: 1, SkipDrain: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatalf("selftest failed under benchmark: %s", r.Render())
+		}
+		res = r
+	}
+	suffix := map[string]string{
+		"POST /v1/sessions":              "create",
+		"GET /v1/sessions/{id}/analysis": "analysis",
+		"POST /v1/sessions/{id}/changes": "changes",
+	}
+	for _, rt := range res.Routes {
+		if s, ok := suffix[rt.Route]; ok {
+			b.ReportMetric(float64(rt.P99)/float64(time.Millisecond), "p99_"+s+"_ms")
+		}
+	}
+	b.ReportMetric(float64(res.Shed), "shed")
+	b.ReportMetric(float64(res.Requests)*float64(b.N)/b.Elapsed().Seconds(), "requests/s")
 }

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	go test -bench . -benchmem -count 6 ./... | benchjson parse -note "ci run 123" -out BENCH_PR5.json
-//	benchjson compare -base BENCH_PR5.json -new bench_new.json \
-//	    -keys BenchmarkWhatIf,BenchmarkNetSim,BenchmarkCampaign -threshold 0.10
+//	go test -bench . -benchmem -count 6 ./... | benchjson parse -note "ci run 123" -out BENCH_PR6.json
+//	benchjson compare -base BENCH_PR6.json -new bench_new.json \
+//	    -keys BenchmarkWhatIf,BenchmarkNetSim,BenchmarkCampaign,BenchmarkServeLoad -threshold 0.10
 //
 // parse reads a bench transcript on stdin (or -in) and writes the
 // per-benchmark metric medians as JSON. compare exits 1 when a gated
@@ -105,7 +105,7 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	basePath := fs.String("base", "", "baseline BENCH_*.json (required)")
 	newPath := fs.String("new", "", "fresh BENCH_*.json (required)")
-	keys := fs.String("keys", "BenchmarkWhatIf,BenchmarkNetSim,BenchmarkCampaign",
+	keys := fs.String("keys", "BenchmarkWhatIf,BenchmarkNetSim,BenchmarkCampaign,BenchmarkServeLoad",
 		"comma-separated gated benchmark names (sub-benchmarks included)")
 	threshold := fs.Float64("threshold", 0.10, "allowed fractional regression")
 	fs.Parse(args)

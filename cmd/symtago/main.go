@@ -20,7 +20,10 @@
 //	symtago campaign [-n count] [-seed n] [-spec file] [-workers n] [-seeds n]
 //	                 [-duration d] [-csv file] [-corpus file] [-quick]
 //	symtago serve    [-addr host:port] [-workers n] [-cache n] [-ttl d]
-//	                 [-selftest [-clients n] [-revisions n] [-seed n]]
+//	                 [-max-clients n] [-queue-depth n] [-tenant-rate r]
+//	                 [-tenant-quota n] [-request-timeout d] [-drain-timeout d]
+//	                 [-checkpoint-dir dir]
+//	                 [-selftest [-clients n] [-revisions n] [-seed n] [-tenants n]]
 //
 // A missing -kmatrix selects the built-in synthetic power-train matrix
 // (the case-study substitute documented in DESIGN.md).

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/service"
@@ -11,22 +15,42 @@ import (
 )
 
 // cmdServe runs the long-running analysis service — the paper's
-// iterative OEM/supplier exchange as a concurrent endpoint with
-// persistent what-if sessions — or, with -selftest, the seeded
-// concurrent load driver proving that parallel clients get responses
-// byte-identical to serial execution.
+// iterative OEM/supplier exchange as a concurrent multi-tenant
+// endpoint with persistent what-if sessions behind admission control —
+// or, with -selftest, the seeded storm driver proving that concurrent
+// tenants get byte-identical responses, shed load gets 429+Retry-After
+// and a drained campaign resumes bit-identically.
 func cmdServe(args []string) error {
 	fs := newFlagSet("serve")
 	addr := fs.String("addr", "127.0.0.1:8479", "listen address")
 	workers := workersFlag(fs)
 	cache := fs.Int("cache", 0, "shared what-if store budget in cost units (0 = default)")
 	ttl := fs.Duration("ttl", 0, "idle session lifetime (0 = default 15m)")
-	selftest := fs.Bool("selftest", false, "run the concurrent determinism selftest and exit")
+	maxClients := fs.Int("max-clients", 0, "concurrently executing requests (0 = 2x GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "requests queued for a slot before shedding (0 = 256)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant request rate per second (0 = 250, negative = unlimited)")
+	tenantQuota := fs.Int("tenant-quota", 0, "live sessions per tenant (0 = 64, negative = unlimited)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request budget incl. queueing (0 = 30s)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM: budget for in-flight campaigns before checkpointing")
+	checkpointDir := fs.String("checkpoint-dir", "", "directory for drain checkpoints; restored on startup (empty = discard)")
+	selftest := fs.Bool("selftest", false, "run the concurrent robustness selftest and exit")
 	clients := fs.Int("clients", 8, "selftest: concurrent clients")
-	revisions := fs.Int("revisions", 50, "selftest: change-script length per client")
+	revisions := fs.Int("revisions", 50, "selftest: max change-script length per client")
 	seed := fs.Int64("seed", 7, "selftest: scenario seed")
+	tenants := fs.Int("tenants", 8, "selftest: tenant identities the clients spread over")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+
+	cfg := service.Config{
+		StoreCapacity:  *cache,
+		SessionTTL:     *ttl,
+		Workers:        *workers,
+		MaxClients:     *maxClients,
+		QueueDepth:     *queueDepth,
+		TenantRate:     *tenantRate,
+		TenantQuota:    *tenantQuota,
+		RequestTimeout: *reqTimeout,
 	}
 
 	if *selftest {
@@ -34,7 +58,8 @@ func cmdServe(args []string) error {
 			return usageErrf("serve: -clients and -revisions must be positive")
 		}
 		res, err := service.LoadTest(service.LoadTestConfig{
-			Clients: *clients, Revisions: *revisions, Seed: *seed, Workers: *workers,
+			Clients: *clients, Revisions: *revisions, Seed: *seed,
+			Tenants: *tenants, Workers: *workers, Server: cfg,
 		})
 		if err != nil {
 			return err
@@ -46,24 +71,67 @@ func cmdServe(args []string) error {
 		return nil
 	}
 
-	srv := service.New(service.Config{
-		StoreCapacity: *cache,
-		SessionTTL:    *ttl,
-		Workers:       *workers,
-	})
+	srv := service.New(cfg)
 	defer srv.Close()
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	if *checkpointDir != "" {
+		restored, err := srv.RestoreCampaigns(*checkpointDir)
+		if err != nil {
+			return fmt.Errorf("serve: restoring campaigns: %w", err)
+		}
+		if restored > 0 {
+			fmt.Printf("symtago serve: resumed %d checkpointed campaign(s) from %s\n",
+				restored, *checkpointDir)
+		}
 	}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A slowloris must not wedge the process: bound every phase of a
+		// connection's life.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// SIGTERM/SIGINT runs the drain protocol: stop admitting, give
+	// in-flight work -drain-timeout to finish, checkpoint the rest,
+	// exit 0.
+	errCh := make(chan error, 1)
+	go func() {
+		err := hs.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errCh <- err
+	}()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+
 	fmt.Printf("symtago serve: listening on http://%s (sessions expire after %v idle)\n",
 		*addr, sessionTTL(*ttl))
-	err := hs.ListenAndServe()
-	if errors.Is(err, http.ErrServerClosed) {
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("symtago serve: %v — draining (budget %v)\n", sig, *drainTimeout)
+		srv.StartDraining()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "symtago serve: shutdown: %v\n", err)
+		}
+		checkpointed, err := srv.Drain(drainCtx, *checkpointDir)
+		if err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		if checkpointed > 0 {
+			fmt.Printf("symtago serve: checkpointed %d campaign(s) to %s\n",
+				checkpointed, *checkpointDir)
+		}
+		fmt.Println("symtago serve: drained cleanly")
 		return nil
 	}
-	return err
 }
 
 // sessionTTL echoes the effective TTL for the startup banner.

@@ -141,13 +141,21 @@ func ReadFile(r io.Reader) (*File, error) {
 	return &f, nil
 }
 
-// lowerBetter lists the units where an increase is a regression; all
-// other gated units are rates where a decrease is a regression.
-var lowerBetter = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
+// lowerBetter reports the units where an increase is a regression:
+// the allocation-profile units plus the per-route tail latencies the
+// serve load benchmark emits (p99_<route>_ms); all other gated units
+// are rates where a decrease is a regression.
+func lowerBetter(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return strings.HasPrefix(unit, "p99_")
+}
 
 // gatedRates are the custom metrics the CI gate watches beyond the
 // allocation-profile units.
-var gatedRates = map[string]bool{"speedup": true, "scenarios/s": true, "frames/s": true}
+var gatedRates = map[string]bool{"speedup": true, "scenarios/s": true, "frames/s": true, "requests/s": true}
 
 // Regression is one gated metric that moved past the threshold in the
 // bad direction.
@@ -164,9 +172,10 @@ func (r Regression) String() string {
 }
 
 // Compare gates cur against base: for every benchmark whose name
-// starts with one of the key prefixes (sub-benchmarks included),
-// ns/op must not rise by more than threshold, and the gated rate
-// metrics (speedup, scenarios/s, frames/s) must not fall by more than
+// starts with one of the key prefixes (sub-benchmarks included), the
+// lower-better units (ns/op, B/op, allocs/op, p99_*) must not rise by
+// more than threshold, and the gated rate metrics (speedup,
+// scenarios/s, frames/s, requests/s) must not fall by more than
 // threshold. Metrics absent from either file are skipped — the gate
 // never fails on coverage changes, only on movement.
 func Compare(base, cur *File, keys []string, threshold float64) []Regression {
@@ -198,7 +207,7 @@ func Compare(base, cur *File, keys []string, threshold float64) []Regression {
 		}
 		sort.Strings(units)
 		for _, unit := range units {
-			if !lowerBetter[unit] && !gatedRates[unit] {
+			if !lowerBetter(unit) && !gatedRates[unit] {
 				continue
 			}
 			oldV := baseUnits[unit]
@@ -207,7 +216,7 @@ func Compare(base, cur *File, keys []string, threshold float64) []Regression {
 				continue
 			}
 			change := newV/oldV - 1 // >0 means the value rose
-			if lowerBetter[unit] && change > threshold {
+			if lowerBetter(unit) && change > threshold {
 				regs = append(regs, Regression{Bench: name, Unit: unit, Old: oldV, New: newV, Change: change})
 			}
 			if gatedRates[unit] && -change > threshold {

@@ -140,6 +140,28 @@ func TestCompare(t *testing.T) {
 		}
 	}
 
+	// The serve-load units: per-route p99s are lower-better, the
+	// request rate is a gated rate.
+	tailBase := file(map[string]map[string]float64{
+		"BenchmarkServeLoad": {"p99_changes_ms": 0.30, "requests/s": 7000, "shed": 100},
+	})
+	tailCur := file(map[string]map[string]float64{
+		"BenchmarkServeLoad": {"p99_changes_ms": 0.40, "requests/s": 6000, "shed": 5000},
+	})
+	regs = Compare(tailBase, tailCur, []string{"BenchmarkServeLoad"}, 0.10)
+	want = map[string]bool{
+		"BenchmarkServeLoad/p99_changes_ms": true,
+		"BenchmarkServeLoad/requests/s":     true,
+	}
+	if len(regs) != len(want) {
+		t.Fatalf("serve-load regressions %v, want %d", regs, len(want))
+	}
+	for _, r := range regs {
+		if !want[r.Bench+"/"+r.Unit] {
+			t.Errorf("unexpected serve-load regression %v", r)
+		}
+	}
+
 	// Missing metrics or benchmarks never fail the gate.
 	cur = file(map[string]map[string]float64{"BenchmarkWhatIf": {"B/op": 99999999}})
 	if regs := Compare(base, cur, keys, 0.10); len(regs) != 1 || regs[0].Unit != "B/op" {

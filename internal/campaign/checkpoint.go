@@ -1,0 +1,217 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// checkpointVersion guards the checkpoint wire format: a restore of a
+// different version fails loudly instead of resuming garbage.
+const checkpointVersion = 1
+
+// checkpointFile is the serialised form of an interrupted Job: the
+// corpus spec (regenerated on restore and verified by fingerprint),
+// the effective run configuration, and every completed row. Floats are
+// encoded as full-precision strings ('g', -1) so a restored row is
+// bit-identical to the one that was checkpointed — the resumed report
+// must not differ from an uninterrupted run in a single byte.
+type checkpointFile struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Spec        string          `json:"spec"`
+	Config      checkpointCfg   `json:"config"`
+	Rows        []checkpointRow `json:"rows"`
+}
+
+type checkpointCfg struct {
+	Workers       int   `json:"workers"`
+	Seeds         int   `json:"seeds"`
+	DurationNS    int64 `json:"duration_ns"`
+	StoreCapacity int   `json:"store_capacity"`
+	MaxIterations int   `json:"max_iterations"`
+}
+
+// checkpointRow mirrors ScenarioResult with lossless float encoding
+// (JSON cannot represent the NaN margin of a scenario that traced no
+// bounded path).
+type checkpointRow struct {
+	Index                int    `json:"index"`
+	Seed                 int64  `json:"seed"`
+	Buses                int    `json:"buses"`
+	Messages             int    `json:"messages"`
+	Gateways             int    `json:"gateways"`
+	TDMA                 bool   `json:"tdma"`
+	WorstStuffing        bool   `json:"worst_stuffing"`
+	BurstErrors          bool   `json:"burst_errors"`
+	Converged            bool   `json:"converged"`
+	Iterations           int    `json:"iterations"`
+	Schedulable          bool   `json:"schedulable"`
+	MissCount            int    `json:"miss_count"`
+	MaxUtilization       string `json:"max_utilization"`
+	Paths                int    `json:"paths"`
+	BoundedPaths         int    `json:"bounded_paths"`
+	SimRuns              int    `json:"sim_runs"`
+	Frames               int    `json:"frames"`
+	Violations           int    `json:"violations"`
+	Losses               int    `json:"losses"`
+	LossPredicted        bool   `json:"loss_predicted"`
+	MinMarginPct         string `json:"min_margin_pct"`
+	Changes              int    `json:"changes"`
+	PerturbedConverged   bool   `json:"perturbed_converged"`
+	PerturbedSchedulable bool   `json:"perturbed_schedulable"`
+	Flipped              bool   `json:"flipped"`
+	CacheHits            uint64 `json:"cache_hits"`
+	CacheMisses          uint64 `json:"cache_misses"`
+	HitRate              string `json:"hit_rate"`
+}
+
+// ffloat encodes a float with full round-trip precision.
+func ffloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// pfloat decodes an ffloat encoding (NaN included).
+func pfloat(s string) (float64, error) {
+	if s == "NaN" {
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func encodeRow(r *ScenarioResult) checkpointRow {
+	return checkpointRow{
+		Index: r.Index, Seed: r.Seed,
+		Buses: r.Buses, Messages: r.Messages, Gateways: r.Gateways, TDMA: r.TDMA,
+		WorstStuffing: r.WorstStuffing, BurstErrors: r.BurstErrors,
+		Converged: r.Converged, Iterations: r.Iterations, Schedulable: r.Schedulable,
+		MissCount: r.MissCount, MaxUtilization: ffloat(r.MaxUtilization),
+		Paths: r.Paths, BoundedPaths: r.BoundedPaths,
+		SimRuns: r.SimRuns, Frames: r.Frames, Violations: r.Violations,
+		Losses: r.Losses, LossPredicted: r.LossPredicted,
+		MinMarginPct: ffloat(r.MinMarginPct),
+		Changes:      r.Changes, PerturbedConverged: r.PerturbedConverged,
+		PerturbedSchedulable: r.PerturbedSchedulable, Flipped: r.Flipped,
+		CacheHits: r.CacheHits, CacheMisses: r.CacheMisses, HitRate: ffloat(r.HitRate),
+	}
+}
+
+func decodeRow(c *checkpointRow) (ScenarioResult, error) {
+	util, err := pfloat(c.MaxUtilization)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("row %d: max_utilization: %w", c.Index, err)
+	}
+	margin, err := pfloat(c.MinMarginPct)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("row %d: min_margin_pct: %w", c.Index, err)
+	}
+	hitRate, err := pfloat(c.HitRate)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("row %d: hit_rate: %w", c.Index, err)
+	}
+	return ScenarioResult{
+		Index: c.Index, Seed: c.Seed,
+		Buses: c.Buses, Messages: c.Messages, Gateways: c.Gateways, TDMA: c.TDMA,
+		WorstStuffing: c.WorstStuffing, BurstErrors: c.BurstErrors,
+		Converged: c.Converged, Iterations: c.Iterations, Schedulable: c.Schedulable,
+		MissCount: c.MissCount, MaxUtilization: util,
+		Paths: c.Paths, BoundedPaths: c.BoundedPaths,
+		SimRuns: c.SimRuns, Frames: c.Frames, Violations: c.Violations,
+		Losses: c.Losses, LossPredicted: c.LossPredicted,
+		MinMarginPct: margin,
+		Changes:      c.Changes, PerturbedConverged: c.PerturbedConverged,
+		PerturbedSchedulable: c.PerturbedSchedulable, Flipped: c.Flipped,
+		CacheHits: c.CacheHits, CacheMisses: c.CacheMisses, HitRate: hitRate,
+	}, nil
+}
+
+// Checkpoint serialises the job's completed rows and configuration so
+// a later RestoreJob — in this process or after a restart — resumes
+// with exactly the pending scenarios and folds a report bit-identical
+// to an uninterrupted run. Checkpoint must not race a concurrent Run
+// of the same job: cancel the run first (the rows recorded up to the
+// cancellation are kept and captured here).
+func (j *Job) Checkpoint(w io.Writer) error {
+	var specBuf bytes.Buffer
+	if err := j.corpus.Spec.Encode(&specBuf); err != nil {
+		return fmt.Errorf("campaign: checkpoint spec: %w", err)
+	}
+	cp := checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: j.corpus.Fingerprint().String(),
+		Spec:        specBuf.String(),
+		Config: checkpointCfg{
+			Workers: j.cfg.Workers, Seeds: j.cfg.Seeds,
+			DurationNS:    int64(j.cfg.Duration),
+			StoreCapacity: j.cfg.StoreCapacity, MaxIterations: j.cfg.MaxIterations,
+		},
+	}
+	j.mu.Lock()
+	for i, done := range j.done {
+		if done {
+			cp.Rows = append(cp.Rows, encodeRow(&j.rows[i]))
+		}
+	}
+	j.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(&cp)
+}
+
+// RestoreJob rebuilds a checkpointed job: the corpus is regenerated
+// from the embedded spec (and verified against the recorded
+// fingerprint), completed rows are installed, and the returned Job's
+// next Run processes only the pending scenarios. The eventual report
+// is bit-identical to an uninterrupted run of the original job.
+func RestoreJob(r io.Reader) (*Job, error) {
+	var cp checkpointFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("campaign: restore: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: restore: checkpoint version %d, want %d",
+			cp.Version, checkpointVersion)
+	}
+	spec, err := scenario.ParseSpec(strings.NewReader(cp.Spec))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: restore: spec: %w", err)
+	}
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: restore: corpus: %w", err)
+	}
+	if fp := corpus.Fingerprint().String(); fp != cp.Fingerprint {
+		return nil, fmt.Errorf("campaign: restore: corpus fingerprint %s does not match checkpoint %s",
+			fp, cp.Fingerprint)
+	}
+	j, err := NewJob(corpus, Config{
+		Workers: cp.Config.Workers, Seeds: cp.Config.Seeds,
+		Duration:      time.Duration(cp.Config.DurationNS),
+		StoreCapacity: cp.Config.StoreCapacity, MaxIterations: cp.Config.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range cp.Rows {
+		row, err := decodeRow(&cp.Rows[i])
+		if err != nil {
+			return nil, fmt.Errorf("campaign: restore: %w", err)
+		}
+		if row.Index < 0 || row.Index >= len(j.rows) {
+			return nil, fmt.Errorf("campaign: restore: row index %d outside corpus of %d",
+				row.Index, len(j.rows))
+		}
+		if j.done[row.Index] {
+			return nil, fmt.Errorf("campaign: restore: duplicate row %d", row.Index)
+		}
+		j.rows[row.Index] = row
+		j.done[row.Index] = true
+		j.completed++
+	}
+	return j, nil
+}

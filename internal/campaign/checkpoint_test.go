@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointRestoreBitIdentical interrupts a job, round-trips it
+// through the checkpoint wire format (as the service does across a
+// SIGTERM restart), and checks the resumed run folds a report
+// bit-identical to an uninterrupted one.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	corpus := jobCorpus(t)
+	cfg := Config{Workers: 2, Seeds: 1, Duration: 50e6}
+	want, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for {
+			if done, _ := j.Progress(); done >= 3 {
+				cancel()
+				return
+			}
+		}
+	}()
+	if _, err := j.Run(ctx); err != nil && err != context.Canceled {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	cancel()
+	doneBefore, total := j.Progress()
+
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreJob(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, rtotal := restored.Progress(); done != doneBefore || rtotal != total {
+		t.Fatalf("restored progress %d/%d, want %d/%d", done, rtotal, doneBefore, total)
+	}
+	got, err := restored.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatal("restored report differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointOfFinishedJob round-trips a completed job: the restore
+// has nothing pending and its Run folds the identical report.
+func TestCheckpointOfFinishedJob(t *testing.T) {
+	corpus := jobCorpus(t)
+	cfg := Config{Workers: 2, Seeds: 1, Duration: 50e6}
+	j, err := NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreJob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, total := restored.Progress(); done != total {
+		t.Fatalf("restored finished job reports %d/%d", done, total)
+	}
+	got, err := restored.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatal("restored finished report differs")
+	}
+}
+
+func TestRestoreRejectsCorruptCheckpoints(t *testing.T) {
+	corpus := jobCorpus(t)
+	j, err := NewJob(corpus, Config{Workers: 1, Seeds: 1, Duration: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	for name, mangle := range map[string]string{
+		"bad-json":        "{not json",
+		"bad-version":     strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"bad-fingerprint": strings.Replace(good, `"fingerprint":"`, `"fingerprint":"00`, 1),
+	} {
+		if _, err := RestoreJob(strings.NewReader(mangle)); err == nil {
+			t.Errorf("%s: restore accepted a corrupt checkpoint", name)
+		}
+	}
+}

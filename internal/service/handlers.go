@@ -27,10 +27,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if total := hits + reg.Sessions.Misses; total > 0 {
 		rate = 100 * float64(hits) / float64(total)
 	}
+	queued, executing, tenants := s.adm.snapshot()
 	resp := MetricsResponse{
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		BucketLabels:  LatencyBucketLabels,
 		Requests:      s.metrics.snapshot(),
+		Admission: AdmissionMetrics{
+			Queued: queued, Executing: executing, Tenants: tenants,
+			MaxClients: s.cfg.MaxClients, QueueDepth: s.cfg.QueueDepth,
+			Draining: s.adm.draining.Load(),
+		},
 		WhatIf: WhatIfMetrics{
 			StoreEntries:   store.Entries,
 			StoreHits:      store.Hits,
@@ -40,7 +46,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			SessionMisses:  reg.Sessions.Misses,
 			SessionHitRate: rate,
 		},
-		Sessions: SessionsMetrics{Active: reg.Active, Created: reg.Created, Evicted: reg.Evicted},
+		Sessions: SessionsMetrics{
+			Active: reg.Active, Tenants: reg.Tenants,
+			Created: reg.Created, Evicted: reg.Evicted, QuotaEvicted: reg.QuotaEvicted,
+		},
 	}
 	s.jobsMu.Lock()
 	resp.Campaigns.Jobs = len(s.jobs)
@@ -70,18 +79,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	index, err := queryInt(r, "index", 0)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	sys, _, err := buildScenario(body, index)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
 	a, err := sess.Analyze(s.cfg.MaxIterations)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "analysis: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, summarize(a))
@@ -109,34 +118,34 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeErr(w, http.StatusBadRequest, "%v", err)
+	writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 }
 
 func (s *Server) simulate(w http.ResponseWriter, body []byte, index, seeds int, duration time.Duration) {
 	sys, _, err := buildScenario(body, index)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	topo, err := netsim.FromSystem(sys)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
 	a, err := sess.Analyze(s.cfg.MaxIterations)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "analysis: %v", err)
 		return
 	}
 	if !a.Converged {
-		writeErr(w, http.StatusUnprocessableEntity,
+		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed,
 			"analysis did not converge; bounds are not comparable")
 		return
 	}
 	st, err := campaign.CrossValidate(sys, a, topo, seeds, duration)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "simulation: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "simulation: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SimulateResponse{
@@ -156,16 +165,23 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	index, err := queryInt(r, "index", 0)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	sys, _, err := buildScenario(body, index)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
-	id := s.reg.Add(sess)
+	id, err := s.reg.Add(sess, tenantOf(r))
+	if err != nil {
+		// Quota exhausted with every session busy: the tenant must
+		// release or finish work before opening another.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, CodeSessionQuota, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, SessionCreated{
 		ID: id, TTLSeconds: s.reg.TTL().Seconds(),
 	})
@@ -177,7 +193,7 @@ func (s *Server) acquireSession(w http.ResponseWriter, r *http.Request) (*whatif
 	id := r.PathValue("id")
 	sess, release, ok := s.reg.Acquire(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+		writeErr(w, http.StatusNotFound, CodeNotFound, "unknown session %q", id)
 		return nil, nil, false
 	}
 	return sess, release, true
@@ -191,7 +207,7 @@ func (s *Server) handleSessionAnalysis(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	a, err := sess.Analyze(s.cfg.MaxIterations)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "analysis: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, summarize(a))
@@ -206,11 +222,11 @@ func (s *Server) handleSessionChanges(w http.ResponseWriter, r *http.Request) {
 	}
 	changes, err := whatif.ParseSystemScript(bytes.NewReader(body))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if len(changes) == 0 {
-		writeErr(w, http.StatusBadRequest, "empty change script")
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "empty change script")
 		return
 	}
 	sess, release, ok := s.acquireSession(w, r)
@@ -221,12 +237,12 @@ func (s *Server) handleSessionChanges(w http.ResponseWriter, r *http.Request) {
 	if err := sess.Apply(changes...); err != nil {
 		// Addressing errors: part of the script may have applied; the
 		// client should treat the session as dirty and re-create it.
-		writeErr(w, http.StatusBadRequest, "apply: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "apply: %v", err)
 		return
 	}
 	a, err := sess.Analyze(s.cfg.MaxIterations)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "analysis: %v", err)
 		return
 	}
 	resp := ChangesApplied{Applied: len(changes), Analysis: summarize(a)}
@@ -257,7 +273,7 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.reg.Sweep()
 	if !s.reg.Remove(r.PathValue("id")) {
-		writeErr(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, CodeNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -314,7 +330,7 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sp, err := parseSpecBody(body)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	var seeds int
@@ -323,7 +339,7 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 		duration, err = queryDuration(r, "duration", 0)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if r.URL.Query().Get("quick") == "true" {
@@ -334,9 +350,20 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 			duration = 100 * time.Millisecond
 		}
 	}
+	// Cap the corpus before generating it — a hostile spec must not be
+	// able to commit the server to unbounded generation work.
+	effective := sp.Count
+	if effective == 0 {
+		effective = 500 // scenario.Generate's default
+	}
+	if s.cfg.MaxCampaignScenarios > 0 && effective > s.cfg.MaxCampaignScenarios {
+		writeErr(w, http.StatusBadRequest, CodeCorpusTooLarge,
+			"corpus of %d scenarios exceeds the %d-scenario cap", effective, s.cfg.MaxCampaignScenarios)
+		return
+	}
 	corpus, err := scenario.Generate(sp)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	job, err := campaign.NewJob(corpus, campaign.Config{
@@ -344,23 +371,11 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 		MaxIterations: s.cfg.MaxIterations,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 
-	s.jobsMu.Lock()
-	s.nextJob++
-	cj := &campaignJob{id: fmt.Sprintf("c%d", s.nextJob), job: job}
-	s.jobsMu.Unlock()
-	// Start before publishing, so no observer can see a stateless job
-	// (a cancel racing the create would otherwise be silently lost).
-	cj.mu.Lock()
-	cj.start(s.ctx)
-	cj.mu.Unlock()
-	s.jobsMu.Lock()
-	s.jobs[cj.id] = cj
-	s.jobsMu.Unlock()
-
+	cj := s.registerJob(job)
 	writeJSON(w, http.StatusAccepted, CampaignStarted{ID: cj.id, Scenarios: job.Total()})
 }
 
@@ -370,7 +385,7 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*campaignJob
 	cj := s.jobs[r.PathValue("id")]
 	s.jobsMu.Unlock()
 	if cj == nil {
-		writeErr(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, CodeNotFound, "unknown campaign %q", r.PathValue("id"))
 		return nil, false
 	}
 	return cj, true
@@ -418,7 +433,7 @@ func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
 	state := cj.state
 	cj.mu.Unlock()
 	if rep == nil {
-		writeErr(w, http.StatusConflict, "campaign %s is %s; no report yet", cj.id, state)
+		writeErr(w, http.StatusConflict, CodeConflict, "campaign %s is %s; no report yet", cj.id, state)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -449,7 +464,7 @@ func (s *Server) handleCampaignDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cj.stateNow() == "running" {
-		writeErr(w, http.StatusConflict, "campaign %s is running; cancel it first", cj.id)
+		writeErr(w, http.StatusConflict, CodeConflict, "campaign %s is running; cancel it first", cj.id)
 		return
 	}
 	s.jobsMu.Lock()

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+// The machine-readable error codes of the uniform JSON error body.
+// Every non-2xx response carries one, so clients can branch without
+// parsing prose. 429 and 503 responses are always deliberate: a 429
+// means shed load (honour Retry-After), a 503 carries CodeTimeout or
+// CodeDraining — the service never returns a 5xx it did not choose.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodePayloadTooLarge  = "payload_too_large"
+	CodeCorpusTooLarge   = "corpus_too_large"
+	CodeAnalysisFailed   = "analysis_failed"
+	CodeConflict         = "conflict"
+	CodeRateLimited      = "rate_limited"
+	CodeQueueFull        = "queue_full"
+	CodeSessionQuota     = "session_quota"
+	CodeTimeout          = "timeout"
+	CodeDraining         = "draining"
+	CodeInternal         = "internal"
+)
+
+// codeForStatus maps a bare HTTP status (as produced by the mux's own
+// 404/405 handlers) to its error code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	default:
+		return CodeInternal
+	}
+}
+
+// jsonFallback wraps a handler so every error response that escaped
+// the handlers' own JSON paths — the mux's plain-text 404/405s — is
+// rewritten into the uniform JSON error body. Responses that already
+// carry a JSON content type pass through untouched.
+func jsonFallback(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&fallbackWriter{ResponseWriter: w}, r)
+	})
+}
+
+// fallbackWriter intercepts the first WriteHeader: a non-JSON error
+// status is replaced by the JSON error body and the original payload
+// suppressed. The Allow header of a 405 survives the rewrite.
+type fallbackWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	suppress    bool
+}
+
+func (f *fallbackWriter) WriteHeader(status int) {
+	if f.wroteHeader {
+		return
+	}
+	f.wroteHeader = true
+	if status >= 400 && f.Header().Get("Content-Type") != "application/json" {
+		f.suppress = true
+		f.Header().Del("X-Content-Type-Options")
+		writeErr(f.ResponseWriter, status, codeForStatus(status), "%s", http.StatusText(status))
+		return
+	}
+	f.ResponseWriter.WriteHeader(status)
+}
+
+func (f *fallbackWriter) Write(p []byte) (int, error) {
+	if !f.wroteHeader {
+		f.WriteHeader(http.StatusOK)
+	}
+	if f.suppress {
+		return len(p), nil
+	}
+	return f.ResponseWriter.Write(p)
+}
+
+// readBody slurps a size-capped request body: an oversized upload is
+// answered with 413 and the cap, anything else unreadable with 400.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				"request body exceeds the %d-byte cap", s.cfg.MaxBodyBytes)
+			return nil, false
+		}
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return data, true
+}

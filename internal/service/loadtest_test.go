@@ -3,13 +3,17 @@ package service
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestLoadTestShort runs a reduced selftest: concurrent clients must
-// replay the revision script byte-identically and the shared store
-// must lift the session hit rate over the contract threshold.
+// replay the revision script byte-identically, shed requests must all
+// carry Retry-After, the service must emit no unintended 5xx, the
+// shared store must lift the session hit rate over the contract
+// threshold, and the drain phase must resume its campaign
+// bit-identically.
 func TestLoadTestShort(t *testing.T) {
-	res, err := LoadTest(LoadTestConfig{Clients: 4, Revisions: 12, Workers: 1})
+	res, err := LoadTest(LoadTestConfig{Clients: 6, Revisions: 12, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,13 +23,58 @@ func TestLoadTestShort(t *testing.T) {
 	if res.HitRatePct <= 50 {
 		t.Fatalf("session hit rate %.1f%%, want > 50%%", res.HitRatePct)
 	}
+	if res.Unintended5xx != 0 || res.ShedMissingRetryAfter != 0 {
+		t.Fatalf("robustness contract: %+v", res)
+	}
+	if !res.DrainOK {
+		t.Fatalf("drain phase: %s", res.DrainDetail)
+	}
 	if !res.Passed() {
 		t.Fatalf("Passed() = false for %+v", res)
 	}
+	if len(res.Routes) == 0 {
+		t.Fatal("no per-route latency distributions")
+	}
+	for _, rt := range res.Routes {
+		if rt.Count == 0 || rt.P99 < rt.P50 || rt.P999 < rt.P99 {
+			t.Fatalf("route %s: inconsistent distribution %+v", rt.Route, rt)
+		}
+	}
 	out := res.Render()
-	for _, frag := range []string{"byte-identical", "> 50% required: ok"} {
+	for _, frag := range []string{"byte-identical", "> 50% required: ok", "p999=", "drain/restore: ok"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("render misses %q:\n%s", frag, out)
 		}
+	}
+}
+
+// TestLoadTestSheds squeezes the storm through a one-slot, shallow
+// queue with a starved token bucket: shedding must occur, every shed
+// must carry Retry-After, and the replies that do get through must
+// still be byte-identical.
+func TestLoadTestSheds(t *testing.T) {
+	res, err := LoadTest(LoadTestConfig{
+		Clients: 8, Revisions: 4, Workers: 1,
+		SkipDrain: true,
+		Server: Config{
+			MaxClients: 1, QueueDepth: 2,
+			TenantRate: 30, TenantBurst: 5,
+			RequestTimeout: time.Minute,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("storm through a 1-slot queue shed nothing: %+v", res)
+	}
+	if res.ShedMissingRetryAfter != 0 {
+		t.Fatalf("%d shed responses missed Retry-After", res.ShedMissingRetryAfter)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("mismatches under shedding: %d (first %s)", res.Mismatches, res.FirstMismatch)
+	}
+	if res.Unintended5xx != 0 {
+		t.Fatalf("unintended 5xx under shedding: %d", res.Unintended5xx)
 	}
 }

@@ -21,9 +21,11 @@ var LatencyBucketLabels = []string{
 
 // routeMetrics accumulates one route's counters.
 type routeMetrics struct {
-	count   uint64
-	errors  uint64 // responses with status >= 400
-	buckets [6]uint64
+	count    uint64
+	errors   uint64 // responses with status >= 400
+	shed     uint64 // 429: rate limit or full queue
+	timeouts uint64 // 503: deadline expiry or drain
+	buckets  [6]uint64
 }
 
 // metrics collects per-route request counters and latency histograms.
@@ -54,15 +56,23 @@ func (m *metrics) observe(route string, status int, elapsed time.Duration) {
 	if status >= 400 {
 		rm.errors++
 	}
+	switch status {
+	case http.StatusTooManyRequests:
+		rm.shed++
+	case http.StatusServiceUnavailable:
+		rm.timeouts++
+	}
 	rm.buckets[b]++
 }
 
 // RouteMetrics is the wire form of one route's counters.
 type RouteMetrics struct {
-	Route   string   `json:"route"`
-	Count   uint64   `json:"count"`
-	Errors  uint64   `json:"errors"`
-	Buckets []uint64 `json:"latency_buckets"`
+	Route    string   `json:"route"`
+	Count    uint64   `json:"count"`
+	Errors   uint64   `json:"errors"`
+	Shed     uint64   `json:"shed"`
+	Timeouts uint64   `json:"timeouts"`
+	Buckets  []uint64 `json:"latency_buckets"`
 }
 
 // snapshot returns the per-route counters sorted by route.
@@ -73,6 +83,7 @@ func (m *metrics) snapshot() []RouteMetrics {
 	for route, rm := range m.routes {
 		out = append(out, RouteMetrics{
 			Route: route, Count: rm.count, Errors: rm.errors,
+			Shed: rm.shed, Timeouts: rm.timeouts,
 			Buckets: append([]uint64(nil), rm.buckets[:]...),
 		})
 	}
@@ -106,9 +117,21 @@ type MetricsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	BucketLabels  []string         `json:"latency_bucket_labels"`
 	Requests      []RouteMetrics   `json:"requests"`
+	Admission     AdmissionMetrics `json:"admission"`
 	WhatIf        WhatIfMetrics    `json:"whatif"`
 	Sessions      SessionsMetrics  `json:"sessions"`
 	Campaigns     CampaignsMetrics `json:"campaigns"`
+}
+
+// AdmissionMetrics reports the front-door state: the instantaneous
+// queue/slot occupancy and the tenants the bucket map has seen.
+type AdmissionMetrics struct {
+	Queued     int  `json:"queued"`
+	Executing  int  `json:"executing"`
+	Tenants    int  `json:"tenants"`
+	MaxClients int  `json:"max_clients"`
+	QueueDepth int  `json:"queue_depth"`
+	Draining   bool `json:"draining"`
 }
 
 // WhatIfMetrics aggregates the cache behaviour of the shared store and
@@ -125,9 +148,11 @@ type WhatIfMetrics struct {
 
 // SessionsMetrics reports the registry population.
 type SessionsMetrics struct {
-	Active  int    `json:"active"`
-	Created uint64 `json:"created"`
-	Evicted uint64 `json:"evicted"`
+	Active       int    `json:"active"`
+	Tenants      int    `json:"tenants"`
+	Created      uint64 `json:"created"`
+	Evicted      uint64 `json:"evicted"`
+	QuotaEvicted uint64 `json:"quota_evicted"`
 }
 
 // CampaignsMetrics reports the job table population.

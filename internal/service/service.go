@@ -5,12 +5,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
@@ -32,23 +36,71 @@ type Config struct {
 	// MaxIterations bounds the compositional fixpoint (<= 0 selects
 	// core.DefaultMaxIterations).
 	MaxIterations int
+
+	// MaxClients bounds the requests executing concurrently (the worker
+	// slots; 0 selects 2x GOMAXPROCS).
+	MaxClients int
+	// QueueDepth bounds the requests waiting for a slot; beyond it load
+	// is shed with 429 + Retry-After (0 selects 256).
+	QueueDepth int
+	// TenantRate is each tenant's token-bucket refill in requests per
+	// second (0 selects 250; negative disables rate limiting).
+	TenantRate float64
+	// TenantBurst is the bucket depth (0 selects 2x TenantRate).
+	TenantBurst int
+	// TenantQuota bounds the live sessions per tenant; at the quota a
+	// tenant's new session evicts its own oldest idle one (0 selects
+	// 64; negative disables the quota).
+	TenantQuota int
+	// RequestTimeout is the per-request budget, queue wait included; on
+	// expiry the client gets a structured 503 (0 selects 30s).
+	RequestTimeout time.Duration
+	// MaxCampaignScenarios caps the corpus size a campaign upload may
+	// request (0 selects 20000; negative disables the cap).
+	MaxCampaignScenarios int
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.TenantRate == 0 {
+		c.TenantRate = 250
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = int(2 * c.TenantRate)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.TenantQuota == 0 {
+		c.TenantQuota = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxCampaignScenarios == 0 {
+		c.MaxCampaignScenarios = 20000
+	}
 	return c
 }
 
 // Server is the long-running analysis service: it owns the shared
 // what-if store, the session registry and the campaign job table, and
-// serves the /v1 API. Create with New, expose with Handler.
+// serves the /v1 API behind the admission layer. Create with New,
+// expose with Handler.
 type Server struct {
 	cfg     Config
 	store   *whatif.Store
 	reg     *whatif.Registry
 	metrics *metrics
+	adm     *admission
 	mux     *http.ServeMux
 
 	ctx    context.Context // parent of all campaign jobs
@@ -63,21 +115,31 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := whatif.NewRegistry(cfg.SessionTTL)
+	if cfg.TenantQuota > 0 {
+		reg.SetTenantQuota(cfg.TenantQuota)
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   whatif.NewStore(cfg.StoreCapacity),
-		reg:     whatif.NewRegistry(cfg.SessionTTL),
+		reg:     reg,
 		metrics: newMetrics(),
+		adm:     newAdmission(cfg.MaxClients, cfg.QueueDepth, cfg.TenantRate, cfg.TenantBurst),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    map[string]*campaignJob{},
 	}
 	mux := http.NewServeMux()
+	// Application routes pass the admission chain; operational routes
+	// (health, metrics) bypass it so saturation stays observable.
 	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, s.admitted(h)))
+	}
+	ops := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	route("GET /v1/healthz", s.handleHealthz)
-	route("GET /v1/metrics", s.handleMetrics)
+	ops("GET /v1/healthz", s.handleHealthz)
+	ops("GET /v1/metrics", s.handleMetrics)
 	route("POST /v1/analyze", s.handleAnalyze)
 	route("POST /v1/simulate", s.handleSimulate)
 	route("POST /v1/sessions", s.handleSessionCreate)
@@ -95,20 +157,172 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler. Error responses that
+// escape the handlers (the mux's own 404/405) are rewritten into the
+// uniform JSON error body.
+func (s *Server) Handler() http.Handler { return jsonFallback(s.mux) }
 
 // Close cancels every running campaign job. In-flight requests finish
 // normally; the owning http.Server handles connection shutdown.
 func (s *Server) Close() { s.cancel() }
+
+// StartDraining flips the admission gate: every subsequent application
+// request is answered 503/draining while operational routes stay up.
+func (s *Server) StartDraining() { s.adm.draining.Store(true) }
+
+// Draining reports whether the admission gate is closed.
+func (s *Server) Draining() bool { return s.adm.draining.Load() }
+
+// Drain performs the graceful-shutdown protocol: stop admitting, let
+// running campaign jobs finish until ctx expires, then cancel the
+// stragglers at their next scenario boundary and — when dir is
+// non-empty — checkpoint every unfinished job there as <id>.json so a
+// restarted server resumes them bit-identically (RestoreCampaigns).
+// It returns how many jobs were checkpointed.
+func (s *Server) Drain(ctx context.Context, dir string) (checkpointed int, err error) {
+	s.StartDraining()
+
+	running := func() []*campaignJob {
+		s.jobsMu.Lock()
+		defer s.jobsMu.Unlock()
+		var rs []*campaignJob
+		for _, cj := range s.jobs {
+			if cj.stateNow() == "running" {
+				rs = append(rs, cj)
+			}
+		}
+		return rs
+	}
+
+	// Phase 1: wait for jobs to finish on their own within the budget.
+	for len(running()) > 0 {
+		select {
+		case <-ctx.Done():
+			// Phase 2: cancel the stragglers; each stops at its next
+			// scenario boundary with every completed row preserved.
+			for _, cj := range running() {
+				cj.mu.Lock()
+				if cj.cancel != nil {
+					cj.cancel()
+				}
+				cj.mu.Unlock()
+			}
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Phase 3: checkpoint everything that did not finish.
+	if dir != "" {
+		s.jobsMu.Lock()
+		jobs := make([]*campaignJob, 0, len(s.jobs))
+		for _, cj := range s.jobs {
+			jobs = append(jobs, cj)
+		}
+		s.jobsMu.Unlock()
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
+		for _, cj := range jobs {
+			if cj.stateNow() == "done" {
+				continue
+			}
+			if werr := writeCheckpoint(dir, cj); werr != nil && err == nil {
+				err = werr
+			} else if werr == nil {
+				checkpointed++
+			}
+		}
+	}
+	s.cancel()
+	return checkpointed, err
+}
+
+// writeCheckpoint persists one job under dir/<id>.json.
+func writeCheckpoint(dir string, cj *campaignJob) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, cj.id+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cj.job.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// RestoreCampaigns loads every <id>.json checkpoint under dir written
+// by a previous Drain, registers the jobs under fresh ids, starts them
+// over their pending scenarios and removes the consumed files. The
+// eventual reports are bit-identical to uninterrupted runs.
+func (s *Server) RestoreCampaigns(dir string) (restored int, err error) {
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, nil
+		}
+		return 0, rerr
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			if err == nil {
+				err = oerr
+			}
+			continue
+		}
+		job, jerr := campaign.RestoreJob(f)
+		f.Close()
+		if jerr != nil {
+			if err == nil {
+				err = fmt.Errorf("restore %s: %w", name, jerr)
+			}
+			continue
+		}
+		s.registerJob(job)
+		restored++
+		os.Remove(path)
+	}
+	return restored, err
+}
+
+// registerJob assigns the next id, starts the job and publishes it.
+// Start happens before publication, so no observer can see a stateless
+// job (a cancel racing the create would otherwise be silently lost).
+func (s *Server) registerJob(job *campaign.Job) *campaignJob {
+	s.jobsMu.Lock()
+	s.nextJob++
+	cj := &campaignJob{id: fmt.Sprintf("c%d", s.nextJob), job: job}
+	s.jobsMu.Unlock()
+	cj.mu.Lock()
+	cj.start(s.ctx)
+	cj.mu.Unlock()
+	s.jobsMu.Lock()
+	s.jobs[cj.id] = cj
+	s.jobsMu.Unlock()
+	return cj
+}
 
 // writeJSON marshals v with a trailing newline (curl-friendly) and a
 // deterministic byte sequence for a given value.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		// Wire types are marshal-safe by construction; this is a bug.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Wire types are marshal-safe by construction; this is a bug,
+		// but even bugs answer in the uniform JSON shape.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q,\"code\":%q}\n", err.Error(), CodeInternal)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -116,19 +330,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// writeErr emits the uniform JSON error body.
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
-}
-
-// readBody slurps a size-capped request body.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
-		return nil, false
-	}
-	return data, true
+// writeErr emits the uniform JSON error body: a human-readable message
+// plus the machine-readable code.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // queryInt parses an integer query parameter with a default.

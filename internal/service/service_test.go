@@ -445,3 +445,307 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("whatif metrics: %+v", m.WhatIf)
 	}
 }
+
+// getCode decodes the uniform error body.
+func getCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var e errorBody
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body %q: %v", data, err)
+	}
+	if e.Error == "" || e.Code == "" {
+		t.Fatalf("incomplete error body %q", data)
+	}
+	return e.Code
+}
+
+// TestErrorBodiesAreStructured checks that every non-2xx path — the
+// handlers' own errors and the mux's 404/405 — answers with the
+// uniform {"error", "code"} JSON body.
+func TestErrorBodiesAreStructured(t *testing.T) {
+	_, base := newTestServer(t)
+
+	req, err := http.NewRequest("POST", base+"/v1/analyze", strings.NewReader("garbage\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || getCode(t, data) != CodeBadRequest {
+		t.Fatalf("bad spec: %d %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("bad spec content type %q", ct)
+	}
+
+	for name, tc := range map[string]struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		"unknown-session":  {"GET", "/v1/sessions/s999", "", http.StatusNotFound, CodeNotFound},
+		"unknown-campaign": {"GET", "/v1/campaigns/c999", "", http.StatusNotFound, CodeNotFound},
+		"mux-404":          {"GET", "/v1/nothing-here", "", http.StatusNotFound, CodeNotFound},
+		"mux-405":          {"DELETE", "/v1/analyze", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, base+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || getCode(t, data) != tc.code {
+			t.Errorf("%s: %d %s, want %d/%s", name, resp.StatusCode, data, tc.status, tc.code)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q, want application/json", name, ct)
+		}
+		if name == "mux-405" && resp.Header.Get("Allow") == "" {
+			t.Error("mux-405: Allow header lost in the JSON rewrite")
+		}
+	}
+}
+
+// TestPayloadTooLarge uploads past the body cap and expects the
+// structured 413.
+func TestPayloadTooLarge(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxBodyBytes: 64})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	status, data := do(t, "POST", hs.URL+"/v1/analyze", strings.Repeat("x", 1024))
+	if status != http.StatusRequestEntityTooLarge || getCode(t, data) != CodePayloadTooLarge {
+		t.Fatalf("oversized body: %d %s", status, data)
+	}
+}
+
+// TestRateLimitSheds exhausts one tenant's bucket and checks the 429
+// carries Retry-After while another tenant is still served.
+func TestRateLimitSheds(t *testing.T) {
+	srv := New(Config{Workers: 1, TenantRate: 0.5, TenantBurst: 1})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	get := func(tenant string) (*http.Response, []byte) {
+		req, err := http.NewRequest("POST", hs.URL+"/v1/analyze", strings.NewReader(testSpec(t, 5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+	if resp, data := get("a"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d %s", resp.StatusCode, data)
+	}
+	resp, data := get("a")
+	if resp.StatusCode != http.StatusTooManyRequests || getCode(t, data) != CodeRateLimited {
+		t.Fatalf("second request: %d %s, want 429/rate_limited", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if resp, data := get("b"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestQueueWaitTimeout fills the single worker slot so the next
+// request times out queued, yielding the structured 503.
+func TestQueueWaitTimeout(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxClients: 1, RequestTimeout: 30 * time.Millisecond})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	srv.adm.slots <- struct{}{} // occupy the only slot
+	defer func() { <-srv.adm.slots }()
+	status, data := do(t, "POST", hs.URL+"/v1/analyze", testSpec(t, 5))
+	if status != http.StatusServiceUnavailable || getCode(t, data) != CodeTimeout {
+		t.Fatalf("queued past deadline: %d %s, want 503/timeout", status, data)
+	}
+}
+
+// TestQueueFullSheds fills the slot and the queue; the overflow
+// request is shed with 429/queue_full + Retry-After.
+func TestQueueFullSheds(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxClients: 1, QueueDepth: 1, RequestTimeout: time.Second})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	srv.adm.slots <- struct{}{} // occupy the only slot
+	defer func() { <-srv.adm.slots }()
+	queued := make(chan struct{})
+	go func() {
+		defer close(queued)
+		do(t, "POST", hs.URL+"/v1/analyze", testSpec(t, 5)) // fills the queue, times out
+	}()
+	// Wait until the first request occupies the queue.
+	deadline := time.Now().Add(time.Second)
+	for {
+		q, _, _ := srv.adm.snapshot()
+		if q >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never showed up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, err := http.NewRequest("POST", hs.URL+"/v1/analyze", strings.NewReader(testSpec(t, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || getCode(t, data) != CodeQueueFull {
+		t.Fatalf("overflow request: %d %s, want 429/queue_full", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 without Retry-After")
+	}
+	<-queued
+}
+
+// TestSessionQuotaOverHTTP pins a tenant at its quota: an idle session
+// is evicted to make room, but with every session acquired the create
+// is refused with 429/session_quota.
+func TestSessionQuotaOverHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, TenantQuota: 1})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	create := func() (int, []byte) {
+		req, err := http.NewRequest("POST", hs.URL+"/v1/sessions", strings.NewReader(testSpec(t, 5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(TenantHeader, "quota-tenant")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, data
+	}
+	status, body := create()
+	if status != http.StatusCreated {
+		t.Fatalf("first create: %d %s", status, body)
+	}
+	var first SessionCreated
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second create evicts the idle first session.
+	if status, body = create(); status != http.StatusCreated {
+		t.Fatalf("create at quota with idle session: %d %s", status, body)
+	}
+	var second SessionCreated
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := do(t, "GET", hs.URL+"/v1/sessions/"+first.ID, ""); status != http.StatusNotFound {
+		t.Fatalf("evicted session still answers: %d", status)
+	}
+
+	// Acquire the surviving session; now the quota cannot evict.
+	_, release, ok := srv.reg.Acquire(second.ID)
+	if !ok {
+		t.Fatalf("second session %s vanished", second.ID)
+	}
+	defer release()
+	status, data := create()
+	if status != http.StatusTooManyRequests || getCode(t, data) != CodeSessionQuota {
+		t.Fatalf("create with quota busy: %d %s, want 429/session_quota", status, data)
+	}
+}
+
+// TestCorpusCap rejects a campaign whose corpus exceeds the configured
+// scenario cap before any generation work happens.
+func TestCorpusCap(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxCampaignScenarios: 4})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	status, data := do(t, "POST", hs.URL+"/v1/campaigns?seeds=1&duration=50ms", "seed = 3\ncount = 6\n")
+	if status != http.StatusBadRequest || getCode(t, data) != CodeCorpusTooLarge {
+		t.Fatalf("oversized corpus: %d %s, want 400/corpus_too_large", status, data)
+	}
+	// An uploaded spec with no count inherits the generator default of
+	// 500 — the cap must see through that too.
+	status, data = do(t, "POST", hs.URL+"/v1/campaigns?seeds=1&duration=50ms", "seed = 3\n")
+	if status != http.StatusBadRequest || getCode(t, data) != CodeCorpusTooLarge {
+		t.Fatalf("default-count corpus: %d %s, want 400/corpus_too_large", status, data)
+	}
+}
+
+// TestDrainingGate flips the drain gate: application routes answer the
+// structured 503 while operational routes stay up.
+func TestDrainingGate(t *testing.T) {
+	srv, base := newTestServer(t)
+	srv.StartDraining()
+	status, data := do(t, "POST", base+"/v1/analyze", testSpec(t, 5))
+	if status != http.StatusServiceUnavailable || getCode(t, data) != CodeDraining {
+		t.Fatalf("drained app route: %d %s, want 503/draining", status, data)
+	}
+	if status, _ := do(t, "GET", base+"/v1/healthz", ""); status != http.StatusOK {
+		t.Fatalf("drained healthz: %d, want 200", status)
+	}
+	status, body := do(t, "GET", base+"/v1/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("drained metrics: %d", status)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Admission.Draining {
+		t.Fatal("metrics do not report draining")
+	}
+}
+
+// TestMetricsAdmissionCounters checks shed attempts surface in the
+// per-route counters.
+func TestMetricsAdmissionCounters(t *testing.T) {
+	srv := New(Config{Workers: 1, TenantRate: 0.5, TenantBurst: 1})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	do(t, "POST", hs.URL+"/v1/analyze", testSpec(t, 5))
+	do(t, "POST", hs.URL+"/v1/analyze", testSpec(t, 5)) // shed: bucket empty
+	status, body := do(t, "GET", hs.URL+"/v1/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	var analyze *RouteMetrics
+	for i := range m.Requests {
+		if m.Requests[i].Route == "POST /v1/analyze" {
+			analyze = &m.Requests[i]
+		}
+	}
+	if analyze == nil || analyze.Shed != 1 {
+		t.Fatalf("analyze shed counter: %+v", m.Requests)
+	}
+	if m.Admission.MaxClients == 0 || m.Admission.QueueDepth == 0 {
+		t.Fatalf("admission config missing from metrics: %+v", m.Admission)
+	}
+}

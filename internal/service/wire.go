@@ -249,9 +249,11 @@ type CampaignSummary struct {
 	FlippedSchedulable   int     `json:"flipped_schedulable"`
 }
 
-// errorBody is the uniform error response.
+// errorBody is the uniform error response: a human-readable message
+// plus a machine-readable code (see the Code* constants).
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 // marginString renders a margin percentage, empty when NaN.

@@ -1,6 +1,7 @@
 package whatif
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,11 @@ import (
 // the registry is constructed without an explicit TTL.
 const DefaultSessionTTL = 15 * time.Minute
 
+// ErrSessionQuota is returned by Add when the owner is at its session
+// quota and every one of its sessions is currently acquired, so none
+// can be evicted to make room.
+var ErrSessionQuota = errors.New("whatif: tenant session quota exhausted")
+
 // Registry hands out persistent SystemSessions to a long-running
 // service: sessions are registered under dense ids ("s1", "s2", ...),
 // serialised by a per-session lock so concurrent requests against one
@@ -18,23 +24,31 @@ const DefaultSessionTTL = 15 * time.Minute
 // forever. A session that is currently acquired is never evicted —
 // the sweep only collects idle entries.
 //
+// Sessions are tagged with an owner (the tenant that created them).
+// With a per-tenant quota set, an owner at its quota evicts its own
+// oldest idle session on Add — a revision storm from one supplier can
+// never push another supplier's hot sessions out of the registry.
+//
 // The registry itself is safe for concurrent use; the sessions it
 // hands out are not, which is exactly why Acquire returns the
 // per-session lock already held.
 type Registry struct {
-	mu      sync.Mutex
-	ttl     time.Duration
-	now     func() time.Time // injectable for eviction tests
-	next    int64
-	items   map[string]*registered
-	created uint64
-	evicted uint64
+	mu           sync.Mutex
+	ttl          time.Duration
+	quota        int              // max live sessions per owner; <= 0 unlimited
+	now          func() time.Time // injectable for eviction tests
+	next         int64
+	items        map[string]*registered
+	created      uint64
+	evicted      uint64
+	quotaEvicted uint64
 }
 
 // registered pairs a session with its lock and idle clock.
 type registered struct {
 	sess     *SystemSession
 	mu       sync.Mutex
+	owner    string
 	lastUsed time.Time
 	inUse    int
 }
@@ -42,11 +56,14 @@ type registered struct {
 // RegistryStats snapshots the registry counters plus the aggregate
 // cache behaviour of the live sessions.
 type RegistryStats struct {
-	// Active counts currently registered sessions.
-	Active int
+	// Active counts currently registered sessions; Tenants the distinct
+	// owners among them.
+	Active  int
+	Tenants int
 	// Created and Evicted count registrations and TTL evictions over
-	// the registry's lifetime.
-	Created, Evicted uint64
+	// the registry's lifetime; QuotaEvicted counts same-tenant
+	// evictions forced by the session quota.
+	Created, Evicted, QuotaEvicted uint64
 	// Sessions folds the Stats of every live session (report hits,
 	// per-message hits, misses).
 	Sessions Stats
@@ -68,15 +85,50 @@ func NewRegistry(ttl time.Duration) *Registry {
 // TTL returns the configured idle lifetime.
 func (r *Registry) TTL() time.Duration { return r.ttl }
 
-// Add registers sess and returns its id.
-func (r *Registry) Add(sess *SystemSession) string {
+// SetTenantQuota bounds the live sessions per owner (<= 0 for
+// unlimited). Existing over-quota populations are reduced lazily, one
+// eviction per subsequent Add by the same owner.
+func (r *Registry) SetTenantQuota(quota int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.quota = quota
+}
+
+// Add registers sess under its owner and returns its id. When the
+// owner is at its quota, the owner's oldest idle session is evicted to
+// make room; if every session of the owner is currently acquired, Add
+// fails with ErrSessionQuota — other tenants' sessions are never
+// touched.
+func (r *Registry) Add(sess *SystemSession, owner string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.quota > 0 {
+		live := 0
+		var oldestID string
+		var oldest *registered
+		for id, it := range r.items {
+			if it.owner != owner {
+				continue
+			}
+			live++
+			if it.inUse == 0 && (oldest == nil || it.lastUsed.Before(oldest.lastUsed)) {
+				oldestID, oldest = id, it
+			}
+		}
+		if live >= r.quota {
+			if oldest == nil {
+				return "", fmt.Errorf("owner %q at quota %d with no idle session: %w",
+					owner, r.quota, ErrSessionQuota)
+			}
+			delete(r.items, oldestID)
+			r.quotaEvicted++
+		}
+	}
 	r.next++
 	r.created++
 	id := fmt.Sprintf("s%d", r.next)
-	r.items[id] = &registered{sess: sess, lastUsed: r.now()}
-	return id
+	r.items[id] = &registered{sess: sess, owner: owner, lastUsed: r.now()}
+	return id, nil
 }
 
 // Acquire locks the named session for exclusive use and returns it
@@ -150,10 +202,15 @@ func (r *Registry) Sweep() int {
 func (r *Registry) Stats() RegistryStats {
 	r.mu.Lock()
 	items := make([]*registered, 0, len(r.items))
+	owners := make(map[string]bool, len(r.items))
 	for _, it := range r.items {
 		items = append(items, it)
+		owners[it.owner] = true
 	}
-	st := RegistryStats{Active: len(r.items), Created: r.created, Evicted: r.evicted}
+	st := RegistryStats{
+		Active: len(r.items), Tenants: len(owners),
+		Created: r.created, Evicted: r.evicted, QuotaEvicted: r.quotaEvicted,
+	}
 	r.mu.Unlock()
 
 	for _, it := range items {
