@@ -1,11 +1,15 @@
 package repro_test
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/can"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/errormodel"
 	"repro/internal/eventmodel"
 	"repro/internal/experiments"
@@ -15,6 +19,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/osek"
 	"repro/internal/rta"
+	"repro/internal/scenario"
 	"repro/internal/sensitivity"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -888,6 +893,47 @@ func BenchmarkCampaign(b *testing.B) {
 	b.ReportMetric(float64(violations), "violations")
 	// scenarios/s (wall throughput) feeds the CI bench gate alongside
 	// ns/op; no log scraping — benchparse reads the metric directly.
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
+	}
+}
+
+// ---------------------------------------------------------------------
+// BenchmarkDistribCampaign measures the distributed fan-out path: the
+// same 64-scenario corpus as BenchmarkCampaign, but coordinated over
+// two in-process shard workers on the HTTP/JSON wire (corpus shipped
+// as spec+fingerprint, rows folded back by index). The byte-identity
+// of the folded report against the serial run is pinned by the
+// internal/distrib tests; this benchmark tracks the wire + coordination
+// overhead so the gap to BenchmarkCampaign stays visible in CI.
+// ---------------------------------------------------------------------
+
+func BenchmarkDistribCampaign(b *testing.B) {
+	w1 := httptest.NewServer(distrib.NewWorker(distrib.WorkerConfig{}).Handler())
+	defer w1.Close()
+	w2 := httptest.NewServer(distrib.NewWorker(distrib.WorkerConfig{}).Handler())
+	defer w2.Close()
+	corpus, err := scenario.Generate(scenario.Spec{Seed: 1, Count: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := campaign.Config{Duration: 100 * time.Millisecond}
+	var scenarios int
+	for i := 0; i < b.N; i++ {
+		job, err := campaign.NewJob(corpus, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := distrib.Run(context.Background(), job, distrib.Options{
+			Workers:   []string{w1.URL, w2.URL},
+			ShardSize: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = rep.Scenarios
+	}
+	b.ReportMetric(float64(scenarios), "scenarios")
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
 	}

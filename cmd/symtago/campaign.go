@@ -1,20 +1,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/campaign"
+	"repro/internal/distrib"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
 
 // cmdCampaign runs a population-scale study: generate a scenario
-// corpus, fan it across the worker pool, and report aggregate
+// corpus, fan it across the worker pool — or, with -workers-addr,
+// across remote `symtago worker` processes — and report aggregate
 // statistics (plus optional per-scenario CSV and corpus listing).
+// The report is byte-identical for any worker count, shard size or
+// mid-campaign worker failure.
 func cmdCampaign(args []string) error {
 	fs := newFlagSet("campaign")
 	n := fs.Int("n", 0, "corpus size (0 = spec default, 500)")
@@ -26,6 +34,11 @@ func cmdCampaign(args []string) error {
 	csvPath := fs.String("csv", "", "write per-scenario results as CSV here")
 	corpusPath := fs.String("corpus", "", "write the canonical corpus listing here")
 	quick := fs.Bool("quick", false, "64-scenario corpus with a 100ms simulation span")
+	workersAddr := fs.String("workers-addr", "", "comma-separated worker base URLs; run the campaign distributed")
+	shard := fs.Int("shard", 0, "scenarios per distributed shard (0 = 256)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
+	cacheDir := fs.String("cache-dir", "", "local runs: on-disk second-level result cache (empty = memory only)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "disk cache budget in bytes (0 = 256 MiB)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -61,18 +74,41 @@ func cmdCampaign(args []string) error {
 		spec.Seed = *seed
 	}
 
+	cfg := campaign.Config{
+		Workers:  *workers,
+		Seeds:    *seeds,
+		Duration: *duration,
+	}
+	var disk *cache.Disk
+	if *cacheDir != "" {
+		d, err := cache.NewDisk(*cacheDir, *cacheBytes)
+		if err != nil {
+			return fmt.Errorf("campaign: cache dir: %w", err)
+		}
+		disk = d
+		cfg.Cache = d
+	}
+
 	start := time.Now()
-	rep, corpus, err := experiments.RunCampaign(experiments.CampaignParams{
-		Spec: spec,
-		Config: campaign.Config{
-			Workers:  *workers,
-			Seeds:    *seeds,
-			Duration: *duration,
-		},
-		Quick: *quick,
-	})
+	var rep *campaign.Report
+	var corpus *scenario.Corpus
+	var err error
+	if addrs := splitAddrs(*workersAddr); len(addrs) > 0 {
+		rep, corpus, err = runDistributed(spec, cfg, distrib.Options{
+			Workers: addrs, ShardSize: *shard, ShardTimeout: *shardTimeout,
+		}, *quick)
+	} else {
+		rep, corpus, err = experiments.RunCampaign(experiments.CampaignParams{
+			Spec: spec, Config: cfg, Quick: *quick,
+		})
+	}
 	if err != nil {
 		return err
+	}
+	if disk != nil {
+		st := disk.Stats()
+		fmt.Printf("disk cache: %d entries, %d B, %d hits / %d misses\n",
+			st.Entries, st.Bytes, st.Hits, st.Misses)
 	}
 	fmt.Println(rep.Render())
 	fmt.Printf("wall time %v\n", time.Since(start).Round(time.Millisecond))
@@ -93,6 +129,50 @@ func cmdCampaign(args []string) error {
 		return fmt.Errorf("%d observations exceeded compositional bounds", rep.Violations)
 	}
 	return nil
+}
+
+// runDistributed fans the campaign out over remote workers: the corpus
+// travels as spec+fingerprint (workers regenerate and verify), rows
+// fold back by index, and the report matches a local run byte for
+// byte. SIGINT/SIGTERM cancels the coordinator; workers abandon the
+// cancelled shards at their next scenario boundary.
+func runDistributed(spec scenario.Spec, cfg campaign.Config, opts distrib.Options, quick bool) (*campaign.Report, *scenario.Corpus, error) {
+	if quick {
+		if spec.Count == 0 {
+			spec.Count = 64
+		}
+		if cfg.Duration == 0 {
+			cfg.Duration = 100 * time.Millisecond
+		}
+	}
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: %w", err)
+	}
+	job, err := campaign.NewJob(corpus, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	opts.OnEvent = func(e distrib.Event) {
+		switch e.Type {
+		case distrib.EventShardDone:
+			fmt.Fprintf(os.Stderr, "campaign: shard [%d,%d) done on %s (%d/%d scenarios)\n",
+				e.Shard.Start, e.Shard.End(), e.Worker, e.Done, e.Total)
+		case distrib.EventShardFailed:
+			fmt.Fprintf(os.Stderr, "campaign: shard [%d,%d) attempt %d failed on %s: %s\n",
+				e.Shard.Start, e.Shard.End(), e.Attempt, e.Worker, e.Err)
+		case distrib.EventWorkerDropped:
+			fmt.Fprintf(os.Stderr, "campaign: worker %s dropped after repeated failures\n", e.Worker)
+		}
+	}
+	rep, err := distrib.Run(ctx, job, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, corpus, nil
 }
 
 // writeFile creates path and streams write into it.

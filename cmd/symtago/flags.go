@@ -1,6 +1,9 @@
 package main
 
-import "flag"
+import (
+	"flag"
+	"strings"
+)
 
 // The flag helpers below register the flags shared by many
 // subcommands, so name, default and help text stay uniform across the
@@ -21,4 +24,16 @@ func scenarioFlag(fs *flag.FlagSet) *string {
 // drivers.
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+}
+
+// splitAddrs parses a comma-separated -workers-addr value into the
+// list of worker base URLs, dropping empty segments.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

@@ -19,11 +19,17 @@
 //	symtago extend   [-kmatrix file] [-period d] [-dlc n] [-operating s]
 //	symtago campaign [-n count] [-seed n] [-spec file] [-workers n] [-seeds n]
 //	                 [-duration d] [-csv file] [-corpus file] [-quick]
+//	                 [-workers-addr urls] [-shard n] [-shard-timeout d]
+//	                 [-cache-dir dir] [-cache-bytes n]
 //	symtago serve    [-addr host:port] [-workers n] [-cache n] [-ttl d]
 //	                 [-max-clients n] [-queue-depth n] [-tenant-rate r]
 //	                 [-tenant-quota n] [-request-timeout d] [-drain-timeout d]
-//	                 [-checkpoint-dir dir]
+//	                 [-checkpoint-dir dir] [-cache-dir dir] [-cache-bytes n]
+//	                 [-workers-addr urls] [-shard n] [-shard-timeout d]
+//	                 [-metrics-window d]
 //	                 [-selftest [-clients n] [-revisions n] [-seed n] [-tenants n]]
+//	symtago worker   [-addr host:port] [-workers n] [-cache-dir dir]
+//	                 [-cache-bytes n] [-corpus-cache n]
 //
 // A missing -kmatrix selects the built-in synthetic power-train matrix
 // (the case-study substitute documented in DESIGN.md).
@@ -79,6 +85,8 @@ func main() {
 		err = cmdCampaign(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -159,6 +167,7 @@ commands:
   extend       how many more messages fit (Section 2's extensibility)
   campaign     population-scale scenario corpus study (analysis + netsim + what-if)
   serve        long-running HTTP/JSON analysis service with persistent sessions
+  worker       shard worker executing campaign ranges for a remote coordinator
 
 exit codes: 0 success, 1 runtime failure, 2 usage error`)
 }

@@ -31,6 +31,12 @@ func cmdServe(args []string) error {
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant request rate per second (0 = 250, negative = unlimited)")
 	tenantQuota := fs.Int("tenant-quota", 0, "live sessions per tenant (0 = 64, negative = unlimited)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request budget incl. queueing (0 = 30s)")
+	cacheDir := fs.String("cache-dir", "", "on-disk second-level result cache (empty = memory only)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "disk cache budget in bytes (0 = 256 MiB)")
+	workersAddr := fs.String("workers-addr", "", "comma-separated worker base URLs; campaigns fan out over them")
+	shardSize := fs.Int("shard", 0, "scenarios per distributed shard (0 = 256)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
+	metricsWindow := fs.Duration("metrics-window", 0, "/v1/metrics history capture period (0 = 1m, negative = off)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM: budget for in-flight campaigns before checkpointing")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for drain checkpoints; restored on startup (empty = discard)")
 	selftest := fs.Bool("selftest", false, "run the concurrent robustness selftest and exit")
@@ -51,6 +57,12 @@ func cmdServe(args []string) error {
 		TenantRate:     *tenantRate,
 		TenantQuota:    *tenantQuota,
 		RequestTimeout: *reqTimeout,
+		CacheDir:       *cacheDir,
+		CacheMaxBytes:  *cacheBytes,
+		WorkerAddrs:    splitAddrs(*workersAddr),
+		ShardSize:      *shardSize,
+		ShardTimeout:   *shardTimeout,
+		MetricsWindow:  *metricsWindow,
 	}
 
 	if *selftest {
@@ -71,7 +83,10 @@ func cmdServe(args []string) error {
 		return nil
 	}
 
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 	defer srv.Close()
 	if *checkpointDir != "" {
 		restored, err := srv.RestoreCampaigns(*checkpointDir)

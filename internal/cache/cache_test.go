@@ -1,0 +1,373 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/contenthash"
+	"repro/internal/errormodel"
+	"repro/internal/eventmodel"
+	"repro/internal/gateway"
+	"repro/internal/osek"
+	"repro/internal/rta"
+	"repro/internal/tdma"
+)
+
+func digestOf(x uint64) contenthash.Digest {
+	h := contenthash.New(77)
+	h.Word(x)
+	return h.Sum()
+}
+
+func sampleRTAResult() *rta.Result {
+	return &rta.Result{
+		Message: rta.Message{
+			Name:     "engine_speed",
+			Frame:    can.Frame{ID: 0x100, Format: can.Extended29Bit, DLC: 8},
+			Event:    eventmodel.Model{Period: 10 * time.Millisecond, Jitter: 2 * time.Millisecond, DMin: 100 * time.Microsecond, Sporadic: true},
+			Deadline: 9 * time.Millisecond,
+		},
+		Priority: 3, C: 222 * time.Microsecond, BCRT: 111 * time.Microsecond,
+		Blocking: 130 * time.Microsecond, BusyPeriod: 4 * time.Millisecond,
+		Instances: 2, WCRT: rta.Unschedulable, Deadline: 9 * time.Millisecond,
+		Schedulable: false,
+	}
+}
+
+func sampleRTAReport(errors errormodel.Model) *rta.Report {
+	return &rta.Report{
+		Results:     []rta.Result{*sampleRTAResult(), *sampleRTAResult()},
+		Utilization: 0.731234567890123,
+		Config: rta.Config{
+			Bus:           can.Bus{Name: "powertrain", BitRate: 500000},
+			Stuffing:      can.StuffingWorstCase,
+			Errors:        errors,
+			DeadlineModel: rta.DeadlineMinReArrival,
+			Horizon:       2 * time.Second,
+		},
+	}
+}
+
+func sampleValues() []any {
+	return []any{
+		sampleRTAResult(),
+		sampleRTAReport(nil),
+		sampleRTAReport(errormodel.None{}),
+		sampleRTAReport(errormodel.Sporadic{Interval: 5 * time.Millisecond}),
+		sampleRTAReport(errormodel.Burst{Interval: 50 * time.Millisecond, Length: 3, Gap: time.Millisecond}),
+		&osek.Report{
+			Results: []osek.Result{{
+				Task: osek.Task{Name: "ctl", Priority: 7, WCET: time.Millisecond,
+					BCET: 300 * time.Microsecond, Event: eventmodel.Periodic(5 * time.Millisecond),
+					Kind: 1, ISR: true, Deadline: 4 * time.Millisecond},
+				C: 1100 * time.Microsecond, Blocking: 90 * time.Microsecond, Instances: 1,
+				WCRT: 2 * time.Millisecond, BCRT: 400 * time.Microsecond,
+				Deadline: 4 * time.Millisecond, Schedulable: true,
+			}},
+			Utilization: 0.42,
+		},
+		&tdma.Report{
+			Results: []tdma.Result{{
+				Message: tdma.Message{Name: "lin1", Frame: can.Frame{ID: 9, DLC: 4},
+					Event: eventmodel.PeriodicJitter(20*time.Millisecond, time.Millisecond)},
+				C: 600 * time.Microsecond, WCRT: 21 * time.Millisecond,
+				BacklogInstances: 2, Deadline: 20 * time.Millisecond, Schedulable: false,
+			}},
+			Cycle: 10 * time.Millisecond, Utilization: 0.66,
+		},
+		&gateway.Report{
+			Backlog: 4, RequiredDepth: 4, Overflow: true, Delay: 3 * time.Millisecond,
+			Flows: []gateway.FlowResult{{
+				Flow:  gateway.Flow{Name: "f1", Arrival: eventmodel.Periodic(time.Millisecond)},
+				Delay: 2 * time.Millisecond, OverwriteLoss: true,
+			}},
+			Config: gateway.Config{Name: "gw0", Service: eventmodel.Periodic(500 * time.Microsecond),
+				Batch: 2, Policy: 1, QueueDepth: 8},
+		},
+	}
+}
+
+// TestCodecRoundTrip pins the wire format: every cacheable type decodes
+// to a deep-equal copy, including the error-model interface variants.
+func TestCodecRoundTrip(t *testing.T) {
+	for i, v := range sampleValues() {
+		payload, ok := Encode(v)
+		if !ok {
+			t.Fatalf("value %d: Encode refused", i)
+		}
+		got, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("value %d: Decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("value %d: round trip mismatch:\n got %#v\nwant %#v", i, got, v)
+		}
+	}
+}
+
+type weirdErrors struct{ errormodel.None }
+
+func (weirdErrors) Name() string { return "weird" }
+
+// TestCodecRefusals: unknown value types and unknown error models are
+// not encodable — the caller keeps them in-process instead of
+// persisting something it could not faithfully restore.
+func TestCodecRefusals(t *testing.T) {
+	if _, ok := Encode(42); ok {
+		t.Fatal("Encode accepted an int")
+	}
+	if _, ok := Encode(sampleRTAReport(weirdErrors{})); ok {
+		t.Fatal("Encode accepted an unknown error model")
+	}
+	// Truncations of a valid payload must all fail, never panic.
+	payload, _ := Encode(sampleRTAReport(nil))
+	for n := 0; n < len(payload); n++ {
+		if _, err := Decode(payload[:n]); err == nil {
+			t.Fatalf("Decode accepted a %d/%d-byte truncation", n, len(payload))
+		}
+	}
+}
+
+func newTestDisk(t *testing.T, maxBytes int64) *Disk {
+	t.Helper()
+	d, err := NewDisk(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := newTestDisk(t, 0)
+	for i, v := range sampleValues() {
+		key := digestOf(uint64(i))
+		d.Put(key, v)
+		got, ok := d.Get(key)
+		if !ok {
+			t.Fatalf("value %d: disk miss after Put", i)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("value %d: disk round trip mismatch", i)
+		}
+	}
+	// A second store over the same directory sees the records.
+	d2, err := NewDisk(d.Dir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d2.Stats()
+	if st.Entries != len(sampleValues()) || st.Bytes == 0 {
+		t.Fatalf("reopened store stats = %+v", st)
+	}
+	if _, ok := d2.Get(digestOf(0)); !ok {
+		t.Fatal("reopened store missed a persisted record")
+	}
+}
+
+// recordPath returns the single record file under the store for key.
+func recordPath(t *testing.T, d *Disk, key contenthash.Digest) string {
+	t.Helper()
+	path := filepath.Join(d.Dir(), key.String()[:2], key.String()+recordSuffix)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("record not on disk: %v", err)
+	}
+	return path
+}
+
+// TestDiskCorruptionPaths: truncated records, flipped payload bytes and
+// version skew each degrade to a counted miss and the bad record is
+// dropped — never a wrong hit, never a crash.
+func TestDiskCorruptionPaths(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad-crc", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}},
+		{"version-skew", func(b []byte) []byte {
+			b[4], b[5] = 0xEE, 0xEE
+			return b
+		}},
+		{"bad-magic", func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return b
+		}},
+		{"bad-type-tag", func(b []byte) []byte {
+			// Flip the payload type byte and refresh nothing else: the
+			// crc now mismatches, which is exactly the point — payload
+			// edits cannot slip through.
+			b[diskHeaderLen] = 0x7F
+			return b
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newTestDisk(t, 0)
+			key := digestOf(1)
+			d.Put(key, sampleRTAResult())
+			path := recordPath(t, d, key)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := d.Get(key); ok {
+				t.Fatalf("corrupt record returned a hit: %#v", v)
+			}
+			st := d.Stats()
+			if st.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt record not dropped")
+			}
+			// The slot is reusable: a fresh Put serves hits again.
+			d.Put(key, sampleRTAResult())
+			if _, ok := d.Get(key); !ok {
+				t.Fatal("re-Put after corruption drop did not serve")
+			}
+		})
+	}
+}
+
+// TestDiskGC: exceeding the byte budget deletes oldest records first
+// and the store keeps serving the survivors.
+func TestDiskGC(t *testing.T) {
+	rep := sampleRTAReport(nil)
+	payload, _ := Encode(rep)
+	recLen := int64(len(encodeRecord(payload)))
+	// Budget for ~8 records; write 32 with strictly increasing mtimes.
+	d := newTestDisk(t, 8*recLen)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 32; i++ {
+		key := digestOf(uint64(i))
+		d.Put(key, rep)
+		mt := base.Add(time.Duration(i) * time.Second)
+		os.Chtimes(recordPath(t, d, key), mt, mt)
+	}
+	st := d.Stats()
+	if st.Evictions == 0 || st.Bytes > st.MaxBytes {
+		t.Fatalf("GC did not bound the store: %+v", st)
+	}
+	if _, ok := d.Get(digestOf(31)); !ok {
+		t.Fatal("newest record evicted before older ones")
+	}
+	if _, ok := d.Get(digestOf(0)); ok {
+		t.Fatal("oldest record survived a full-budget GC")
+	}
+}
+
+// TestDiskGCvsGet hammers Get on keys that a concurrent GC is
+// deleting: every outcome must be a correct value or a miss.
+func TestDiskGCvsGet(t *testing.T) {
+	rep := sampleRTAReport(nil)
+	payload, _ := Encode(rep)
+	recLen := int64(len(encodeRecord(payload)))
+	d := newTestDisk(t, 4*recLen)
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		d.Put(digestOf(uint64(i)), rep)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 8; round++ {
+			for i := 0; i < keys; i++ {
+				d.Put(digestOf(uint64(i)), rep)
+			}
+			d.gc()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		for i := 0; i < keys; i++ {
+			if v, ok := d.Get(digestOf(uint64(i))); ok {
+				if !reflect.DeepEqual(v, rep) {
+					t.Fatal("Get under concurrent GC returned a wrong value")
+				}
+			}
+		}
+	}
+}
+
+// TestTiered pins the promotion protocol: L1 hit, L2 hit + promotion,
+// miss, write-through Put and primary-only Put.
+func TestTiered(t *testing.T) {
+	l1 := NewLRU(0)
+	l2 := newTestDisk(t, 0)
+	tc := NewTiered(l1, l2)
+
+	key := digestOf(1)
+	v := sampleRTAResult()
+	tc.Put(key, v)
+	if _, ok := l2.Get(key); !ok {
+		t.Fatal("Put did not write through to L2")
+	}
+	if got, primary, ok := tc.GetLeveled(key); !ok || !primary || !reflect.DeepEqual(got, v) {
+		t.Fatalf("L1 hit: got %v primary=%v ok=%v", got, primary, ok)
+	}
+
+	// Cold L1: the L2 record is promoted.
+	cold := NewTiered(NewLRU(0), l2)
+	got, primary, ok := cold.GetLeveled(key)
+	if !ok || primary {
+		t.Fatalf("L2 hit: primary=%v ok=%v", primary, ok)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatal("L2 hit decoded a different value")
+	}
+	if _, ok := cold.GetPrimary(key); !ok {
+		t.Fatal("L2 hit was not promoted into L1")
+	}
+	st := cold.Stats()
+	// GetPrimary is the pinned probe: it moves only the L1's own
+	// counters, not the tiered ones.
+	if st.L2Hits != 1 || st.Promotions != 1 || st.L1Hits != 0 || st.L1.Hits != 1 {
+		t.Fatalf("tiered stats = %+v", st)
+	}
+
+	// Primary-only Put stays out of L2.
+	pkey := digestOf(2)
+	tc.PutPrimary(pkey, v)
+	if _, ok := l2.Get(pkey); ok {
+		t.Fatal("PutPrimary leaked into L2")
+	}
+	if _, _, ok := tc.GetLeveled(pkey); !ok {
+		t.Fatal("PutPrimary value not in L1")
+	}
+
+	// A miss misses both levels.
+	if _, _, ok := tc.GetLeveled(digestOf(3)); ok {
+		t.Fatal("hit on a never-put key")
+	}
+	if s := tc.Stats(); s.Misses == 0 || s.L1 == nil || s.L2 == nil {
+		t.Fatalf("combined stats incomplete: %+v", s)
+	}
+}
+
+// TestLeveledHelpers: a flat store is its own primary level.
+func TestLeveledHelpers(t *testing.T) {
+	l := NewLRU(0)
+	key := digestOf(9)
+	PutPrimary(l, key, 42)
+	if v, primary, ok := GetLeveled(l, key); !ok || !primary || v != 42 {
+		t.Fatalf("GetLeveled on LRU = %v %v %v", v, primary, ok)
+	}
+	if v, ok := GetPrimary(l, key); !ok || v != 42 {
+		t.Fatalf("GetPrimary on LRU = %v %v", v, ok)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/parallel"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
 )
@@ -28,6 +31,14 @@ type Config struct {
 	// MaxIterations bounds the compositional fixpoint (default
 	// core.DefaultMaxIterations).
 	MaxIterations int
+	// Cache is an optional shared second-level store (typically a
+	// cache.Disk). When set, each scenario's private LRU is stacked on
+	// top of it as a cache.Tiered, so converged results survive across
+	// scenarios, campaign reruns, and worker processes. The shared level
+	// is a pure accelerator: rows — including their cache counters — are
+	// bit-identical with or without it (see the whatif pinned-stats
+	// contract). Cache is process-local and never travels over a wire.
+	Cache cache.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -120,7 +131,10 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 		row.Messages += len(d.Messages)
 	}
 
-	store := whatif.NewStore(cfg.StoreCapacity)
+	var store cache.Store = whatif.NewStore(cfg.StoreCapacity)
+	if cfg.Cache != nil {
+		store = cache.NewTiered(store, cfg.Cache)
+	}
 	sess := whatif.NewSystemSession(sys, whatif.Options{Store: store, Workers: 1})
 	base, err := sess.Analyze(cfg.MaxIterations)
 	if err != nil {
@@ -187,4 +201,41 @@ func Run(corpus *scenario.Corpus, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	return j.Run(context.Background())
+}
+
+// RunShard executes scenarios [start, start+count) of the corpus and
+// returns their rows in index order. It is the worker-side unit of
+// distributed execution: a shard computed here is byte-identical to
+// the same indices computed by a local Run, because every scenario is
+// independent (private session store, deterministic pipeline). On
+// context cancellation the partial shard is discarded and the context
+// error returned — shards are retried whole.
+func RunShard(ctx context.Context, corpus *scenario.Corpus, cfg Config, start, count int) ([]ScenarioResult, error) {
+	if start < 0 || count <= 0 || start+count > len(corpus.Scenarios) {
+		return nil, fmt.Errorf("campaign: shard [%d,%d) outside corpus of %d",
+			start, start+count, len(corpus.Scenarios))
+	}
+	cfg = cfg.withDefaults()
+	rows := make([]ScenarioResult, count)
+	errs := make([]error, count)
+	var interrupted atomic.Bool
+	parallel.For(count, cfg.Workers, func(_, k int) {
+		if ctx.Err() != nil {
+			interrupted.Store(true)
+			return
+		}
+		row, err := runOne(&corpus.Scenarios[start+k], cfg)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		rows[k] = row
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if interrupted.Load() || ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return rows, nil
 }

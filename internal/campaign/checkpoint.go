@@ -1,34 +1,29 @@
 package campaign
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
-	"strconv"
-	"strings"
 	"time"
-
-	"repro/internal/scenario"
 )
 
 // checkpointVersion guards the checkpoint wire format: a restore of a
-// different version fails loudly instead of resuming garbage.
-const checkpointVersion = 1
+// different version fails loudly instead of resuming garbage. Version
+// 2 moved the corpus reference into the shared CorpusRef shape used by
+// the distributed shard protocol.
+const checkpointVersion = 2
 
 // checkpointFile is the serialised form of an interrupted Job: the
-// corpus spec (regenerated on restore and verified by fingerprint),
-// the effective run configuration, and every completed row. Floats are
-// encoded as full-precision strings ('g', -1) so a restored row is
+// corpus reference (regenerated on restore and verified by
+// fingerprint), the effective run configuration, and every completed
+// row. Rows use the lossless WireRow encoding so a restored row is
 // bit-identical to the one that was checkpointed — the resumed report
 // must not differ from an uninterrupted run in a single byte.
 type checkpointFile struct {
-	Version     int             `json:"version"`
-	Fingerprint string          `json:"fingerprint"`
-	Spec        string          `json:"spec"`
-	Config      checkpointCfg   `json:"config"`
-	Rows        []checkpointRow `json:"rows"`
+	Version int           `json:"version"`
+	Corpus  CorpusRef     `json:"corpus"`
+	Config  checkpointCfg `json:"config"`
+	Rows    []WireRow     `json:"rows"`
 }
 
 type checkpointCfg struct {
@@ -39,97 +34,6 @@ type checkpointCfg struct {
 	MaxIterations int   `json:"max_iterations"`
 }
 
-// checkpointRow mirrors ScenarioResult with lossless float encoding
-// (JSON cannot represent the NaN margin of a scenario that traced no
-// bounded path).
-type checkpointRow struct {
-	Index                int    `json:"index"`
-	Seed                 int64  `json:"seed"`
-	Buses                int    `json:"buses"`
-	Messages             int    `json:"messages"`
-	Gateways             int    `json:"gateways"`
-	TDMA                 bool   `json:"tdma"`
-	WorstStuffing        bool   `json:"worst_stuffing"`
-	BurstErrors          bool   `json:"burst_errors"`
-	Converged            bool   `json:"converged"`
-	Iterations           int    `json:"iterations"`
-	Schedulable          bool   `json:"schedulable"`
-	MissCount            int    `json:"miss_count"`
-	MaxUtilization       string `json:"max_utilization"`
-	Paths                int    `json:"paths"`
-	BoundedPaths         int    `json:"bounded_paths"`
-	SimRuns              int    `json:"sim_runs"`
-	Frames               int    `json:"frames"`
-	Violations           int    `json:"violations"`
-	Losses               int    `json:"losses"`
-	LossPredicted        bool   `json:"loss_predicted"`
-	MinMarginPct         string `json:"min_margin_pct"`
-	Changes              int    `json:"changes"`
-	PerturbedConverged   bool   `json:"perturbed_converged"`
-	PerturbedSchedulable bool   `json:"perturbed_schedulable"`
-	Flipped              bool   `json:"flipped"`
-	CacheHits            uint64 `json:"cache_hits"`
-	CacheMisses          uint64 `json:"cache_misses"`
-	HitRate              string `json:"hit_rate"`
-}
-
-// ffloat encodes a float with full round-trip precision.
-func ffloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-// pfloat decodes an ffloat encoding (NaN included).
-func pfloat(s string) (float64, error) {
-	if s == "NaN" {
-		return math.NaN(), nil
-	}
-	return strconv.ParseFloat(s, 64)
-}
-
-func encodeRow(r *ScenarioResult) checkpointRow {
-	return checkpointRow{
-		Index: r.Index, Seed: r.Seed,
-		Buses: r.Buses, Messages: r.Messages, Gateways: r.Gateways, TDMA: r.TDMA,
-		WorstStuffing: r.WorstStuffing, BurstErrors: r.BurstErrors,
-		Converged: r.Converged, Iterations: r.Iterations, Schedulable: r.Schedulable,
-		MissCount: r.MissCount, MaxUtilization: ffloat(r.MaxUtilization),
-		Paths: r.Paths, BoundedPaths: r.BoundedPaths,
-		SimRuns: r.SimRuns, Frames: r.Frames, Violations: r.Violations,
-		Losses: r.Losses, LossPredicted: r.LossPredicted,
-		MinMarginPct: ffloat(r.MinMarginPct),
-		Changes:      r.Changes, PerturbedConverged: r.PerturbedConverged,
-		PerturbedSchedulable: r.PerturbedSchedulable, Flipped: r.Flipped,
-		CacheHits: r.CacheHits, CacheMisses: r.CacheMisses, HitRate: ffloat(r.HitRate),
-	}
-}
-
-func decodeRow(c *checkpointRow) (ScenarioResult, error) {
-	util, err := pfloat(c.MaxUtilization)
-	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("row %d: max_utilization: %w", c.Index, err)
-	}
-	margin, err := pfloat(c.MinMarginPct)
-	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("row %d: min_margin_pct: %w", c.Index, err)
-	}
-	hitRate, err := pfloat(c.HitRate)
-	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("row %d: hit_rate: %w", c.Index, err)
-	}
-	return ScenarioResult{
-		Index: c.Index, Seed: c.Seed,
-		Buses: c.Buses, Messages: c.Messages, Gateways: c.Gateways, TDMA: c.TDMA,
-		WorstStuffing: c.WorstStuffing, BurstErrors: c.BurstErrors,
-		Converged: c.Converged, Iterations: c.Iterations, Schedulable: c.Schedulable,
-		MissCount: c.MissCount, MaxUtilization: util,
-		Paths: c.Paths, BoundedPaths: c.BoundedPaths,
-		SimRuns: c.SimRuns, Frames: c.Frames, Violations: c.Violations,
-		Losses: c.Losses, LossPredicted: c.LossPredicted,
-		MinMarginPct: margin,
-		Changes:      c.Changes, PerturbedConverged: c.PerturbedConverged,
-		PerturbedSchedulable: c.PerturbedSchedulable, Flipped: c.Flipped,
-		CacheHits: c.CacheHits, CacheMisses: c.CacheMisses, HitRate: hitRate,
-	}, nil
-}
-
 // Checkpoint serialises the job's completed rows and configuration so
 // a later RestoreJob — in this process or after a restart — resumes
 // with exactly the pending scenarios and folds a report bit-identical
@@ -137,14 +41,13 @@ func decodeRow(c *checkpointRow) (ScenarioResult, error) {
 // of the same job: cancel the run first (the rows recorded up to the
 // cancellation are kept and captured here).
 func (j *Job) Checkpoint(w io.Writer) error {
-	var specBuf bytes.Buffer
-	if err := j.corpus.Spec.Encode(&specBuf); err != nil {
-		return fmt.Errorf("campaign: checkpoint spec: %w", err)
+	ref, err := NewCorpusRef(j.corpus)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
 	cp := checkpointFile{
-		Version:     checkpointVersion,
-		Fingerprint: j.corpus.Fingerprint().String(),
-		Spec:        specBuf.String(),
+		Version: checkpointVersion,
+		Corpus:  ref,
 		Config: checkpointCfg{
 			Workers: j.cfg.Workers, Seeds: j.cfg.Seeds,
 			DurationNS:    int64(j.cfg.Duration),
@@ -154,7 +57,7 @@ func (j *Job) Checkpoint(w io.Writer) error {
 	j.mu.Lock()
 	for i, done := range j.done {
 		if done {
-			cp.Rows = append(cp.Rows, encodeRow(&j.rows[i]))
+			cp.Rows = append(cp.Rows, NewWireRow(&j.rows[i]))
 		}
 	}
 	j.mu.Unlock()
@@ -177,17 +80,9 @@ func RestoreJob(r io.Reader) (*Job, error) {
 		return nil, fmt.Errorf("campaign: restore: checkpoint version %d, want %d",
 			cp.Version, checkpointVersion)
 	}
-	spec, err := scenario.ParseSpec(strings.NewReader(cp.Spec))
+	corpus, err := cp.Corpus.Resolve()
 	if err != nil {
-		return nil, fmt.Errorf("campaign: restore: spec: %w", err)
-	}
-	corpus, err := scenario.Generate(spec)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: restore: corpus: %w", err)
-	}
-	if fp := corpus.Fingerprint().String(); fp != cp.Fingerprint {
-		return nil, fmt.Errorf("campaign: restore: corpus fingerprint %s does not match checkpoint %s",
-			fp, cp.Fingerprint)
+		return nil, fmt.Errorf("campaign: restore: %w", err)
 	}
 	j, err := NewJob(corpus, Config{
 		Workers: cp.Config.Workers, Seeds: cp.Config.Seeds,
@@ -197,21 +92,16 @@ func RestoreJob(r io.Reader) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows := make([]ScenarioResult, 0, len(cp.Rows))
 	for i := range cp.Rows {
-		row, err := decodeRow(&cp.Rows[i])
+		row, err := cp.Rows[i].Result()
 		if err != nil {
 			return nil, fmt.Errorf("campaign: restore: %w", err)
 		}
-		if row.Index < 0 || row.Index >= len(j.rows) {
-			return nil, fmt.Errorf("campaign: restore: row index %d outside corpus of %d",
-				row.Index, len(j.rows))
-		}
-		if j.done[row.Index] {
-			return nil, fmt.Errorf("campaign: restore: duplicate row %d", row.Index)
-		}
-		j.rows[row.Index] = row
-		j.done[row.Index] = true
-		j.completed++
+		rows = append(rows, row)
+	}
+	if err := j.InstallRows(rows); err != nil {
+		return nil, fmt.Errorf("campaign: restore: %w", err)
 	}
 	return j, nil
 }

@@ -105,9 +105,10 @@ func TestRestoreRejectsCorruptCheckpoints(t *testing.T) {
 	good := buf.String()
 
 	for name, mangle := range map[string]string{
-		"bad-json":        "{not json",
-		"bad-version":     strings.Replace(good, `"version":1`, `"version":99`, 1),
-		"bad-fingerprint": strings.Replace(good, `"fingerprint":"`, `"fingerprint":"00`, 1),
+		"bad-json":           "{not json",
+		"bad-version":        strings.Replace(good, `"version":2`, `"version":99`, 1),
+		"bad-corpus-version": strings.Replace(good, `"version":1`, `"version":77`, 1),
+		"bad-fingerprint":    strings.Replace(good, `"fingerprint":"`, `"fingerprint":"00`, 1),
 	} {
 		if _, err := RestoreJob(strings.NewReader(mangle)); err == nil {
 			t.Errorf("%s: restore accepted a corrupt checkpoint", name)

@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// corpusRefVersion guards the spec+fingerprint reference format.
+const corpusRefVersion = 1
+
+// CorpusRef is the versioned corpus-regeneration reference shared by
+// job checkpoints and the distributed shard wire: a corpus is never
+// materialized for transport — the deterministic generator spec is
+// shipped, the receiver regenerates, and the fingerprint is verified,
+// so a drifted or skewed generator fails loudly instead of silently
+// computing rows for the wrong population.
+type CorpusRef struct {
+	// Version is the reference format version (corpusRefVersion).
+	Version int `json:"version"`
+	// Fingerprint is the corpus content digest the regenerated corpus
+	// must reproduce.
+	Fingerprint string `json:"fingerprint"`
+	// Spec is the encoded scenario.Spec the corpus regenerates from.
+	Spec string `json:"spec"`
+}
+
+// NewCorpusRef captures a corpus as its spec plus fingerprint.
+func NewCorpusRef(corpus *scenario.Corpus) (CorpusRef, error) {
+	var specBuf bytes.Buffer
+	if err := corpus.Spec.Encode(&specBuf); err != nil {
+		return CorpusRef{}, fmt.Errorf("campaign: corpus ref: %w", err)
+	}
+	return CorpusRef{
+		Version:     corpusRefVersion,
+		Fingerprint: corpus.Fingerprint().String(),
+		Spec:        specBuf.String(),
+	}, nil
+}
+
+// Resolve regenerates the corpus from the embedded spec and verifies
+// it against the recorded fingerprint.
+func (r CorpusRef) Resolve() (*scenario.Corpus, error) {
+	if r.Version != corpusRefVersion {
+		return nil, fmt.Errorf("campaign: corpus ref version %d, want %d", r.Version, corpusRefVersion)
+	}
+	spec, err := scenario.ParseSpec(strings.NewReader(r.Spec))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus ref spec: %w", err)
+	}
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus ref corpus: %w", err)
+	}
+	if fp := corpus.Fingerprint().String(); fp != r.Fingerprint {
+		return nil, fmt.Errorf("campaign: regenerated corpus fingerprint %s does not match reference %s",
+			fp, r.Fingerprint)
+	}
+	return corpus, nil
+}

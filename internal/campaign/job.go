@@ -48,6 +48,79 @@ func NewJob(corpus *scenario.Corpus, cfg Config) (*Job, error) {
 // Total returns the corpus size.
 func (j *Job) Total() int { return len(j.corpus.Scenarios) }
 
+// Corpus returns the corpus the job runs over.
+func (j *Job) Corpus() *scenario.Corpus { return j.corpus }
+
+// Config returns the job's effective (defaulted) configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// ShardRange is a contiguous run of scenario indices.
+type ShardRange struct {
+	// Start is the index of the first scenario of the shard.
+	Start int `json:"start"`
+	// Count is the number of scenarios in the shard.
+	Count int `json:"count"`
+}
+
+// End returns the index one past the last scenario of the shard.
+func (r ShardRange) End() int { return r.Start + r.Count }
+
+// PendingRanges covers the pending scenario set with contiguous
+// ranges of at most size scenarios each (size <= 0 selects
+// DefaultShardSize). The ranges are disjoint, ordered by Start, and
+// together hold exactly the scenarios that have no recorded row, so a
+// coordinator can dispatch them as shards and install the results via
+// InstallRows.
+func (j *Job) PendingRanges(size int) []ShardRange {
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var ranges []ShardRange
+	for i := 0; i < len(j.done); {
+		if j.done[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(j.done) && !j.done[i] && i-start < size {
+			i++
+		}
+		ranges = append(ranges, ShardRange{Start: start, Count: i - start})
+	}
+	return ranges
+}
+
+// DefaultShardSize is the shard granularity when none is configured:
+// small enough that a retried shard wastes little work, large enough
+// that per-shard overhead (corpus lookup, HTTP round trip) amortises.
+const DefaultShardSize = 256
+
+// InstallRows records externally computed rows (a completed shard).
+// Rows whose scenario already has a recorded row are ignored — shard
+// retries may legitimately complete twice, and rows are deterministic,
+// so the duplicate carries the same values. An index outside the
+// corpus is an error. Installing the last pending rows does not fold
+// the report; the next Run (with nothing pending) folds and returns it.
+func (j *Job) InstallRows(rows []ScenarioResult) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range rows {
+		idx := rows[i].Index
+		if idx < 0 || idx >= len(j.rows) {
+			return fmt.Errorf("campaign: install row index %d outside corpus of %d", idx, len(j.rows))
+		}
+		if j.done[idx] {
+			continue
+		}
+		j.rows[idx] = rows[i]
+		j.done[idx] = true
+		j.completed++
+	}
+	return nil
+}
+
 // Progress returns how many scenarios have completed.
 func (j *Job) Progress() (completed, total int) {
 	j.mu.Lock()

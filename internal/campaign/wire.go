@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// WireRow is the lossless transport form of a ScenarioResult, shared
+// by job checkpoints and the distributed shard protocol. Floats are
+// encoded as full-precision strings ('g', -1) because JSON cannot
+// represent the NaN margin of a scenario that traced no bounded path,
+// and a transported row must be bit-identical to the locally computed
+// one — the folded report may not differ in a single byte.
+type WireRow struct {
+	Index                int    `json:"index"`
+	Seed                 int64  `json:"seed"`
+	Buses                int    `json:"buses"`
+	Messages             int    `json:"messages"`
+	Gateways             int    `json:"gateways"`
+	TDMA                 bool   `json:"tdma"`
+	WorstStuffing        bool   `json:"worst_stuffing"`
+	BurstErrors          bool   `json:"burst_errors"`
+	Converged            bool   `json:"converged"`
+	Iterations           int    `json:"iterations"`
+	Schedulable          bool   `json:"schedulable"`
+	MissCount            int    `json:"miss_count"`
+	MaxUtilization       string `json:"max_utilization"`
+	Paths                int    `json:"paths"`
+	BoundedPaths         int    `json:"bounded_paths"`
+	SimRuns              int    `json:"sim_runs"`
+	Frames               int    `json:"frames"`
+	Violations           int    `json:"violations"`
+	Losses               int    `json:"losses"`
+	LossPredicted        bool   `json:"loss_predicted"`
+	MinMarginPct         string `json:"min_margin_pct"`
+	Changes              int    `json:"changes"`
+	PerturbedConverged   bool   `json:"perturbed_converged"`
+	PerturbedSchedulable bool   `json:"perturbed_schedulable"`
+	Flipped              bool   `json:"flipped"`
+	CacheHits            uint64 `json:"cache_hits"`
+	CacheMisses          uint64 `json:"cache_misses"`
+	HitRate              string `json:"hit_rate"`
+}
+
+// ffloat encodes a float with full round-trip precision.
+func ffloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// pfloat decodes an ffloat encoding (NaN included).
+func pfloat(s string) (float64, error) {
+	if s == "NaN" {
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// NewWireRow encodes a scenario row for transport.
+func NewWireRow(r *ScenarioResult) WireRow {
+	return WireRow{
+		Index: r.Index, Seed: r.Seed,
+		Buses: r.Buses, Messages: r.Messages, Gateways: r.Gateways, TDMA: r.TDMA,
+		WorstStuffing: r.WorstStuffing, BurstErrors: r.BurstErrors,
+		Converged: r.Converged, Iterations: r.Iterations, Schedulable: r.Schedulable,
+		MissCount: r.MissCount, MaxUtilization: ffloat(r.MaxUtilization),
+		Paths: r.Paths, BoundedPaths: r.BoundedPaths,
+		SimRuns: r.SimRuns, Frames: r.Frames, Violations: r.Violations,
+		Losses: r.Losses, LossPredicted: r.LossPredicted,
+		MinMarginPct: ffloat(r.MinMarginPct),
+		Changes:      r.Changes, PerturbedConverged: r.PerturbedConverged,
+		PerturbedSchedulable: r.PerturbedSchedulable, Flipped: r.Flipped,
+		CacheHits: r.CacheHits, CacheMisses: r.CacheMisses, HitRate: ffloat(r.HitRate),
+	}
+}
+
+// Result decodes the transported row back into a ScenarioResult.
+func (w *WireRow) Result() (ScenarioResult, error) {
+	util, err := pfloat(w.MaxUtilization)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("row %d: max_utilization: %w", w.Index, err)
+	}
+	margin, err := pfloat(w.MinMarginPct)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("row %d: min_margin_pct: %w", w.Index, err)
+	}
+	hitRate, err := pfloat(w.HitRate)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("row %d: hit_rate: %w", w.Index, err)
+	}
+	return ScenarioResult{
+		Index: w.Index, Seed: w.Seed,
+		Buses: w.Buses, Messages: w.Messages, Gateways: w.Gateways, TDMA: w.TDMA,
+		WorstStuffing: w.WorstStuffing, BurstErrors: w.BurstErrors,
+		Converged: w.Converged, Iterations: w.Iterations, Schedulable: w.Schedulable,
+		MissCount: w.MissCount, MaxUtilization: util,
+		Paths: w.Paths, BoundedPaths: w.BoundedPaths,
+		SimRuns: w.SimRuns, Frames: w.Frames, Violations: w.Violations,
+		Losses: w.Losses, LossPredicted: w.LossPredicted,
+		MinMarginPct: margin,
+		Changes:      w.Changes, PerturbedConverged: w.PerturbedConverged,
+		PerturbedSchedulable: w.PerturbedSchedulable, Flipped: w.Flipped,
+		CacheHits: w.CacheHits, CacheMisses: w.CacheMisses, HitRate: hitRate,
+	}, nil
+}

@@ -1,0 +1,301 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Options parameterises a distributed campaign run.
+type Options struct {
+	// Workers are the base URLs of the shard workers
+	// (e.g. http://127.0.0.1:9101). At least one is required.
+	Workers []string
+	// ShardSize bounds scenarios per shard (<= 0 selects
+	// campaign.DefaultShardSize).
+	ShardSize int
+	// ShardTimeout is the per-attempt deadline of one shard (default
+	// 2m). A timed-out attempt counts as a failure and the shard is
+	// retried, possibly on another worker.
+	ShardTimeout time.Duration
+	// MaxAttempts bounds attempts per shard before the campaign fails
+	// (default 3).
+	MaxAttempts int
+	// DropAfter is how many consecutive failures retire a worker
+	// (default 3). Its in-flight shard is requeued for the survivors.
+	DropAfter int
+	// Client is the HTTP client shards travel over (default
+	// http.DefaultClient; per-attempt deadlines come from ShardTimeout,
+	// not the client).
+	Client *http.Client
+	// OnEvent, when set, observes dispatch/completion/failure/drop
+	// events. Calls are serialised; the callback must not block for
+	// long — it runs on the dispatch path.
+	OnEvent func(Event)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardSize <= 0 {
+		o.ShardSize = campaign.DefaultShardSize
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 2 * time.Minute
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.DropAfter <= 0 {
+		o.DropAfter = 3
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// EventType classifies coordinator events.
+type EventType string
+
+const (
+	// EventDispatch fires when a shard is handed to a worker.
+	EventDispatch EventType = "dispatch"
+	// EventShardDone fires when a shard's rows are installed.
+	EventShardDone EventType = "shard_done"
+	// EventShardFailed fires when an attempt fails (the shard will be
+	// retried unless attempts are exhausted).
+	EventShardFailed EventType = "shard_failed"
+	// EventWorkerDropped fires when a worker is retired after
+	// consecutive failures.
+	EventWorkerDropped EventType = "worker_dropped"
+)
+
+// Event is one step of a distributed run.
+type Event struct {
+	Type    EventType           `json:"type"`
+	Worker  string              `json:"worker"`
+	Shard   campaign.ShardRange `json:"shard"`
+	Attempt int                 `json:"attempt"`
+	// Done and Total are scenarios completed / corpus size after this
+	// event.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Err carries the failure of shard_failed / worker_dropped events.
+	Err string `json:"err,omitempty"`
+}
+
+type shardTask struct {
+	r        campaign.ShardRange
+	attempts int
+}
+
+type coordinator struct {
+	job  *campaign.Job
+	ref  campaign.CorpusRef
+	cfg  ShardConfig
+	opts Options
+
+	queue chan *shardTask
+	// remaining counts shards not yet installed; allDone closes when it
+	// reaches zero so idle workers stop waiting on the queue.
+	remaining atomic.Int64
+	allDone   chan struct{}
+	doneOnce  sync.Once
+
+	// fatal records the first unrecoverable failure and cancels the run.
+	fatalMu  sync.Mutex
+	fatalErr error
+	cancel   context.CancelFunc
+
+	eventMu sync.Mutex
+}
+
+// Run executes the job's pending scenarios over the workers and folds
+// the final report. The report is byte-identical to a local
+// (*campaign.Job).Run for any worker set, shard size, or failure
+// schedule: rows are installed by scenario index and the fold is the
+// same serial aggregate. Run fails when a shard exhausts MaxAttempts,
+// when every worker has been dropped with shards still pending, or
+// when ctx is cancelled; the job keeps the rows installed so far, so
+// a later Run — local or distributed — resumes from the pending set.
+func Run(ctx context.Context, job *campaign.Job, opts Options) (*campaign.Report, error) {
+	opts = opts.withDefaults()
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("distrib: no workers")
+	}
+	shards := job.PendingRanges(opts.ShardSize)
+	if len(shards) == 0 {
+		return job.Run(ctx)
+	}
+	ref, err := campaign.NewCorpusRef(job.Corpus())
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c := &coordinator{
+		job:     job,
+		ref:     ref,
+		cfg:     NewShardConfig(job.Config()),
+		opts:    opts,
+		queue:   make(chan *shardTask, len(shards)),
+		allDone: make(chan struct{}),
+		cancel:  cancel,
+	}
+	c.remaining.Store(int64(len(shards)))
+	for _, r := range shards {
+		c.queue <- &shardTask{r: r}
+	}
+
+	var wg sync.WaitGroup
+	for _, addr := range opts.Workers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c.workerLoop(runCtx, addr)
+		}(addr)
+	}
+	wg.Wait()
+
+	c.fatalMu.Lock()
+	fatal := c.fatalErr
+	c.fatalMu.Unlock()
+	switch {
+	case fatal != nil:
+		return nil, fatal
+	case ctx.Err() != nil:
+		return nil, ctx.Err()
+	case c.remaining.Load() > 0:
+		return nil, fmt.Errorf("distrib: all %d workers dropped with %d shards pending",
+			len(opts.Workers), c.remaining.Load())
+	}
+	return job.Run(ctx)
+}
+
+func (c *coordinator) workerLoop(ctx context.Context, addr string) {
+	consecutive := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.allDone:
+			return
+		case t := <-c.queue:
+			c.emit(Event{Type: EventDispatch, Worker: addr, Shard: t.r, Attempt: t.attempts + 1})
+			err := c.runShard(ctx, addr, t)
+			if err == nil {
+				consecutive = 0
+				c.emit(Event{Type: EventShardDone, Worker: addr, Shard: t.r, Attempt: t.attempts + 1})
+				if c.remaining.Add(-1) == 0 {
+					c.doneOnce.Do(func() { close(c.allDone) })
+					return
+				}
+				continue
+			}
+			if ctx.Err() != nil {
+				// Cancelled mid-flight: not the worker's fault. Requeue so
+				// a restarted run still sees the shard as pending.
+				c.queue <- t
+				return
+			}
+			t.attempts++
+			c.emit(Event{Type: EventShardFailed, Worker: addr, Shard: t.r, Attempt: t.attempts, Err: err.Error()})
+			if t.attempts >= c.opts.MaxAttempts {
+				c.fail(fmt.Errorf("distrib: shard [%d,%d) failed %d times, last on %s: %w",
+					t.r.Start, t.r.End(), t.attempts, addr, err))
+				return
+			}
+			c.queue <- t
+			consecutive++
+			if consecutive >= c.opts.DropAfter {
+				c.emit(Event{Type: EventWorkerDropped, Worker: addr, Shard: t.r, Attempt: t.attempts, Err: err.Error()})
+				return
+			}
+		}
+	}
+}
+
+func (c *coordinator) fail(err error) {
+	c.fatalMu.Lock()
+	if c.fatalErr == nil {
+		c.fatalErr = err
+	}
+	c.fatalMu.Unlock()
+	c.cancel()
+}
+
+func (c *coordinator) emit(e Event) {
+	if c.opts.OnEvent == nil {
+		return
+	}
+	e.Done, e.Total = c.job.Progress()
+	c.eventMu.Lock()
+	c.opts.OnEvent(e)
+	c.eventMu.Unlock()
+}
+
+// runShard executes one attempt of one shard against one worker under
+// the per-shard deadline, verifies the response is exactly the
+// requested range, and installs the rows.
+func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) error {
+	attemptCtx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
+	defer cancel()
+
+	body, err := json.Marshal(ShardRequest{
+		Version: WireVersion,
+		Corpus:  c.ref,
+		Start:   t.r.Start,
+		Count:   t.r.Count,
+		Config:  c.cfg,
+	})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(addr, "/") + ShardPath
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("worker %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fmt.Errorf("worker %s: response: %w", addr, err)
+	}
+	if sr.Version != WireVersion {
+		return fmt.Errorf("worker %s: wire version %d, want %d", addr, sr.Version, WireVersion)
+	}
+	if len(sr.Rows) != t.r.Count {
+		return fmt.Errorf("worker %s: %d rows for a shard of %d", addr, len(sr.Rows), t.r.Count)
+	}
+	rows := make([]campaign.ScenarioResult, len(sr.Rows))
+	for i := range sr.Rows {
+		row, err := sr.Rows[i].Result()
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", addr, err)
+		}
+		if row.Index != t.r.Start+i {
+			return fmt.Errorf("worker %s: row %d has index %d, want %d",
+				addr, i, row.Index, t.r.Start+i)
+		}
+		rows[i] = row
+	}
+	return c.job.InstallRows(rows)
+}

@@ -1,0 +1,270 @@
+package distrib
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+func testCorpus(t *testing.T) *scenario.Corpus {
+	t.Helper()
+	corpus, err := scenario.Generate(scenario.Spec{Seed: 11, Count: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func testConfig() campaign.Config {
+	return campaign.Config{Workers: 2, Seeds: 1, Duration: 50e6}
+}
+
+func canonical(t *testing.T, r *campaign.Report) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(r.Render())
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// startWorkers brings up n in-process shard workers and returns their
+// base URLs.
+func startWorkers(t *testing.T, n int, cfg WorkerConfig) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		srv := httptest.NewServer(NewWorker(cfg).Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// TestDistribMatchesLocal is the core identity: the folded report of a
+// distributed run equals the local run byte for byte, across shard
+// sizes that do and do not divide the corpus.
+func TestDistribMatchesLocal(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testConfig()
+	want, err := campaign.Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := startWorkers(t, 3, WorkerConfig{Workers: 1})
+	for _, shard := range []int{1, 5, 100} {
+		job, err := campaign.NewJob(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(context.Background(), job, Options{Workers: urls, ShardSize: shard})
+		if err != nil {
+			t.Fatalf("shard size %d: %v", shard, err)
+		}
+		if canonical(t, got) != canonical(t, want) {
+			t.Fatalf("shard size %d: distributed report differs from local run", shard)
+		}
+	}
+}
+
+// killableWorker is a worker whose handler starts failing on demand,
+// simulating a worker lost mid-campaign.
+type killableWorker struct {
+	h      http.Handler
+	killed atomic.Bool
+}
+
+func (k *killableWorker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if k.killed.Load() {
+		http.Error(rw, "worker killed", http.StatusInternalServerError)
+		return
+	}
+	k.h.ServeHTTP(rw, r)
+}
+
+// TestDistribSurvivesWorkerKill kills one of two workers after its
+// first completed shard: the survivor absorbs the retried shards and
+// the folded report is still byte-identical to the local run.
+func TestDistribSurvivesWorkerKill(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testConfig()
+	want, err := campaign.Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := &killableWorker{h: NewWorker(WorkerConfig{Workers: 1}).Handler()}
+	srvVictim := httptest.NewServer(victim)
+	defer srvVictim.Close()
+	srvSurvivor := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1}).Handler())
+	defer srvSurvivor.Close()
+
+	job, err := campaign.NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped, failed atomic.Int64
+	got, err := Run(context.Background(), job, Options{
+		Workers:   []string{srvVictim.URL, srvSurvivor.URL},
+		ShardSize: 2,
+		DropAfter: 1,
+		OnEvent: func(e Event) {
+			switch e.Type {
+			case EventShardDone:
+				if e.Worker == srvVictim.URL {
+					victim.killed.Store(true)
+				}
+			case EventShardFailed:
+				failed.Add(1)
+			case EventWorkerDropped:
+				dropped.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatal("report after worker kill differs from local run")
+	}
+	if victim.killed.Load() && dropped.Load() != 1 {
+		t.Fatalf("killed worker was not dropped (dropped=%d failed=%d)", dropped.Load(), failed.Load())
+	}
+}
+
+// TestDistribExhaustedAttempts drives a permanently failing worker
+// pair: the run fails, but the job survives and a local Run resumes to
+// the identical report — distributed execution never strands a
+// campaign.
+func TestDistribExhaustedAttempts(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testConfig()
+	want, err := campaign.Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		http.Error(rw, "corrupted worker", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	job, err := campaign.NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), job, Options{
+		Workers: []string{dead.URL}, ShardSize: 4, MaxAttempts: 2, DropAfter: 10,
+	}); err == nil {
+		t.Fatal("run over a dead worker succeeded")
+	}
+	got, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatal("local resume after failed distributed run differs")
+	}
+}
+
+// TestDistribAllWorkersDropped checks the no-survivors failure mode.
+func TestDistribAllWorkersDropped(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		http.Error(rw, "no", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	job, err := campaign.NewJob(testCorpus(t), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), job, Options{
+		Workers: []string{dead.URL}, ShardSize: 4, MaxAttempts: 100, DropAfter: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("expected all-workers-dropped failure, got %v", err)
+	}
+}
+
+// TestDistribWorkerWarmCache reruns a campaign against workers backed
+// by a shared disk level: the rerun is served predominantly from L2
+// and the report stays byte-identical.
+func TestDistribWorkerWarmCache(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testConfig()
+	want, err := campaign.Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := cache.NewDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := startWorkers(t, 2, WorkerConfig{Workers: 1, Cache: disk})
+
+	run := func() *campaign.Report {
+		job, err := campaign.NewJob(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), job, Options{Workers: urls, ShardSize: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cold := run()
+	afterCold := disk.Stats()
+	warm := run()
+	afterWarm := disk.Stats()
+
+	if canonical(t, cold) != canonical(t, want) || canonical(t, warm) != canonical(t, want) {
+		t.Fatal("shared-cache distributed reports differ from local run")
+	}
+	hits := afterWarm.Hits - afterCold.Hits
+	misses := afterWarm.Misses - afterCold.Misses
+	if total := hits + misses; total == 0 || float64(hits)/float64(total) < 0.8 {
+		t.Fatalf("warm rerun L2 hit rate %d/%d below 80%%", hits, hits+misses)
+	}
+}
+
+// TestDistribVersionSkew checks both wire directions refuse a version
+// mismatch.
+func TestDistribVersionSkew(t *testing.T) {
+	w := httptest.NewServer(NewWorker(WorkerConfig{}).Handler())
+	defer w.Close()
+
+	// Worker rejects a skewed request.
+	resp, err := http.Post(w.URL+ShardPath, "application/json",
+		strings.NewReader(`{"version":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("skewed shard request got %s, want 400", resp.Status)
+	}
+
+	// Coordinator rejects a skewed response.
+	skewed := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write([]byte(`{"version":99,"rows":[]}`))
+	}))
+	defer skewed.Close()
+	job, err := campaign.NewJob(testCorpus(t), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), job, Options{
+		Workers: []string{skewed.URL}, MaxAttempts: 1,
+	}); err == nil || !strings.Contains(err.Error(), "wire version") {
+		t.Fatalf("expected wire version failure, got %v", err)
+	}
+}

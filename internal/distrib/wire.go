@@ -1,0 +1,70 @@
+package distrib
+
+import (
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// WireVersion guards the shard protocol: a coordinator and worker of
+// different versions refuse each other loudly instead of folding rows
+// computed under drifted semantics.
+const WireVersion = 1
+
+// ShardPath is the worker endpoint shards are POSTed to.
+const ShardPath = "/v1/shards"
+
+// HealthPath is the worker liveness endpoint.
+const HealthPath = "/healthz"
+
+// ShardConfig is the analysis configuration that travels with a
+// shard. It deliberately excludes campaign.Config.Workers (each worker
+// sizes its own pool — parallelism never changes rows) and
+// campaign.Config.Cache (the shared level is process-local; workers
+// bring their own).
+type ShardConfig struct {
+	Seeds         int   `json:"seeds"`
+	DurationNS    int64 `json:"duration_ns"`
+	StoreCapacity int   `json:"store_capacity"`
+	MaxIterations int   `json:"max_iterations"`
+}
+
+// NewShardConfig strips a campaign configuration down to the fields
+// that determine row content.
+func NewShardConfig(cfg campaign.Config) ShardConfig {
+	return ShardConfig{
+		Seeds:         cfg.Seeds,
+		DurationNS:    int64(cfg.Duration),
+		StoreCapacity: cfg.StoreCapacity,
+		MaxIterations: cfg.MaxIterations,
+	}
+}
+
+// Campaign expands the wire configuration back into a campaign.Config
+// with the given local worker-pool size.
+func (c ShardConfig) Campaign(workers int) campaign.Config {
+	return campaign.Config{
+		Workers:       workers,
+		Seeds:         c.Seeds,
+		Duration:      time.Duration(c.DurationNS),
+		StoreCapacity: c.StoreCapacity,
+		MaxIterations: c.MaxIterations,
+	}
+}
+
+// ShardRequest asks a worker to compute rows for the contiguous
+// scenario range [Start, Start+Count) of the referenced corpus.
+type ShardRequest struct {
+	Version int                `json:"version"`
+	Corpus  campaign.CorpusRef `json:"corpus"`
+	Start   int                `json:"start"`
+	Count   int                `json:"count"`
+	Config  ShardConfig        `json:"config"`
+}
+
+// ShardResponse carries the computed rows, index-aligned with the
+// requested range, in the lossless WireRow encoding.
+type ShardResponse struct {
+	Version int                `json:"version"`
+	Rows    []campaign.WireRow `json:"rows"`
+}

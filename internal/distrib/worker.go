@@ -1,0 +1,159 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+// WorkerConfig parameterises a shard worker.
+type WorkerConfig struct {
+	// Workers is the local analysis pool size per shard (<= 0 selects
+	// GOMAXPROCS). Rows are identical for every pool size.
+	Workers int
+	// Cache is an optional shared second level (typically a cache.Disk)
+	// stacked under each scenario's private LRU; see
+	// campaign.Config.Cache for the bit-identity contract.
+	Cache cache.Store
+	// CorpusCache bounds how many regenerated corpora the worker keeps
+	// keyed by fingerprint (default 4). Shards of one campaign all
+	// reference the same corpus, so regeneration is paid once.
+	CorpusCache int
+}
+
+// Worker computes campaign shards on behalf of a coordinator. It is
+// stateless across campaigns apart from two pure caches: regenerated
+// corpora (by fingerprint) and the optional shared analysis level.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu      sync.Mutex
+	corpora []corpusEntry
+
+	shardsServed atomic.Uint64
+	rowsServed   atomic.Uint64
+}
+
+type corpusEntry struct {
+	fingerprint string
+	corpus      *scenario.Corpus
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.CorpusCache <= 0 {
+		cfg.CorpusCache = 4
+	}
+	return &Worker{cfg: cfg}
+}
+
+// ShardsServed returns how many shards this worker has completed.
+func (w *Worker) ShardsServed() uint64 { return w.shardsServed.Load() }
+
+// ShardHandler returns just the shard-computation endpoint, for hosts
+// that mount it on their own mux (the analysis service exposes it as
+// an operational route).
+func (w *Worker) ShardHandler() http.HandlerFunc { return w.handleShard }
+
+// Handler returns the worker's HTTP surface: POST ShardPath computes
+// a shard, GET HealthPath reports liveness and served counts.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(ShardPath, w.handleShard)
+	mux.HandleFunc(HealthPath, w.handleHealth)
+	return mux
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]any{
+		"status": "ok",
+		"shards": w.shardsServed.Load(),
+		"rows":   w.rowsServed.Load(),
+	})
+}
+
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(rw, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Version != WireVersion {
+		http.Error(rw, fmt.Sprintf("shard wire version %d, want %d", req.Version, WireVersion),
+			http.StatusBadRequest)
+		return
+	}
+	corpus, err := w.corpus(req.Corpus)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := req.Config.Campaign(w.cfg.Workers)
+	cfg.Cache = w.cfg.Cache
+	rows, err := campaign.RunShard(r.Context(), corpus, cfg, req.Start, req.Count)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return // coordinator gave up; nobody is reading the response
+		}
+		http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := ShardResponse{Version: WireVersion, Rows: make([]campaign.WireRow, len(rows))}
+	for i := range rows {
+		resp.Rows[i] = campaign.NewWireRow(&rows[i])
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(&resp); err != nil {
+		return // mid-body failure; coordinator sees a decode error and retries
+	}
+	w.shardsServed.Add(1)
+	w.rowsServed.Add(uint64(len(rows)))
+}
+
+// corpus resolves a corpus reference through the worker's
+// fingerprint-keyed cache.
+func (w *Worker) corpus(ref campaign.CorpusRef) (*scenario.Corpus, error) {
+	w.mu.Lock()
+	for i := range w.corpora {
+		if w.corpora[i].fingerprint == ref.Fingerprint {
+			e := w.corpora[i]
+			// Move to front (most recently used).
+			copy(w.corpora[1:i+1], w.corpora[:i])
+			w.corpora[0] = e
+			w.mu.Unlock()
+			return e.corpus, nil
+		}
+	}
+	w.mu.Unlock()
+
+	// Regenerate outside the lock: resolution verifies the fingerprint,
+	// so concurrent duplicates agree and the last one wins harmlessly.
+	corpus, err := ref.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.corpora = append([]corpusEntry{{ref.Fingerprint, corpus}}, w.corpora...)
+	if len(w.corpora) > w.cfg.CorpusCache {
+		w.corpora = w.corpora[:w.cfg.CorpusCache]
+	}
+	w.mu.Unlock()
+	return corpus, nil
+}

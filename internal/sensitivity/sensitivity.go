@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/kmatrix"
 	"repro/internal/parallel"
 	"repro/internal/rta"
@@ -40,8 +41,9 @@ type SweepConfig struct {
 	// what-if sessions; nil gives every search a private store. Pass a
 	// shared store to let related searches (sweep plus tolerance table,
 	// repeated sweeps over variants of one matrix) share converged
-	// per-message results.
-	Cache *whatif.Store
+	// per-message results — a cache.Tiered store extends the sharing
+	// across processes.
+	Cache cache.Store
 	// DisableWhatIf bypasses the incremental engine: every variant is a
 	// fresh clone put through a full analysis (the pre-whatif
 	// behaviour). Results are bit-identical either way.

@@ -44,10 +44,20 @@ type admission struct {
 	mu      sync.Mutex
 	queued  int
 	buckets map[string]*bucket
-	now     func() time.Time // injectable for tests
+	// counters accumulate per-tenant admission outcomes for the
+	// /v1/metrics history ring. Unlike buckets they are kept even when
+	// rate limiting is disabled.
+	counters map[string]*tenantCounter
+	now      func() time.Time // injectable for tests
 
 	executing atomic.Int64
 	draining  atomic.Bool
+}
+
+// tenantCounter is one tenant's running admission totals.
+type tenantCounter struct {
+	requests uint64 // application requests attributed to the tenant
+	shed     uint64 // of those, rejected by rate limit or full queue
 }
 
 // bucket is one tenant's token bucket.
@@ -63,8 +73,36 @@ func newAdmission(maxClients, queueDepth int, rate float64, burst int) *admissio
 		burst:      float64(burst),
 		slots:      make(chan struct{}, maxClients),
 		buckets:    map[string]*bucket{},
+		counters:   map[string]*tenantCounter{},
 		now:        time.Now,
 	}
+}
+
+// count attributes one application request to its tenant; shed marks
+// the rejected ones (rate limit, full queue).
+func (a *admission) count(tenant string, shed bool) {
+	a.mu.Lock()
+	c := a.counters[tenant]
+	if c == nil {
+		c = &tenantCounter{}
+		a.counters[tenant] = c
+	}
+	c.requests++
+	if shed {
+		c.shed++
+	}
+	a.mu.Unlock()
+}
+
+// snapshotTenants copies the per-tenant totals.
+func (a *admission) snapshotTenants() map[string]tenantCounter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]tenantCounter, len(a.counters))
+	for t, c := range a.counters {
+		out[t] = *c
+	}
+	return out
 }
 
 // takeToken draws one token from the tenant's bucket. When the bucket
@@ -206,6 +244,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		}
 		tenant := tenantOf(r)
 		if retry, ok := s.adm.takeToken(tenant); !ok {
+			s.adm.count(tenant, true)
 			w.Header().Set("Retry-After", retryAfter(retry))
 			writeErr(w, http.StatusTooManyRequests, CodeRateLimited,
 				"tenant %q is over its request rate; retry after %s s", tenant, retryAfter(retry))
@@ -215,15 +254,18 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		defer cancel()
 		if err := s.adm.wait(ctx); err != nil {
 			if errors.Is(err, errQueueFull) {
+				s.adm.count(tenant, true)
 				w.Header().Set("Retry-After", "1")
 				writeErr(w, http.StatusTooManyRequests, CodeQueueFull,
 					"admission queue is full (%d waiting); load shed", s.cfg.QueueDepth)
 				return
 			}
+			s.adm.count(tenant, false)
 			writeErr(w, http.StatusServiceUnavailable, CodeTimeout,
 				"request spent its %v budget queued for a worker slot", s.cfg.RequestTimeout)
 			return
 		}
+		s.adm.count(tenant, false)
 
 		// Race the handler against the remaining deadline. The handler
 		// goroutine owns the deferred buffer and the worker slot: on

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/distrib"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
@@ -66,6 +67,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.jobsMu.Unlock()
+	if s.l2 != nil {
+		ds := s.l2.Stats()
+		resp.Cache = &CacheMetrics{
+			Entries: ds.Entries, Bytes: ds.Bytes, MaxBytes: ds.MaxBytes,
+			Hits: ds.Hits, Misses: ds.Misses, Evictions: ds.Evictions,
+			Corrupt: ds.Corrupt, Skipped: ds.Skipped,
+		}
+	}
+	s.history.observe(time.Now(), s.adm.snapshotTenants())
+	resp.History = s.history.snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -279,22 +290,90 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// campaignJob tracks one async campaign job.
+// campaignJob tracks one async campaign job, local or distributed.
+// Observers (status, SSE, long-poll) watch it through seq/watch: seq
+// increments on every observable change and watch is closed-and-
+// replaced, so any number of watchers wake without polling the job.
 type campaignJob struct {
 	id string
 
 	mu     sync.Mutex
 	job    *campaign.Job
+	run    func(ctx context.Context) (*campaign.Report, error)
 	cancel context.CancelFunc
 	state  string // running | done | failed | cancelled
 	err    error
 	report *campaign.Report
+
+	seq   uint64
+	watch chan struct{}
+
+	// Distributed-run bookkeeping, fed by coordinator events.
+	distributed bool
+	shards      ShardStatus
+	events      []distrib.Event // bounded ring of recent shard events
+	eventsBase  uint64          // absolute index of events[0]
 }
+
+// maxJobEvents bounds the per-job shard event ring.
+const maxJobEvents = 256
 
 func (cj *campaignJob) stateNow() string {
 	cj.mu.Lock()
 	defer cj.mu.Unlock()
 	return cj.state
+}
+
+// bump publishes an observable change. Callers hold cj.mu.
+func (cj *campaignJob) bump() {
+	cj.seq++
+	close(cj.watch)
+	cj.watch = make(chan struct{})
+}
+
+// watchCh returns the channel closed at the next observable change.
+func (cj *campaignJob) watchCh() <-chan struct{} {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.watch
+}
+
+// record folds one coordinator event into the job's shard bookkeeping
+// and wakes the watchers. It runs on the coordinator's dispatch path
+// (calls are serialised by distrib).
+func (cj *campaignJob) record(e distrib.Event) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	switch e.Type {
+	case distrib.EventShardDone:
+		cj.shards.Done++
+	case distrib.EventShardFailed:
+		cj.shards.Failed++
+	case distrib.EventWorkerDropped:
+		cj.shards.DroppedWorkers++
+	}
+	cj.events = append(cj.events, e)
+	if len(cj.events) > maxJobEvents {
+		drop := len(cj.events) - maxJobEvents
+		cj.events = cj.events[drop:]
+		cj.eventsBase += uint64(drop)
+	}
+	cj.bump()
+}
+
+// eventsSince returns the shard events with absolute index >= since
+// and the absolute index one past the last returned event.
+func (cj *campaignJob) eventsSince(since uint64) ([]distrib.Event, uint64) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	next := cj.eventsBase + uint64(len(cj.events))
+	if since >= next {
+		return nil, next
+	}
+	if since < cj.eventsBase {
+		since = cj.eventsBase
+	}
+	return append([]distrib.Event(nil), cj.events[since-cj.eventsBase:]...), next
 }
 
 // start launches (or resumes) the job under a context derived from the
@@ -303,8 +382,9 @@ func (cj *campaignJob) start(parent context.Context) {
 	ctx, cancel := context.WithCancel(parent)
 	cj.cancel = cancel
 	cj.state = "running"
+	run := cj.run
 	go func() {
-		rep, err := cj.job.Run(ctx)
+		rep, err := run(ctx)
 		cancel()
 		cj.mu.Lock()
 		defer cj.mu.Unlock()
@@ -318,6 +398,7 @@ func (cj *campaignJob) start(parent context.Context) {
 			cj.state = "failed"
 			cj.err = err
 		}
+		cj.bump()
 	}()
 }
 
@@ -369,6 +450,10 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 	job, err := campaign.NewJob(corpus, campaign.Config{
 		Workers: s.cfg.Workers, Seeds: seeds, Duration: duration,
 		MaxIterations: s.cfg.MaxIterations,
+		// Local scenario runs stack their private LRUs on the server's
+		// disk level; a distributed run strips Cache from the wire and
+		// each worker brings its own.
+		Cache: l2orNil(s.l2),
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
@@ -391,14 +476,17 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*campaignJob
 	return cj, true
 }
 
-func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
-	cj, ok := s.lookupJob(w, r)
-	if !ok {
-		return
-	}
+// status assembles the job's wire snapshot plus the change sequence
+// number it corresponds to (for SSE/long-poll watchers).
+func (cj *campaignJob) status() (CampaignStatus, uint64) {
 	done, total := cj.job.Progress()
 	cj.mu.Lock()
-	st := CampaignStatus{ID: cj.id, State: cj.state, Done: done, Total: total}
+	defer cj.mu.Unlock()
+	st := CampaignStatus{ID: cj.id, State: cj.state, Done: done, Total: total, Seq: cj.seq}
+	if cj.distributed {
+		sh := cj.shards
+		st.Shards = &sh
+	}
 	if cj.err != nil {
 		st.Error = cj.err.Error()
 	}
@@ -419,7 +507,15 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 			FlippedSchedulable:   rep.FlippedSchedulable,
 		}
 	}
-	cj.mu.Unlock()
+	return st, cj.seq
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	st, _ := cj.status()
 	writeJSON(w, http.StatusOK, st)
 }
 

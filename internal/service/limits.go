@@ -28,13 +28,20 @@ const (
 )
 
 // codeForStatus maps a bare HTTP status (as produced by the mux's own
-// 404/405 handlers) to its error code.
+// 404/405 handlers and the plain-text errors of the embedded shard
+// worker) to its error code.
 func codeForStatus(status int) string {
 	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
 	case http.StatusNotFound:
 		return CodeNotFound
 	case http.StatusMethodNotAllowed:
 		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusUnprocessableEntity:
+		return CodeAnalysisFailed
 	default:
 		return CodeInternal
 	}
@@ -81,6 +88,14 @@ func (f *fallbackWriter) Write(p []byte) (int, error) {
 		return len(p), nil
 	}
 	return f.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so event streams survive the
+// JSON fallback wrapper.
+func (f *fallbackWriter) Flush() {
+	if fl, ok := f.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // readBody slurps a size-capped request body: an oversized upload is

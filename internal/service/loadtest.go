@@ -505,7 +505,10 @@ func LoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 		return nil, err
 	}
 
-	srv := New(cfg.serverConfig())
+	srv, err := New(cfg.serverConfig())
+	if err != nil {
+		return nil, err
+	}
 	defer srv.Close()
 	lt := newLTRunner(srv.Handler())
 
@@ -686,7 +689,10 @@ func drainPhase(srv *Server, lt *ltRunner, cfg LoadTestConfig) (bool, string) {
 	}
 
 	// Restore on a fresh server and wait the resumed job out.
-	srv2 := New(cfg.serverConfig())
+	srv2, err := New(cfg.serverConfig())
+	if err != nil {
+		return false, fmt.Sprintf("restart server: %v", err)
+	}
 	defer srv2.Close()
 	lt2 := newLTRunner(srv2.Handler())
 	restored, err := srv2.RestoreCampaigns(dir)

@@ -102,6 +102,91 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards to the underlying writer so event streams can push
+// frames through the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// metricsHistory is the lazily captured ring of per-tenant admission
+// windows behind /v1/metrics: whenever a metrics scrape finds the
+// current window elapsed, the per-tenant request/shed deltas since the
+// previous capture are folded into one window and appended. A scrape
+// gap longer than the window collapses into a single (longer) window —
+// the ring records what happened between observations, it does not
+// pretend to a scheduler it does not have.
+type metricsHistory struct {
+	window time.Duration
+	limit  int
+
+	mu      sync.Mutex
+	start   time.Time
+	base    map[string]tenantCounter
+	windows []MetricsWindow
+}
+
+func newMetricsHistory(window time.Duration, limit int) *metricsHistory {
+	return &metricsHistory{
+		window: window, limit: limit,
+		start: time.Now(), base: map[string]tenantCounter{},
+	}
+}
+
+// observe folds the current totals into a new window when one has
+// elapsed.
+func (h *metricsHistory) observe(now time.Time, totals map[string]tenantCounter) {
+	if h.window <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if now.Sub(h.start) < h.window {
+		return
+	}
+	w := MetricsWindow{
+		Start: h.start.UTC().Format(time.RFC3339Nano),
+		End:   now.UTC().Format(time.RFC3339Nano),
+	}
+	for tenant, c := range totals {
+		prev := h.base[tenant]
+		reqs, shed := c.requests-prev.requests, c.shed-prev.shed
+		if reqs == 0 && shed == 0 {
+			continue
+		}
+		w.Tenants = append(w.Tenants, TenantWindow{Tenant: tenant, Requests: reqs, Shed: shed})
+	}
+	sort.Slice(w.Tenants, func(i, j int) bool { return w.Tenants[i].Tenant < w.Tenants[j].Tenant })
+	h.windows = append(h.windows, w)
+	if len(h.windows) > h.limit {
+		h.windows = h.windows[len(h.windows)-h.limit:]
+	}
+	h.base = totals
+	h.start = now
+}
+
+// snapshot copies the ring, oldest window first.
+func (h *metricsHistory) snapshot() []MetricsWindow {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]MetricsWindow(nil), h.windows...)
+}
+
+// MetricsWindow is one captured span of the /v1/metrics history ring.
+type MetricsWindow struct {
+	Start   string         `json:"start"`
+	End     string         `json:"end"`
+	Tenants []TenantWindow `json:"tenants,omitempty"`
+}
+
+// TenantWindow is one tenant's admission activity within a window.
+type TenantWindow struct {
+	Tenant   string `json:"tenant"`
+	Requests uint64 `json:"requests"`
+	Shed     uint64 `json:"shed"`
+}
+
 // instrument wraps a handler, attributing its requests to route.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +206,24 @@ type MetricsResponse struct {
 	WhatIf        WhatIfMetrics    `json:"whatif"`
 	Sessions      SessionsMetrics  `json:"sessions"`
 	Campaigns     CampaignsMetrics `json:"campaigns"`
+	// Cache reports the on-disk second level, when configured.
+	Cache *CacheMetrics `json:"cache,omitempty"`
+	// History is the ring of recent per-tenant admission windows
+	// (oldest first; lazily captured at scrape time every
+	// Config.MetricsWindow).
+	History []MetricsWindow `json:"history,omitempty"`
+}
+
+// CacheMetrics reports the disk level of the tiered analysis store.
+type CacheMetrics struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Corrupt   uint64 `json:"corrupt"`
+	Skipped   uint64 `json:"skipped"`
 }
 
 // AdmissionMetrics reports the front-door state: the instantaneous

@@ -14,8 +14,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
 )
@@ -58,6 +60,35 @@ type Config struct {
 	// MaxCampaignScenarios caps the corpus size a campaign upload may
 	// request (0 selects 20000; negative disables the cap).
 	MaxCampaignScenarios int
+
+	// CacheDir, when non-empty, backs the analysis store with an
+	// on-disk content-addressed second level: converged results survive
+	// restarts and are shared with campaign scenarios and the shard
+	// worker endpoint. The disk level never changes responses or
+	// session statistics — it only accelerates recomputation.
+	CacheDir string
+	// CacheMaxBytes bounds the disk level (<= 0 selects
+	// cache.DefaultDiskBytes).
+	CacheMaxBytes int64
+
+	// WorkerAddrs, when non-empty, runs campaigns distributed: the
+	// server coordinates shards over these worker base URLs (symtago
+	// worker processes, or other serve instances — every server mounts
+	// POST /v1/shards). Reports stay byte-identical to local runs.
+	WorkerAddrs []string
+	// ShardSize bounds scenarios per distributed shard (<= 0 selects
+	// campaign.DefaultShardSize).
+	ShardSize int
+	// ShardTimeout is the per-attempt deadline of one shard (<= 0
+	// selects the distrib default).
+	ShardTimeout time.Duration
+
+	// MetricsWindow is the capture period of the /v1/metrics history
+	// ring (0 selects 60s; negative disables the ring).
+	MetricsWindow time.Duration
+	// MetricsHistory bounds how many windows the ring keeps (<= 0
+	// selects 32).
+	MetricsHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +119,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxCampaignScenarios == 0 {
 		c.MaxCampaignScenarios = 20000
 	}
+	if c.MetricsWindow == 0 {
+		c.MetricsWindow = time.Minute
+	}
+	if c.MetricsHistory <= 0 {
+		c.MetricsHistory = 32
+	}
 	return c
 }
 
@@ -97,10 +134,13 @@ func (c Config) withDefaults() Config {
 // expose with Handler.
 type Server struct {
 	cfg     Config
-	store   *whatif.Store
+	store   cache.Store // session/analyze memo store (LRU, or Tiered over l2)
+	l2      *cache.Disk // nil unless CacheDir is configured
 	reg     *whatif.Registry
 	metrics *metrics
+	history *metricsHistory
 	adm     *admission
+	worker  *distrib.Worker
 	mux     *http.ServeMux
 
 	ctx    context.Context // parent of all campaign jobs
@@ -111,9 +151,19 @@ type Server struct {
 	nextJob int64
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. It fails only when a configured
+// CacheDir cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var l2 *cache.Disk
+	var store cache.Store = whatif.NewStore(cfg.StoreCapacity)
+	if cfg.CacheDir != "" {
+		var err error
+		if l2, err = cache.NewDisk(cfg.CacheDir, cfg.CacheMaxBytes); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+		store = cache.NewTiered(store, l2)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := whatif.NewRegistry(cfg.SessionTTL)
 	if cfg.TenantQuota > 0 {
@@ -121,17 +171,22 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		store:   whatif.NewStore(cfg.StoreCapacity),
+		store:   store,
+		l2:      l2,
 		reg:     reg,
 		metrics: newMetrics(),
+		history: newMetricsHistory(cfg.MetricsWindow, cfg.MetricsHistory),
 		adm:     newAdmission(cfg.MaxClients, cfg.QueueDepth, cfg.TenantRate, cfg.TenantBurst),
+		worker:  distrib.NewWorker(distrib.WorkerConfig{Workers: cfg.Workers, Cache: l2orNil(l2)}),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    map[string]*campaignJob{},
 	}
 	mux := http.NewServeMux()
 	// Application routes pass the admission chain; operational routes
-	// (health, metrics) bypass it so saturation stays observable.
+	// (health, metrics, shards) bypass it — health and metrics must
+	// answer when the service is saturated, and shard deadlines belong
+	// to the coordinating peer, not the local admission budget.
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, s.admitted(h)))
 	}
@@ -140,6 +195,7 @@ func New(cfg Config) *Server {
 	}
 	ops("GET /v1/healthz", s.handleHealthz)
 	ops("GET /v1/metrics", s.handleMetrics)
+	ops("POST "+distrib.ShardPath, s.worker.ShardHandler())
 	route("POST /v1/analyze", s.handleAnalyze)
 	route("POST /v1/simulate", s.handleSimulate)
 	route("POST /v1/sessions", s.handleSessionCreate)
@@ -148,13 +204,27 @@ func New(cfg Config) *Server {
 	route("POST /v1/sessions/{id}/changes", s.handleSessionChanges)
 	route("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	route("POST /v1/campaigns", s.handleCampaignCreate)
-	route("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	// Status dispatches on the request: SSE and long-poll variants wait
+	// server-side and bypass admission (a watcher must not hold a worker
+	// slot or be killed by the request deadline); the plain JSON
+	// snapshot is admitted like any application request.
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("GET /v1/campaigns/{id}",
+		s.dispatchCampaignStatus))
 	route("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
 	route("POST /v1/campaigns/{id}/cancel", s.handleCampaignCancel)
 	route("POST /v1/campaigns/{id}/resume", s.handleCampaignResume)
 	route("DELETE /v1/campaigns/{id}", s.handleCampaignDelete)
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// l2orNil converts a possibly-nil *cache.Disk into a cache.Store
+// without boxing a typed nil into the interface.
+func l2orNil(l2 *cache.Disk) cache.Store {
+	if l2 == nil {
+		return nil
+	}
+	return l2
 }
 
 // Handler returns the service's HTTP handler. Error responses that
@@ -299,11 +369,30 @@ func (s *Server) RestoreCampaigns(dir string) (restored int, err error) {
 // registerJob assigns the next id, starts the job and publishes it.
 // Start happens before publication, so no observer can see a stateless
 // job (a cancel racing the create would otherwise be silently lost).
+// With WorkerAddrs configured the job runs distributed; resume reuses
+// the same runner, so a resumed campaign fans out again.
 func (s *Server) registerJob(job *campaign.Job) *campaignJob {
 	s.jobsMu.Lock()
 	s.nextJob++
-	cj := &campaignJob{id: fmt.Sprintf("c%d", s.nextJob), job: job}
+	cj := &campaignJob{id: fmt.Sprintf("c%d", s.nextJob), job: job, watch: make(chan struct{})}
 	s.jobsMu.Unlock()
+	if len(s.cfg.WorkerAddrs) > 0 {
+		cj.distributed = true
+		cj.run = func(ctx context.Context) (*campaign.Report, error) {
+			cj.mu.Lock()
+			cj.shards = ShardStatus{Total: len(job.PendingRanges(s.cfg.ShardSize)), Workers: len(s.cfg.WorkerAddrs)}
+			cj.bump()
+			cj.mu.Unlock()
+			return distrib.Run(ctx, job, distrib.Options{
+				Workers:      s.cfg.WorkerAddrs,
+				ShardSize:    s.cfg.ShardSize,
+				ShardTimeout: s.cfg.ShardTimeout,
+				OnEvent:      cj.record,
+			})
+		}
+	} else {
+		cj.run = job.Run
+	}
 	cj.mu.Lock()
 	cj.start(s.ctx)
 	cj.mu.Unlock()

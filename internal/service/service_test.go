@@ -15,11 +15,21 @@ import (
 	"repro/internal/scenario"
 )
 
+// mustServer builds a Server, failing the test on a config error.
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
 // newTestServer starts a service over httptest and returns the base
 // URL.
 func newTestServer(t *testing.T) (*Server, string) {
 	t.Helper()
-	srv := New(Config{Workers: 1})
+	srv := mustServer(t, Config{Workers: 1})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 	return srv, hs.URL
@@ -517,7 +527,7 @@ func TestErrorBodiesAreStructured(t *testing.T) {
 // TestPayloadTooLarge uploads past the body cap and expects the
 // structured 413.
 func TestPayloadTooLarge(t *testing.T) {
-	srv := New(Config{Workers: 1, MaxBodyBytes: 64})
+	srv := mustServer(t, Config{Workers: 1, MaxBodyBytes: 64})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 	status, data := do(t, "POST", hs.URL+"/v1/analyze", strings.Repeat("x", 1024))
@@ -529,7 +539,7 @@ func TestPayloadTooLarge(t *testing.T) {
 // TestRateLimitSheds exhausts one tenant's bucket and checks the 429
 // carries Retry-After while another tenant is still served.
 func TestRateLimitSheds(t *testing.T) {
-	srv := New(Config{Workers: 1, TenantRate: 0.5, TenantBurst: 1})
+	srv := mustServer(t, Config{Workers: 1, TenantRate: 0.5, TenantBurst: 1})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 
@@ -565,7 +575,7 @@ func TestRateLimitSheds(t *testing.T) {
 // TestQueueWaitTimeout fills the single worker slot so the next
 // request times out queued, yielding the structured 503.
 func TestQueueWaitTimeout(t *testing.T) {
-	srv := New(Config{Workers: 1, MaxClients: 1, RequestTimeout: 30 * time.Millisecond})
+	srv := mustServer(t, Config{Workers: 1, MaxClients: 1, RequestTimeout: 30 * time.Millisecond})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 
@@ -580,7 +590,7 @@ func TestQueueWaitTimeout(t *testing.T) {
 // TestQueueFullSheds fills the slot and the queue; the overflow
 // request is shed with 429/queue_full + Retry-After.
 func TestQueueFullSheds(t *testing.T) {
-	srv := New(Config{Workers: 1, MaxClients: 1, QueueDepth: 1, RequestTimeout: time.Second})
+	srv := mustServer(t, Config{Workers: 1, MaxClients: 1, QueueDepth: 1, RequestTimeout: time.Second})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 
@@ -626,7 +636,7 @@ func TestQueueFullSheds(t *testing.T) {
 // is evicted to make room, but with every session acquired the create
 // is refused with 429/session_quota.
 func TestSessionQuotaOverHTTP(t *testing.T) {
-	srv := New(Config{Workers: 1, TenantQuota: 1})
+	srv := mustServer(t, Config{Workers: 1, TenantQuota: 1})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 
@@ -680,7 +690,7 @@ func TestSessionQuotaOverHTTP(t *testing.T) {
 // TestCorpusCap rejects a campaign whose corpus exceeds the configured
 // scenario cap before any generation work happens.
 func TestCorpusCap(t *testing.T) {
-	srv := New(Config{Workers: 1, MaxCampaignScenarios: 4})
+	srv := mustServer(t, Config{Workers: 1, MaxCampaignScenarios: 4})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 	status, data := do(t, "POST", hs.URL+"/v1/campaigns?seeds=1&duration=50ms", "seed = 3\ncount = 6\n")
@@ -723,7 +733,7 @@ func TestDrainingGate(t *testing.T) {
 // TestMetricsAdmissionCounters checks shed attempts surface in the
 // per-route counters.
 func TestMetricsAdmissionCounters(t *testing.T) {
-	srv := New(Config{Workers: 1, TenantRate: 0.5, TenantBurst: 1})
+	srv := mustServer(t, Config{Workers: 1, TenantRate: 0.5, TenantBurst: 1})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 	do(t, "POST", hs.URL+"/v1/analyze", testSpec(t, 5))

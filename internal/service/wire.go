@@ -223,14 +223,30 @@ type CampaignStarted struct {
 	Scenarios int    `json:"scenarios"`
 }
 
-// CampaignStatus is the response of GET /v1/campaigns/{id}.
+// CampaignStatus is the response of GET /v1/campaigns/{id} (and the
+// `status` event payload of its SSE stream).
 type CampaignStatus struct {
-	ID      string           `json:"id"`
-	State   string           `json:"state"` // running | done | failed | cancelled
-	Done    int              `json:"done"`
-	Total   int              `json:"total"`
+	ID    string `json:"id"`
+	State string `json:"state"` // running | done | failed | cancelled
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// Seq is the job's change sequence number; pass it back as
+	// ?since=<seq> on a long-poll to wait for anything newer.
+	Seq     uint64           `json:"seq"`
+	Shards  *ShardStatus     `json:"shards,omitempty"`
 	Error   string           `json:"error,omitempty"`
 	Summary *CampaignSummary `json:"summary,omitempty"`
+}
+
+// ShardStatus reports the fan-out bookkeeping of a distributed
+// campaign: shards completed/failed (failures count attempts, retried
+// shards still complete) and workers configured/dropped.
+type ShardStatus struct {
+	Total          int `json:"total"`
+	Done           int `json:"done"`
+	Failed         int `json:"failed"`
+	Workers        int `json:"workers"`
+	DroppedWorkers int `json:"dropped_workers"`
 }
 
 // CampaignSummary condenses a finished campaign report.

@@ -1,6 +1,7 @@
 package whatif
 
 import (
+	"repro/internal/cache"
 	"repro/internal/contenthash"
 	"repro/internal/kmatrix"
 	"repro/internal/rta"
@@ -9,22 +10,29 @@ import (
 // Options configures a session.
 type Options struct {
 	// Store is the shared content-addressed memo; nil creates a private
-	// store with DefaultCapacity. Sharing one store across sessions (a
-	// tolerance table's rows, a GA's workers) lets variants share work.
-	Store *Store
+	// in-process store with DefaultCapacity. Sharing one store across
+	// sessions (a tolerance table's rows, a GA's workers) lets variants
+	// share work; a cache.Tiered store additionally shares converged
+	// results across processes and runs.
+	Store cache.Store
 	// Workers bounds the fan-out of per-session analyses (<= 0 selects
 	// GOMAXPROCS). Results are identical for every worker count.
 	Workers int
 }
 
-// Stats counts what a session's analyses actually did.
+// Stats counts what a session's analyses actually did. The counters
+// are pinned to the in-process cache level: a hit served by a shared
+// second level (cache.Tiered) avoids the recomputation but is charged
+// as a miss, so the statistics — which campaign rows embed — are
+// identical whether or not a warm shared cache sits behind the store.
 type Stats struct {
 	// ReportHits counts analyses satisfied entirely by a memoized
 	// whole-report entry (e.g. a revert to an already-analysed variant).
 	ReportHits uint64
-	// Hits counts per-message results reused from the store.
+	// Hits counts per-message results reused from the in-process level.
 	Hits uint64
-	// Misses counts per-message analyses actually recomputed.
+	// Misses counts per-message analyses not answered in-process
+	// (recomputed, or served by a shared second level).
 	Misses uint64
 	// Store snapshots the (possibly shared) backing store.
 	Store StoreStats
@@ -39,7 +47,7 @@ const tagBusReport = 0x4255535245503161 // "BUSREP1a"
 // rta.Analyze on the edited matrix and shared with the memo store —
 // treat them as read-only.
 type BusSession struct {
-	store   *Store
+	store   cache.Store
 	cfg     rta.Config
 	workers int
 	busName string
@@ -116,18 +124,22 @@ func (s *BusSession) Analyze() (*rta.Report, error) {
 		msgs[i] = m.ToRTA()
 	}
 	key := reportKey(tagBusReport, s.cfg, msgs)
-	if v, ok := s.store.Get(key); ok {
+	// Whole-report snapshots resolve against the in-process level only:
+	// a second-level short-circuit here would skip the per-message
+	// counter activity and make the session statistics (and the L1
+	// population) depend on shared-cache state.
+	if v, ok := cache.GetPrimary(s.store, key); ok {
 		if rep, ok := v.(*rta.Report); ok {
 			s.stats.ReportHits++
 			return rep, nil
 		}
 	}
-	cache := countingCache{store: s.store, stats: &s.stats}
-	rep, err := rta.AnalyzeCached(msgs, s.cfg, &cache, s.workers)
+	cc := countingCache{store: s.store, stats: &s.stats}
+	rep, err := rta.AnalyzeCached(msgs, s.cfg, &cc, s.workers)
 	if err != nil {
 		return nil, err
 	}
-	s.store.Put(key, rep)
+	cache.PutPrimary(s.store, key, rep)
 	return rep, nil
 }
 
@@ -152,13 +164,18 @@ func reportKey(tag uint64, cfg rta.Config, msgs []rta.Message) contenthash.Diges
 // misses to one session. Analyses call Get and Put serially, so plain
 // counters suffice.
 type countingCache struct {
-	store *Store
+	store cache.Store
 	stats *Stats
 }
 
+// Get counts a hit only when the in-process level answered. A shared
+// second-level hit still returns the value (the caller skips the
+// recomputation and the store promotes the entry into L1, which is
+// exactly where a cold run's Put would have placed it) but is charged
+// as a miss, keeping session counters independent of shared state.
 func (c *countingCache) Get(key contenthash.Digest) (any, bool) {
-	v, ok := c.store.Get(key)
-	if ok {
+	v, primary, ok := cache.GetLeveled(c.store, key)
+	if ok && primary {
 		c.stats.Hits++
 	} else {
 		c.stats.Misses++

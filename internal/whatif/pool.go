@@ -1,6 +1,7 @@
 package whatif
 
 import (
+	"repro/internal/cache"
 	"repro/internal/kmatrix"
 	"repro/internal/parallel"
 	"repro/internal/rta"
@@ -18,13 +19,13 @@ import (
 type SessionPool struct {
 	k        *kmatrix.KMatrix
 	cfg      rta.Config
-	store    *Store
+	store    cache.Store
 	sessions []*BusSession
 }
 
 // NewSessionPool sizes a pool for the given worker count (<= 0 selects
 // GOMAXPROCS). A nil store creates a private one.
-func NewSessionPool(k *kmatrix.KMatrix, analysis rta.Config, store *Store, workers int) *SessionPool {
+func NewSessionPool(k *kmatrix.KMatrix, analysis rta.Config, store cache.Store, workers int) *SessionPool {
 	if store == nil {
 		store = NewStore(0)
 	}
@@ -47,4 +48,4 @@ func (p *SessionPool) Session(worker int) *BusSession {
 }
 
 // Store returns the shared backing store.
-func (p *SessionPool) Store() *Store { return p.store }
+func (p *SessionPool) Store() cache.Store { return p.store }

@@ -1,146 +1,23 @@
 package whatif
 
-import (
-	"container/list"
-	"sync"
+import "repro/internal/cache"
 
-	"repro/internal/contenthash"
-	"repro/internal/gateway"
-	"repro/internal/osek"
-	"repro/internal/rta"
-	"repro/internal/tdma"
-)
+// The content-addressed store behind the sessions now lives in
+// internal/cache, where it is the in-process L1 of a two-level
+// hierarchy (LRU over an optional shared on-disk level). The aliases
+// below keep the historical names working: session options accept any
+// cache.Store, so callers can hand a plain NewStore LRU or a
+// cache.Tiered composition interchangeably.
 
-// DefaultCapacity bounds a Store constructed with no explicit budget,
-// in cost units (one unit ~ one per-message result, a few hundred
-// bytes; a whole-resource report costs one unit per contained result).
-// 32k units keep a GA generation or a full tolerance-table row set
-// resident within a few megabytes.
-const DefaultCapacity = 1 << 15
+// Store is the in-process cost-weighted LRU (cache.LRU).
+type Store = cache.LRU
 
-// Store is the content-addressed LRU memo shared by what-if sessions.
-// It maps input digests to converged analysis results (per-message
-// result pointers, whole-resource report pointers). Eviction never
-// affects correctness — a missing entry is recomputed from the same
-// inputs — so the budget is purely a memory knob. The budget is
-// cost-weighted, not entry-counted: a memoized whole-bus report weighs
-// as much as its per-message results, so long scenario batches reach a
-// bounded steady state instead of accumulating one report per variant.
-//
-// Store is safe for concurrent use and implements rta.ResultCache.
-type Store struct {
-	mu        sync.Mutex
-	capacity  int
-	cost      int
-	ll        *list.List // front = most recently used
-	items     map[contenthash.Digest]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
-}
+// StoreStats is the counter snapshot of a store (cache.Stats).
+type StoreStats = cache.Stats
 
-type storeEntry struct {
-	key   contenthash.Digest
-	value any
-	cost  int
-}
+// DefaultCapacity mirrors cache.DefaultCapacity.
+const DefaultCapacity = cache.DefaultCapacity
 
-// entryCost weighs a value in per-message-result units.
-func entryCost(v any) int {
-	n := 1
-	switch r := v.(type) {
-	case *rta.Report:
-		n = len(r.Results)
-	case *osek.Report:
-		n = len(r.Results)
-	case *tdma.Report:
-		n = len(r.Results)
-	case *gateway.Report:
-		n = len(r.Flows)
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-// NewStore returns an empty store holding at most capacity cost units
-// (<= 0 selects DefaultCapacity).
-func NewStore(capacity int) *Store {
-	if capacity <= 0 {
-		capacity = DefaultCapacity
-	}
-	return &Store{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[contenthash.Digest]*list.Element),
-	}
-}
-
-// Get returns the value stored under key and marks it most recently
-// used.
-func (s *Store) Get(key contenthash.Digest) (any, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		s.ll.MoveToFront(el)
-		s.hits++
-		return el.Value.(*storeEntry).value, true
-	}
-	s.misses++
-	return nil, false
-}
-
-// Put inserts (or refreshes) a value, evicting least-recently-used
-// entries beyond the cost budget.
-func (s *Store) Put(key contenthash.Digest, value any) {
-	cost := entryCost(value)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		e := el.Value.(*storeEntry)
-		s.cost += cost - e.cost
-		e.value, e.cost = value, cost
-		s.ll.MoveToFront(el)
-	} else {
-		s.items[key] = s.ll.PushFront(&storeEntry{key: key, value: value, cost: cost})
-		s.cost += cost
-	}
-	for s.cost > s.capacity && s.ll.Len() > 1 {
-		back := s.ll.Back()
-		e := back.Value.(*storeEntry)
-		delete(s.items, e.key)
-		s.ll.Remove(back)
-		s.cost -= e.cost
-		s.evictions++
-	}
-}
-
-// Len returns the number of resident entries.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ll.Len()
-}
-
-// StoreStats is a counter snapshot of a Store.
-type StoreStats struct {
-	// Hits and Misses count Get outcomes across all users of the store.
-	Hits, Misses uint64
-	// Evictions counts entries dropped under budget pressure.
-	Evictions uint64
-	// Entries is the current resident entry count.
-	Entries int
-	// Cost is the resident total in cost units; Capacity the budget.
-	Cost, Capacity int
-}
-
-// Stats returns a snapshot of the store counters.
-func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StoreStats{
-		Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
-		Entries: s.ll.Len(), Cost: s.cost, Capacity: s.capacity,
-	}
-}
+// NewStore returns an empty in-process store holding at most capacity
+// cost units (<= 0 selects DefaultCapacity).
+func NewStore(capacity int) *Store { return cache.NewLRU(capacity) }

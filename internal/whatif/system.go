@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/can"
 	"repro/internal/core"
 	"repro/internal/eventmodel"
@@ -24,7 +25,7 @@ import (
 // holding the session's current state (see System). Reports inside the
 // returned Analysis are shared with the memo store — read-only.
 type SystemSession struct {
-	store   *Store
+	store   cache.Store
 	workers int
 
 	buses []*sysBus
@@ -288,26 +289,37 @@ func (s *SystemSession) Analyze(maxIterations int) (*core.Analysis, error) {
 func (s *SystemSession) analyzeLocal(a *core.Analysis) error {
 	for _, b := range s.buses {
 		key := reportKey(tagBusReport, b.cfg, b.work)
-		if v, ok := s.store.Get(key); ok {
+		// Whole-bus snapshots are in-process only, mirroring
+		// BusSession.Analyze: see the comment there.
+		if v, ok := cache.GetPrimary(s.store, key); ok {
 			if rep, ok := v.(*rta.Report); ok {
 				s.stats.ReportHits++
 				a.BusReports[b.name] = rep
 				continue
 			}
 		}
-		cache := countingCache{store: s.store, stats: &s.stats}
-		rep, err := rta.AnalyzeCached(b.work, b.cfg, &cache, s.workers)
+		cc := countingCache{store: s.store, stats: &s.stats}
+		rep, err := rta.AnalyzeCached(b.work, b.cfg, &cc, s.workers)
 		if err != nil {
 			return fmt.Errorf("whatif: bus %s: %w", b.name, err)
 		}
-		s.store.Put(key, rep)
+		cache.PutPrimary(s.store, key, rep)
 		a.BusReports[b.name] = rep
 	}
+	// Whole-resource reports below do consult the shared second level —
+	// they are the unit of recomputation, so a remote hit replaces the
+	// analysis one-for-one. As in countingCache, only a primary hit is
+	// counted as a ReportHit; an L2 hit is charged like the
+	// recomputation it replaced.
 	for _, e := range s.ecus {
 		key := ecuKey(e.cfg, e.work)
-		if v, ok := s.store.Get(key); ok {
+		if v, primary, ok := cache.GetLeveled(s.store, key); ok {
 			if rep, ok := v.(*osek.Report); ok {
-				s.stats.ReportHits++
+				if primary {
+					s.stats.ReportHits++
+				} else {
+					s.stats.Misses++
+				}
 				a.ECUReports[e.name] = rep
 				continue
 			}
@@ -322,9 +334,13 @@ func (s *SystemSession) analyzeLocal(a *core.Analysis) error {
 	}
 	for _, t := range s.tdmas {
 		key := tdmaKey(t)
-		if v, ok := s.store.Get(key); ok {
+		if v, primary, ok := cache.GetLeveled(s.store, key); ok {
 			if rep, ok := v.(*tdma.Report); ok {
-				s.stats.ReportHits++
+				if primary {
+					s.stats.ReportHits++
+				} else {
+					s.stats.Misses++
+				}
 				a.TDMAReports[t.name] = rep
 				continue
 			}
@@ -339,9 +355,13 @@ func (s *SystemSession) analyzeLocal(a *core.Analysis) error {
 	}
 	for _, g := range s.gws {
 		key := gatewayKey(g.cfg, g.work)
-		if v, ok := s.store.Get(key); ok {
+		if v, primary, ok := cache.GetLeveled(s.store, key); ok {
 			if rep, ok := v.(*gateway.Report); ok {
-				s.stats.ReportHits++
+				if primary {
+					s.stats.ReportHits++
+				} else {
+					s.stats.Misses++
+				}
 				a.GatewayReports[g.name] = rep
 				continue
 			}
