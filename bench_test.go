@@ -16,6 +16,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/kmatrix"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/osek"
 	"repro/internal/rta"
@@ -974,4 +975,75 @@ func BenchmarkServeLoad(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.Shed), "shed")
 	b.ReportMetric(float64(res.Requests)*float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+}
+
+// ---------------------------------------------------------------------
+// BenchmarkTracedServeLoad runs the BenchmarkServeLoad storm at three
+// trace sampling rates — off, the default 1%, and 100% — so the CI
+// bench gate pins the tracing overhead on the admission path. The
+// tentpole budget is <= 5% p99 growth at the default rate; the full
+// rate is informational (it prices worst-case always-on tracing).
+// Responses stay byte-identical at every rate — the load test itself
+// fails on any cross-client response mismatch.
+// ---------------------------------------------------------------------
+
+func BenchmarkTracedServeLoad(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		sample float64
+	}{
+		{"off", -1},    // sampling disabled entirely
+		{"default", 0}, // service default: 1% of requests
+		{"full", 1},    // every request traced
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *service.LoadTestResult
+			for i := 0; i < b.N; i++ {
+				r, err := service.LoadTest(service.LoadTestConfig{
+					Clients: 64, Revisions: 8, Workers: 1, SkipDrain: true,
+					Server: service.Config{TraceSample: tc.sample},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Passed() {
+					b.Fatalf("selftest failed under traced benchmark: %s", r.Render())
+				}
+				res = r
+			}
+			for _, rt := range res.Routes {
+				if rt.Route == "POST /v1/sessions/{id}/changes" {
+					b.ReportMetric(float64(rt.P99)/float64(time.Millisecond), "p99_changes_ms")
+				}
+			}
+			b.ReportMetric(float64(res.Requests)*float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// BenchmarkTracedCampaign runs the quick 64-scenario campaign with a
+// full-rate trace attached (every scenario records its span tree into a
+// scratch trace and adopts it into the campaign trace) — the price of
+// `symtago campaign -trace-out`. Compare against BenchmarkCampaign for
+// the untraced baseline.
+// ---------------------------------------------------------------------
+
+func BenchmarkTracedCampaign(b *testing.B) {
+	var scenarios, spans int
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace(obs.NewID(), 0)
+		ctx := obs.ContextWithTrace(context.Background(), tr)
+		rep, _, err := experiments.RunCampaign(experiments.CampaignParams{Quick: true, Context: ctx})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = rep.Scenarios
+		spans = tr.Len()
+	}
+	b.ReportMetric(float64(scenarios), "scenarios")
+	b.ReportMetric(float64(spans), "spans")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
+	}
 }

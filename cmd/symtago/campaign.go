@@ -14,6 +14,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/distrib"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -39,6 +40,8 @@ func cmdCampaign(args []string) error {
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
 	cacheDir := fs.String("cache-dir", "", "local runs: on-disk second-level result cache (empty = memory only)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "disk cache budget in bytes (0 = 256 MiB)")
+	traceOut := fs.String("trace-out", "", "record the whole run at full rate and write Chrome trace_event JSON here")
+	flightN := fs.Int("flight", 0, "keep the N slowest scenarios' span trees; SIGQUIT dumps them as JSON to stderr (0 = off)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -89,21 +92,63 @@ func cmdCampaign(args []string) error {
 		cfg.Cache = d
 	}
 
+	// -trace-out records this one run at full rate into a standalone
+	// trace; -flight keeps the N slowest scenarios' span trees. Neither
+	// changes a single report byte — tracing only observes.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace(obs.NewID(), 0)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	var flight *obs.FlightRecorder
+	if *flightN > 0 {
+		flight = obs.NewFlightRecorder(*flightN)
+		cfg.Flight = flight
+		quitCh := make(chan os.Signal, 1)
+		signal.Notify(quitCh, syscall.SIGQUIT)
+		defer signal.Stop(quitCh)
+		go func() {
+			for range quitCh {
+				fmt.Fprintln(os.Stderr, "campaign: flight recorder dump (SIGQUIT)")
+				flight.WriteJSON(os.Stderr)
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
+	}
+
 	start := time.Now()
 	var rep *campaign.Report
 	var corpus *scenario.Corpus
 	var err error
 	if addrs := splitAddrs(*workersAddr); len(addrs) > 0 {
-		rep, corpus, err = runDistributed(spec, cfg, distrib.Options{
+		rep, corpus, err = runDistributed(ctx, spec, cfg, distrib.Options{
 			Workers: addrs, ShardSize: *shard, ShardTimeout: *shardTimeout,
 		}, *quick)
 	} else {
 		rep, corpus, err = experiments.RunCampaign(experiments.CampaignParams{
-			Spec: spec, Config: cfg, Quick: *quick,
+			Spec: spec, Config: cfg, Quick: *quick, Context: ctx,
 		})
+	}
+	if tr != nil {
+		// Written even when the run failed: a trace of the failure is
+		// exactly when you want one.
+		if werr := writeFile(*traceOut, tr.WriteChrome); werr != nil && err == nil {
+			err = werr
+		} else if werr == nil {
+			fmt.Printf("trace (%d spans) written to %s\n", tr.Len(), *traceOut)
+		}
 	}
 	if err != nil {
 		return err
+	}
+	if flight != nil {
+		for i, e := range flight.Snapshot() {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("slowest %d: %s (%v)\n", i+1, e.Label, time.Duration(e.DurNS).Round(time.Microsecond))
+		}
 	}
 	if disk != nil {
 		st := disk.Stats()
@@ -136,7 +181,7 @@ func cmdCampaign(args []string) error {
 // fold back by index, and the report matches a local run byte for
 // byte. SIGINT/SIGTERM cancels the coordinator; workers abandon the
 // cancelled shards at their next scenario boundary.
-func runDistributed(spec scenario.Spec, cfg campaign.Config, opts distrib.Options, quick bool) (*campaign.Report, *scenario.Corpus, error) {
+func runDistributed(ctx context.Context, spec scenario.Spec, cfg campaign.Config, opts distrib.Options, quick bool) (*campaign.Report, *scenario.Corpus, error) {
 	if quick {
 		if spec.Count == 0 {
 			spec.Count = 64
@@ -154,7 +199,7 @@ func runDistributed(spec scenario.Spec, cfg campaign.Config, opts distrib.Option
 		return nil, nil, err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	opts.OnEvent = func(e distrib.Event) {
 		switch e.Type {

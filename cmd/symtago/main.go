@@ -21,15 +21,17 @@
 //	                 [-duration d] [-csv file] [-corpus file] [-quick]
 //	                 [-workers-addr urls] [-shard n] [-shard-timeout d]
 //	                 [-cache-dir dir] [-cache-bytes n]
+//	                 [-trace-out file] [-flight n]
 //	symtago serve    [-addr host:port] [-workers n] [-cache n] [-ttl d]
 //	                 [-max-clients n] [-queue-depth n] [-tenant-rate r]
 //	                 [-tenant-quota n] [-request-timeout d] [-drain-timeout d]
 //	                 [-checkpoint-dir dir] [-cache-dir dir] [-cache-bytes n]
 //	                 [-workers-addr urls] [-shard n] [-shard-timeout d]
-//	                 [-metrics-window d]
+//	                 [-metrics-window d] [-trace-sample f] [-trace-buffer n]
+//	                 [-flight n] [-pprof-addr host:port]
 //	                 [-selftest [-clients n] [-revisions n] [-seed n] [-tenants n]]
 //	symtago worker   [-addr host:port] [-workers n] [-cache-dir dir]
-//	                 [-cache-bytes n] [-corpus-cache n]
+//	                 [-cache-bytes n] [-corpus-cache n] [-pprof-addr host:port]
 //
 // A missing -kmatrix selects the built-in synthetic power-train matrix
 // (the case-study substitute documented in DESIGN.md).

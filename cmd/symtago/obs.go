@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// startPprof exposes the runtime profiling endpoints on a dedicated
+// listener and mux — never the application mux, so profiling stays on
+// an operator-chosen address and the handlers cannot collide with (or
+// leak through) application routes. An empty addr is a no-op.
+func startPprof(name, addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("symtago %s: pprof on http://%s/debug/pprof/\n", name, addr)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "symtago %s: pprof: %v\n", name, err)
+		}
+	}()
+}

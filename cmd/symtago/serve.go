@@ -37,6 +37,10 @@ func cmdServe(args []string) error {
 	shardSize := fs.Int("shard", 0, "scenarios per distributed shard (0 = 256)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
 	metricsWindow := fs.Duration("metrics-window", 0, "/v1/metrics history capture period (0 = 1m, negative = off)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of requests traced (0 = default 0.01, negative = off; X-Trace-Id always traces)")
+	traceBuffer := fs.Int("trace-buffer", 0, "traces retained for GET /v1/trace/{id} (0 = 64)")
+	flight := fs.Int("flight", 0, "slowest operations kept by the flight recorder (0 = 32, negative = off)")
+	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this extra address (empty = off)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM: budget for in-flight campaigns before checkpointing")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for drain checkpoints; restored on startup (empty = discard)")
 	selftest := fs.Bool("selftest", false, "run the concurrent robustness selftest and exit")
@@ -63,6 +67,9 @@ func cmdServe(args []string) error {
 		ShardSize:      *shardSize,
 		ShardTimeout:   *shardTimeout,
 		MetricsWindow:  *metricsWindow,
+		TraceSample:    *traceSample,
+		TraceBuffer:    *traceBuffer,
+		FlightSlowest:  *flight,
 	}
 
 	if *selftest {
@@ -88,6 +95,7 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	defer srv.Close()
+	startPprof("serve", *pprofAddr)
 	if *checkpointDir != "" {
 		restored, err := srv.RestoreCampaigns(*checkpointDir)
 		if err != nil {

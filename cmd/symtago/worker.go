@@ -28,9 +28,11 @@ func cmdWorker(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "on-disk second-level result cache (empty = memory only)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "disk cache budget in bytes (0 = 256 MiB)")
 	corpusCache := fs.Int("corpus-cache", 0, "regenerated corpora kept in memory (0 = 4)")
+	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this extra address (empty = off)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	startPprof("worker", *pprofAddr)
 
 	wcfg := distrib.WorkerConfig{Workers: *workers, CorpusCache: *corpusCache}
 	var disk *cache.Disk

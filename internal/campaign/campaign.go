@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
@@ -39,6 +40,11 @@ type Config struct {
 	// bit-identical with or without it (see the whatif pinned-stats
 	// contract). Cache is process-local and never travels over a wire.
 	Cache cache.Store
+	// Flight, when set, records every scenario into the flight
+	// recorder: the N slowest keep their full span trees for later
+	// inspection. Like Cache it is process-local, never on the wire,
+	// and strictly an observer — rows are identical with or without it.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -102,21 +108,55 @@ type ScenarioResult struct {
 	HitRate float64
 }
 
-// runOne executes the three-stage pipeline for one scenario. All
-// stages share one what-if store scoped to the scenario, so the
-// perturbed re-analysis pays only for what the changes can reach and
-// the row is independent of worker scheduling.
-func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
+// scenarioSpanLimit bounds one scenario's scratch trace. The pipeline
+// records about a dozen spans; the limit is a safety net, not a budget.
+const scenarioSpanLimit = 64
+
+// runOne executes the three-stage pipeline for one scenario. When ctx
+// carries a recording trace or the configuration has a flight
+// recorder, the pipeline's spans are captured into a private scratch
+// trace — parallel scenarios never contend on the campaign trace — and
+// spliced under ctx's current span afterwards. Rows are byte-identical
+// either way: tracing only observes.
+func runOne(ctx context.Context, sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
+	parent := obs.TraceFrom(ctx)
+	if parent == nil && cfg.Flight == nil {
+		return runScenario(ctx, sc, cfg)
+	}
+	scratch := obs.NewTrace(obs.ID{}, scenarioSpanLimit)
+	sctx := obs.ContextWithSpanID(obs.ContextWithTrace(ctx, scratch), 0)
+	start := time.Now()
+	row, err := runScenario(sctx, sc, cfg)
+	dur := time.Since(start)
+	parent.Adopt(obs.SpanIDFrom(ctx), scratch)
+	cfg.Flight.Offer(fmt.Sprintf("scenario %d", sc.Index), start, dur, scratch.WireSpans())
+	return row, err
+}
+
+// runScenario is the pipeline body. All stages share one what-if store
+// scoped to the scenario, so the perturbed re-analysis pays only for
+// what the changes can reach and the row is independent of worker
+// scheduling. Spans are recorded only when ctx carries a trace; the
+// untraced path pays a context lookup per stage and nothing else.
+func runScenario(ctx context.Context, sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
+	ctx, root := obs.StartSpan(ctx, "scenario")
+	root.SetInt("index", int64(sc.Index))
+	root.SetInt("seed", sc.Seed)
+	defer root.End()
+
 	row := ScenarioResult{
 		Index: sc.Index, Seed: sc.Seed, MinMarginPct: math.NaN(),
 		WorstStuffing: sc.WorstStuffing, BurstErrors: sc.BurstErrors,
 	}
 
+	_, bsp := obs.StartSpan(ctx, "build")
 	sys, changes, err := sc.Build()
 	if err != nil {
+		bsp.End()
 		return row, err
 	}
 	topo, err := netsim.FromSystem(sys)
+	bsp.End()
 	if err != nil {
 		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
 	}
@@ -130,19 +170,37 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 	for _, d := range topo.TDMABuses {
 		row.Messages += len(d.Messages)
 	}
+	root.SetInt("buses", int64(row.Buses))
+	root.SetInt("messages", int64(row.Messages))
 
 	var store cache.Store = whatif.NewStore(cfg.StoreCapacity)
 	if cfg.Cache != nil {
 		store = cache.NewTiered(store, cfg.Cache)
 	}
+	// The tracing wrapper forwards through the same leveled helpers a
+	// session uses on the bare store, so session counters — and the row
+	// fields derived from them — are unchanged.
+	var tstore *obs.TracedStore
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tstore = obs.NewTracedStore(store)
+		store = tstore
+		defer func() { tstore.Finish(tr, root.ID()) }()
+	}
 	sess := whatif.NewSystemSession(sys, whatif.Options{Store: store, Workers: 1})
+
+	_, asp := obs.StartSpan(ctx, "analyze")
 	base, err := sess.Analyze(cfg.MaxIterations)
 	if err != nil {
+		asp.End()
 		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
 	}
 	row.Converged = base.Converged
 	row.Iterations = base.Iterations
 	row.Schedulable = base.AllSchedulable()
+	asp.SetBool("converged", row.Converged)
+	asp.SetBool("schedulable", row.Schedulable)
+	asp.SetInt("iterations", int64(row.Iterations))
+	asp.End()
 	for _, rep := range base.BusReports {
 		row.MissCount += rep.MissCount()
 		if rep.Utilization > row.MaxUtilization {
@@ -157,8 +215,10 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 	}
 
 	if row.Converged && cfg.Seeds > 0 {
+		_, ssp := obs.StartSpan(ctx, "simulate")
 		st, err := CrossValidate(sys, base, topo, cfg.Seeds, cfg.Duration)
 		if err != nil {
+			ssp.End()
 			return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
 		}
 		row.SimRuns = st.SimRuns
@@ -167,12 +227,19 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 		row.Losses = st.Losses
 		row.LossPredicted = st.LossPredicted
 		row.MinMarginPct = st.MinMarginPct
+		ssp.SetInt("runs", int64(row.SimRuns))
+		ssp.SetInt("frames", int64(row.Frames))
+		ssp.End()
 	}
 
+	_, psp := obs.StartSpan(ctx, "perturb")
 	if err := sess.Apply(changes...); err != nil {
+		psp.End()
 		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
 	}
 	pert, err := sess.Analyze(cfg.MaxIterations)
+	psp.SetInt("changes", int64(len(changes)))
+	psp.End()
 	if err != nil {
 		return row, fmt.Errorf("scenario %d: %w", sc.Index, err)
 	}
@@ -187,6 +254,8 @@ func runOne(sc *scenario.Scenario, cfg Config) (ScenarioResult, error) {
 	if total := row.CacheHits + row.CacheMisses; total > 0 {
 		row.HitRate = float64(row.CacheHits) / float64(total)
 	}
+	root.SetInt("cache_hits", int64(row.CacheHits))
+	root.SetInt("cache_misses", int64(row.CacheMisses))
 	return row, nil
 }
 
@@ -216,6 +285,10 @@ func RunShard(ctx context.Context, corpus *scenario.Corpus, cfg Config, start, c
 			start, start+count, len(corpus.Scenarios))
 	}
 	cfg = cfg.withDefaults()
+	ctx, ssp := obs.StartSpan(ctx, "shard.run")
+	ssp.SetInt("start", int64(start))
+	ssp.SetInt("count", int64(count))
+	defer ssp.End()
 	rows := make([]ScenarioResult, count)
 	errs := make([]error, count)
 	var interrupted atomic.Bool
@@ -224,7 +297,7 @@ func RunShard(ctx context.Context, corpus *scenario.Corpus, cfg Config, start, c
 			interrupted.Store(true)
 			return
 		}
-		row, err := runOne(&corpus.Scenarios[start+k], cfg)
+		row, err := runOne(ctx, &corpus.Scenarios[start+k], cfg)
 		if err != nil {
 			errs[k] = err
 			return

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
 )
@@ -158,6 +159,11 @@ func (j *Job) Run(ctx context.Context) (*Report, error) {
 	}
 	j.mu.Unlock()
 
+	ctx, csp := obs.StartSpan(ctx, "campaign.run")
+	csp.SetInt("pending", int64(len(pending)))
+	csp.SetInt("total", int64(len(j.done)))
+	defer csp.End()
+
 	errs := make([]error, len(pending))
 	var interrupted atomic.Bool
 	parallel.For(len(pending), j.cfg.Workers, func(_, k int) {
@@ -166,7 +172,7 @@ func (j *Job) Run(ctx context.Context) (*Report, error) {
 			return
 		}
 		i := pending[k]
-		row, err := runOne(&j.corpus.Scenarios[i], j.cfg)
+		row, err := runOne(ctx, &j.corpus.Scenarios[i], j.cfg)
 		if err != nil {
 			errs[k] = err
 			return

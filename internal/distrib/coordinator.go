@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Options parameterises a distributed campaign run.
@@ -90,6 +91,9 @@ type Event struct {
 	Total int `json:"total"`
 	// Err carries the failure of shard_failed / worker_dropped events.
 	Err string `json:"err,omitempty"`
+	// ElapsedNS is the attempt's wall-clock duration, set on shard_done
+	// and shard_failed events.
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 }
 
 type shardTask struct {
@@ -135,7 +139,10 @@ func Run(ctx context.Context, job *campaign.Job, opts Options) (*campaign.Report
 	if len(shards) == 0 {
 		return job.Run(ctx)
 	}
+	_, rsp := obs.StartSpan(ctx, "corpus.ref")
 	ref, err := campaign.NewCorpusRef(job.Corpus())
+	rsp.SetAttr("fingerprint", ref.Fingerprint)
+	rsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("distrib: %w", err)
 	}
@@ -191,10 +198,13 @@ func (c *coordinator) workerLoop(ctx context.Context, addr string) {
 			return
 		case t := <-c.queue:
 			c.emit(Event{Type: EventDispatch, Worker: addr, Shard: t.r, Attempt: t.attempts + 1})
+			t0 := time.Now()
 			err := c.runShard(ctx, addr, t)
+			elapsed := time.Since(t0)
 			if err == nil {
 				consecutive = 0
-				c.emit(Event{Type: EventShardDone, Worker: addr, Shard: t.r, Attempt: t.attempts + 1})
+				c.emit(Event{Type: EventShardDone, Worker: addr, Shard: t.r,
+					Attempt: t.attempts + 1, ElapsedNS: int64(elapsed)})
 				if c.remaining.Add(-1) == 0 {
 					c.doneOnce.Do(func() { close(c.allDone) })
 					return
@@ -208,7 +218,8 @@ func (c *coordinator) workerLoop(ctx context.Context, addr string) {
 				return
 			}
 			t.attempts++
-			c.emit(Event{Type: EventShardFailed, Worker: addr, Shard: t.r, Attempt: t.attempts, Err: err.Error()})
+			c.emit(Event{Type: EventShardFailed, Worker: addr, Shard: t.r,
+				Attempt: t.attempts, Err: err.Error(), ElapsedNS: int64(elapsed)})
 			if t.attempts >= c.opts.MaxAttempts {
 				c.fail(fmt.Errorf("distrib: shard [%d,%d) failed %d times, last on %s: %w",
 					t.r.Start, t.r.End(), t.attempts, addr, err))
@@ -245,8 +256,22 @@ func (c *coordinator) emit(e Event) {
 
 // runShard executes one attempt of one shard against one worker under
 // the per-shard deadline, verifies the response is exactly the
-// requested range, and installs the rows.
-func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) error {
+// requested range, and installs the rows. When ctx carries a trace the
+// request travels with trace headers and the worker's spans come back
+// in the response, spliced under this attempt's dispatch span.
+func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) (err error) {
+	sctx, sp := obs.StartSpan(ctx, "shard.dispatch")
+	sp.SetAttr("worker", addr)
+	sp.SetInt("start", int64(t.r.Start))
+	sp.SetInt("count", int64(t.r.Count))
+	sp.SetInt("attempt", int64(t.attempts+1))
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}()
+
 	attemptCtx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
 	defer cancel()
 
@@ -266,6 +291,7 @@ func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) e
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(sctx, req.Header)
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
 		return err
@@ -297,5 +323,9 @@ func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) e
 		}
 		rows[i] = row
 	}
-	return c.job.InstallRows(rows)
+	if err := c.job.InstallRows(rows); err != nil {
+		return err
+	}
+	obs.TraceFrom(ctx).ImportWire(sp.ID(), sr.Spans)
+	return nil
 }

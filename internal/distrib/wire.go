@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // WireVersion guards the shard protocol: a coordinator and worker of
@@ -63,8 +64,13 @@ type ShardRequest struct {
 }
 
 // ShardResponse carries the computed rows, index-aligned with the
-// requested range, in the lossless WireRow encoding.
+// requested range, in the lossless WireRow encoding. Spans carries the
+// worker-side execution trace when the request arrived with a trace
+// header; it is empty otherwise, so untraced responses are unchanged
+// byte-for-byte. Adding the optional field did not bump WireVersion:
+// old coordinators ignore it and old workers never set it.
 type ShardResponse struct {
 	Version int                `json:"version"`
 	Rows    []campaign.WireRow `json:"rows"`
+	Spans   []obs.WireSpan     `json:"spans,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -57,6 +58,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 // ShardsServed returns how many shards this worker has completed.
 func (w *Worker) ShardsServed() uint64 { return w.shardsServed.Load() }
 
+// RowsServed returns how many scenario rows this worker has computed.
+func (w *Worker) RowsServed() uint64 { return w.rowsServed.Load() }
+
 // ShardHandler returns just the shard-computation endpoint, for hosts
 // that mount it on their own mux (the analysis service exposes it as
 // an operational route).
@@ -100,14 +104,34 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 			http.StatusBadRequest)
 		return
 	}
-	corpus, err := w.corpus(req.Corpus)
+	// A trace header means the coordinator wants this shard's execution
+	// spans back. The worker records into its own standalone trace (the
+	// coordinator splices it under the dispatch span by remapping IDs,
+	// so the ID spaces never clash) and rows stay byte-identical: the
+	// trace observes the run, it never steers it.
+	ctx := r.Context()
+	var wtr *obs.Trace
+	if id, ok := obs.ParseID(r.Header.Get(obs.TraceIDHeader)); ok {
+		wtr = obs.NewTrace(id, 0)
+		ctx = obs.ContextWithTrace(ctx, wtr)
+	}
+	ctx, root := obs.StartSpan(ctx, "worker.shard")
+	root.SetInt("start", int64(req.Start))
+	root.SetInt("count", int64(req.Count))
+
+	_, csp := obs.StartSpan(ctx, "corpus.resolve")
+	corpus, cached, err := w.corpus(req.Corpus)
+	csp.SetBool("cached", cached)
+	csp.End()
 	if err != nil {
+		root.End()
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
 	cfg := req.Config.Campaign(w.cfg.Workers)
 	cfg.Cache = w.cfg.Cache
-	rows, err := campaign.RunShard(r.Context(), corpus, cfg, req.Start, req.Count)
+	rows, err := campaign.RunShard(ctx, corpus, cfg, req.Start, req.Count)
+	root.End()
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			return // coordinator gave up; nobody is reading the response
@@ -119,6 +143,9 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	for i := range rows {
 		resp.Rows[i] = campaign.NewWireRow(&rows[i])
 	}
+	if wtr != nil {
+		resp.Spans = wtr.WireSpans()
+	}
 	rw.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(rw).Encode(&resp); err != nil {
 		return // mid-body failure; coordinator sees a decode error and retries
@@ -128,8 +155,8 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 }
 
 // corpus resolves a corpus reference through the worker's
-// fingerprint-keyed cache.
-func (w *Worker) corpus(ref campaign.CorpusRef) (*scenario.Corpus, error) {
+// fingerprint-keyed cache, reporting whether the cache already held it.
+func (w *Worker) corpus(ref campaign.CorpusRef) (*scenario.Corpus, bool, error) {
 	w.mu.Lock()
 	for i := range w.corpora {
 		if w.corpora[i].fingerprint == ref.Fingerprint {
@@ -138,7 +165,7 @@ func (w *Worker) corpus(ref campaign.CorpusRef) (*scenario.Corpus, error) {
 			copy(w.corpora[1:i+1], w.corpora[:i])
 			w.corpora[0] = e
 			w.mu.Unlock()
-			return e.corpus, nil
+			return e.corpus, true, nil
 		}
 	}
 	w.mu.Unlock()
@@ -147,7 +174,7 @@ func (w *Worker) corpus(ref campaign.CorpusRef) (*scenario.Corpus, error) {
 	// so concurrent duplicates agree and the last one wins harmlessly.
 	corpus, err := ref.Resolve()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	w.mu.Lock()
 	w.corpora = append([]corpusEntry{{ref.Fingerprint, corpus}}, w.corpora...)
@@ -155,5 +182,5 @@ func (w *Worker) corpus(ref campaign.CorpusRef) (*scenario.Corpus, error) {
 		w.corpora = w.corpora[:w.cfg.CorpusCache]
 	}
 	w.mu.Unlock()
-	return corpus, nil
+	return corpus, false, nil
 }

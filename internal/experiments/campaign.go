@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,9 @@ type CampaignParams struct {
 	// Quick shrinks the corpus to 64 scenarios with a halved
 	// simulation span — the CI-friendly variant.
 	Quick bool
+	// Context, when set, bounds the run and carries observability state
+	// (an obs trace records the campaign's spans). Nil means Background.
+	Context context.Context
 }
 
 // RunCampaign generates the corpus and drives the sharded campaign
@@ -42,7 +46,15 @@ func RunCampaign(p CampaignParams) (*campaign.Report, *scenario.Corpus, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: %w", err)
 	}
-	rep, err := campaign.Run(corpus, p.Config)
+	ctx := p.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	job, err := campaign.NewJob(corpus, p.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := job.Run(ctx)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// microTime converts wall-clock microseconds back to a time.Time.
+func microTime(us int64) time.Time { return time.UnixMicro(us) }
+
+// microDur converts microseconds to a duration.
+func microDur(us int64) time.Duration { return time.Duration(us) * time.Microsecond }
+
+// WireSpan is the portable JSON form of a Span: wall-clock microseconds
+// instead of time.Time, so spans survive a process boundary (shard
+// responses) and feed the Chrome exporter directly.
+type WireSpan struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// WireSpans converts the trace's spans to the portable form.
+func (t *Trace) WireSpans() []WireSpan {
+	spans := t.Spans()
+	out := make([]WireSpan, len(spans))
+	for i, s := range spans {
+		out[i] = WireSpan{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			StartUS: s.Start.UnixMicro(),
+			DurUS:   s.Dur.Microseconds(),
+			Attrs:   s.Attrs,
+		}
+	}
+	return out
+}
+
+// Subtree returns the portable form of the span rooted at root plus
+// all its recorded descendants — the slice a flight recorder keeps for
+// one operation of a shared trace. Root itself must already be
+// recorded (i.e. ended) to appear.
+func (t *Trace) Subtree(root uint64) []WireSpan {
+	if t == nil || root == 0 {
+		return nil
+	}
+	spans := t.Spans()
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	under := func(id uint64) bool {
+		for depth := 0; depth < 64; depth++ {
+			if id == root {
+				return true
+			}
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return false
+			}
+			id = p
+		}
+		return false
+	}
+	var out []WireSpan
+	for _, s := range spans {
+		if !under(s.ID) {
+			continue
+		}
+		out = append(out, WireSpan{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			StartUS: s.Start.UnixMicro(),
+			DurUS:   s.Dur.Microseconds(),
+			Attrs:   s.Attrs,
+		})
+	}
+	return out
+}
+
+// ImportWire splices portable spans (e.g. a shard worker's) under the
+// given parent span of t, remapping their IDs into t's ID space like
+// Adopt. Span times are kept as sent: the workers' clocks line the
+// spans up well enough for a fleet on NTP, and durations are exact.
+func (t *Trace) ImportWire(parent uint64, spans []WireSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	remap := make(map[uint64]uint64, len(spans))
+	for i := range spans {
+		remap[spans[i].ID] = t.newSpanID()
+	}
+	for _, ws := range spans {
+		s := Span{
+			ID:    remap[ws.ID],
+			Name:  ws.Name,
+			Start: microTime(ws.StartUS),
+			Dur:   microDur(ws.DurUS),
+			Attrs: ws.Attrs,
+		}
+		if p, ok := remap[ws.Parent]; ok && ws.Parent != 0 {
+			s.Parent = p
+		} else {
+			s.Parent = parent
+		}
+		t.record(s)
+	}
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event). The
+// format is what chrome://tracing and Perfetto load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the containing object of a trace_event export.
+type chromeFile struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON. Each span
+// becomes a complete ("X") event; the thread ID is the span's root-most
+// ancestor, so each request/shard/scenario subtree renders as its own
+// lane. Events are emitted in (lane, start) order for stable output.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	// Resolve each span to its root ancestor for lane assignment.
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	lane := func(id uint64) uint64 {
+		for depth := 0; depth < 64; depth++ {
+			p := parent[id]
+			if p == 0 {
+				return id
+			}
+			id = p
+		}
+		return id
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   s.Start.UnixMicro(),
+			Dur:  s.Dur.Microseconds(),
+			PID:  1,
+			TID:  lane(s.ID),
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].TS < events[j].TS
+	})
+	file := chromeFile{
+		TraceEvents: events,
+		Metadata: map[string]string{
+			"trace_id": t.ID().String(),
+			"dropped":  utoa(t.Dropped()),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

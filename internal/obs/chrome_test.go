@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTrace(testID(11), 0)
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "campaign")
+	_, child := StartSpan(ctx, "scenario")
+	child.SetInt("seed", 7)
+	child.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   int64             `json:"ts"`
+			PID  int               `json:"pid"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(file.TraceEvents))
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("ph = %q", ev.Ph)
+		}
+		// Both spans share the root's lane.
+		if ev.TID != root.ID() {
+			t.Fatalf("tid = %d, want root lane %d", ev.TID, root.ID())
+		}
+	}
+	found := false
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "scenario" && ev.Args["seed"] == "7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("scenario event with seed attr not exported")
+	}
+	if file.Metadata["trace_id"] != tr.ID().String() {
+		t.Fatalf("metadata trace_id = %q", file.Metadata["trace_id"])
+	}
+}
+
+func TestWriteChromeEmptyTrace(t *testing.T) {
+	tr := NewTrace(testID(12), 0)
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace export: %s", b.String())
+	}
+}

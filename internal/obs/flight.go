@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"container/heap"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultFlightSlowest is how many entries a flight recorder keeps
+// when the operator sets no size.
+const DefaultFlightSlowest = 32
+
+// FlightEntry is one recorded operation: its label, duration, start
+// time, and full span tree in portable form.
+type FlightEntry struct {
+	Label   string     `json:"label"`
+	DurNS   int64      `json:"dur_ns"`
+	StartUS int64      `json:"start_us"`
+	Spans   []WireSpan `json:"spans,omitempty"`
+}
+
+// FlightRecorder retains the N slowest offered operations — a bounded
+// min-heap keyed on duration, so a fast operation is rejected in O(1)
+// and a new slowest costs O(log n). Campaigns offer every scenario;
+// what survives is the tail worth debugging. A nil *FlightRecorder
+// accepts offers and records nothing.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	entries flightHeap
+	limit   int
+	offered uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the limit slowest
+// entries. limit <= 0 selects DefaultFlightSlowest.
+func NewFlightRecorder(limit int) *FlightRecorder {
+	if limit <= 0 {
+		limit = DefaultFlightSlowest
+	}
+	return &FlightRecorder{limit: limit}
+}
+
+// Offer records the operation if it ranks among the slowest seen.
+// spans may be nil (label+duration only).
+func (f *FlightRecorder) Offer(label string, start time.Time, dur time.Duration, spans []WireSpan) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.offered++
+	if len(f.entries) >= f.limit {
+		if int64(dur) <= f.entries[0].DurNS {
+			return
+		}
+		f.entries[0] = FlightEntry{Label: label, DurNS: int64(dur), StartUS: start.UnixMicro(), Spans: spans}
+		heap.Fix(&f.entries, 0)
+		return
+	}
+	heap.Push(&f.entries, FlightEntry{Label: label, DurNS: int64(dur), StartUS: start.UnixMicro(), Spans: spans})
+}
+
+// Offered reports how many operations were offered in total.
+func (f *FlightRecorder) Offered() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.offered
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := append([]FlightEntry(nil), f.entries...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurNS != out[j].DurNS {
+			return out[i].DurNS > out[j].DurNS
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// flightDump is the JSON envelope of a recorder dump.
+type flightDump struct {
+	Offered uint64        `json:"offered"`
+	Kept    int           `json:"kept"`
+	Slowest []FlightEntry `json:"slowest"`
+}
+
+// WriteJSON dumps the recorder (slowest first) as indented JSON — the
+// payload of /v1/debug/slowest and the SIGQUIT dump.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	snap := f.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flightDump{Offered: f.Offered(), Kept: len(snap), Slowest: snap})
+}
+
+// flightHeap is a min-heap on duration (root = fastest retained entry,
+// the next to be displaced).
+type flightHeap []FlightEntry
+
+func (h flightHeap) Len() int           { return len(h) }
+func (h flightHeap) Less(i, j int) bool { return h[i].DurNS < h[j].DurNS }
+func (h flightHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *flightHeap) Push(x any)        { *h = append(*h, x.(FlightEntry)) }
+func (h *flightHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Offer("x", time.Now(), time.Second, nil) // must not panic
+	if f.Snapshot() != nil || f.Offered() != 0 {
+		t.Fatal("nil recorder retained")
+	}
+}
+
+func TestFlightRecorderKeepsSlowest(t *testing.T) {
+	f := NewFlightRecorder(3)
+	now := time.Now()
+	durs := []time.Duration{5, 1, 9, 3, 7, 2, 8} // ms
+	for i, d := range durs {
+		f.Offer("op"+string(rune('a'+i)), now, d*time.Millisecond, nil)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("kept %d, want 3", len(snap))
+	}
+	// Slowest first: 9, 8, 7 ms.
+	want := []int64{int64(9 * time.Millisecond), int64(8 * time.Millisecond), int64(7 * time.Millisecond)}
+	for i, e := range snap {
+		if e.DurNS != want[i] {
+			t.Fatalf("snap[%d].DurNS = %d, want %d", i, e.DurNS, want[i])
+		}
+	}
+	if f.Offered() != uint64(len(durs)) {
+		t.Fatalf("offered = %d", f.Offered())
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Offer("slow", time.Now(), time.Second, []WireSpan{{ID: 1, Name: "analyze"}})
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Offered uint64        `json:"offered"`
+		Kept    int           `json:"kept"`
+		Slowest []FlightEntry `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Offered != 1 || dump.Kept != 1 || len(dump.Slowest) != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Slowest[0].Label != "slow" || len(dump.Slowest[0].Spans) != 1 {
+		t.Fatalf("entry = %+v", dump.Slowest[0])
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8)
+	var wg sync.WaitGroup
+	now := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Offer("op", now, time.Duration(g*1000+i), nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := f.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("kept %d, want 8", len(snap))
+	}
+	if f.Offered() != 1600 {
+		t.Fatalf("offered = %d", f.Offered())
+	}
+	// The retained set must be the true top 8: 7199..7192.
+	if snap[0].DurNS != 7199 || snap[7].DurNS != 7192 {
+		t.Fatalf("top-8 wrong: first=%d last=%d", snap[0].DurNS, snap[7].DurNS)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prom writes Prometheus text exposition format (version 0.0.4): HELP
+// and TYPE lines per family, then one sample line per (name, labels)
+// pair. It is a plain writer, not a registry — the caller supplies
+// values in a deterministic order, which keeps scrapes diffable.
+//
+//	p := obs.NewProm(w)
+//	p.Family("symtago_requests_total", "counter", "Requests by route.")
+//	p.Value("symtago_requests_total", obs.Labels{"route", "/v1/analyze"}, 17)
+//	err := p.Err()
+type Prom struct {
+	w   io.Writer
+	err error
+}
+
+// Labels is a flat key, value, key, value... list. A flat list keeps
+// label order under caller control (Prometheus treats label order as
+// insignificant, but deterministic output is diffable output).
+type Labels []string
+
+// NewProm returns a writer emitting to w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// Err returns the first write error.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) write(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Family emits the # HELP and # TYPE header for a metric family. typ
+// is "counter", "gauge", "histogram" or "summary".
+func (p *Prom) Family(name, typ, help string) {
+	p.write("# HELP " + name + " " + escapeHelp(help) + "\n")
+	p.write("# TYPE " + name + " " + typ + "\n")
+}
+
+// Value emits one sample line.
+func (p *Prom) Value(name string, labels Labels, v float64) {
+	p.write(name)
+	p.labels(labels)
+	p.write(" " + formatFloat(v) + "\n")
+}
+
+// Uint emits one sample line from an integer counter.
+func (p *Prom) Uint(name string, labels Labels, v uint64) {
+	p.write(name)
+	p.labels(labels)
+	p.write(" " + strconv.FormatUint(v, 10) + "\n")
+}
+
+// Histogram emits a full cumulative histogram: one {le="..."} bucket
+// line per bound, the +Inf bucket, then _sum and _count. counts are
+// per-bucket (non-cumulative) observations; bounds are the upper
+// bounds in seconds matching counts[:len(bounds)], with counts'
+// final element the overflow bucket.
+func (p *Prom) Histogram(name string, labels Labels, bounds []float64, counts []uint64, sum float64) {
+	var cum uint64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		p.write(name + "_bucket")
+		p.labels(append(append(Labels{}, labels...), "le", formatFloat(b)))
+		p.write(" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	p.write(name + "_bucket")
+	p.labels(append(append(Labels{}, labels...), "le", "+Inf"))
+	p.write(" " + strconv.FormatUint(cum, 10) + "\n")
+	p.Value(name+"_sum", labels, sum)
+	p.Uint(name+"_count", labels, cum)
+}
+
+// labels writes a {k="v",...} block (nothing when empty).
+func (p *Prom) labels(kv Labels) {
+	if len(kv) == 0 {
+		return
+	}
+	p.write("{")
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			p.write(",")
+		}
+		p.write(kv[i] + "=\"" + escapeLabel(kv[i+1]) + "\"")
+	}
+	p.write("}")
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SortedKeys returns the map's keys sorted — the standard way handlers
+// iterate label sets deterministically.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromBasic(t *testing.T) {
+	var b strings.Builder
+	p := NewProm(&b)
+	p.Family("x_total", "counter", "Things.")
+	p.Uint("x_total", Labels{"route", "/v1/analyze"}, 17)
+	p.Value("x_ratio", nil, 0.25)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# HELP x_total Things.\n# TYPE x_total counter\nx_total{route=\"/v1/analyze\"} 17\nx_ratio 0.25\n"
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	p := NewProm(&b)
+	p.Uint("x", Labels{"k", "a\"b\\c\nd"}, 1)
+	got := b.String()
+	want := `x{k="a\"b\\c\nd"} 1` + "\n"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	var b strings.Builder
+	p := NewProm(&b)
+	// bounds 0.001/0.01 with per-bucket counts 3,2 and 1 overflow.
+	p.Histogram("d_seconds", Labels{"route", "/x"}, []float64{0.001, 0.01}, []uint64{3, 2, 1}, 0.05)
+	got := b.String()
+	for _, want := range []string{
+		`d_seconds_bucket{route="/x",le="0.001"} 3`,
+		`d_seconds_bucket{route="/x",le="0.01"} 5`,
+		`d_seconds_bucket{route="/x",le="+Inf"} 6`,
+		`d_seconds_sum{route="/x"} 0.05`,
+		`d_seconds_count{route="/x"} 6`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}

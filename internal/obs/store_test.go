@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/contenthash"
+)
+
+func key(n uint64) contenthash.Digest {
+	h := contenthash.New(1)
+	h.Word(n)
+	return h.Sum()
+}
+
+func TestTracedStoreForwardsExactly(t *testing.T) {
+	bare := cache.NewLRU(16)
+	traced := NewTracedStore(cache.NewLRU(16))
+
+	// Drive both identically through the package helpers, as a session
+	// would; the inner Stats must match the bare store's exactly.
+	for _, s := range []cache.Store{bare, traced} {
+		cache.PutPrimary(s, key(1), "a")
+		if v, ok := cache.GetPrimary(s, key(1)); !ok || v != "a" {
+			t.Fatalf("GetPrimary = %v, %v", v, ok)
+		}
+		if _, _, ok := cache.GetLeveled(s, key(2)); ok {
+			t.Fatal("miss expected")
+		}
+		s.Put(key(3), "c")
+		if v, ok := s.Get(key(3)); !ok || v != "c" {
+			t.Fatalf("Get = %v, %v", v, ok)
+		}
+	}
+	bs, ts := bare.Stats(), traced.Stats()
+	if bs != ts {
+		t.Fatalf("pinned-stats contract broken:\nbare   %+v\ntraced %+v", bs, ts)
+	}
+
+	l1, l2, miss, puts := traced.Counts()
+	if l1 != 2 || l2 != 0 || miss != 1 || puts != 2 {
+		t.Fatalf("counts = %d,%d,%d,%d", l1, l2, miss, puts)
+	}
+}
+
+func TestTracedStoreNil(t *testing.T) {
+	if NewTracedStore(nil) != nil {
+		t.Fatal("wrapping nil must return nil")
+	}
+	var ts *TracedStore
+	if a, b, c, d := ts.Counts(); a+b+c+d != 0 {
+		t.Fatal("nil counts")
+	}
+	ts.Finish(NewTrace(ID{}, 0), 0) // must not panic
+}
+
+func TestTracedStoreFinishSpans(t *testing.T) {
+	l1 := cache.NewLRU(16)
+	l2 := cache.NewLRU(16)
+	l2.Put(key(1), "from-l2")
+	traced := NewTracedStore(cache.NewTiered(l1, l2))
+
+	if v, primary, ok := traced.GetLeveled(key(1)); !ok || primary || v != "from-l2" {
+		t.Fatalf("GetLeveled = %v, %v, %v", v, primary, ok)
+	}
+	if _, _, ok := traced.GetLeveled(key(2)); ok {
+		t.Fatal("miss expected")
+	}
+	traced.PutPrimary(key(3), "x")
+	if _, ok := traced.GetPrimary(key(3)); !ok {
+		t.Fatal("primary hit expected")
+	}
+
+	tr := NewTrace(testID(9), 0)
+	traced.Finish(tr, 0)
+	byName := map[string]Span{}
+	for _, s := range tr.Spans() {
+		byName[s.Name] = s
+	}
+	s1, ok := byName["cache.l1"]
+	if !ok {
+		t.Fatal("missing cache.l1 span")
+	}
+	s2, ok := byName["cache.l2"]
+	if !ok {
+		t.Fatal("missing cache.l2 span")
+	}
+	attrs := func(s Span) map[string]string {
+		m := map[string]string{}
+		for _, a := range s.Attrs {
+			m[a.Key] = a.Value
+		}
+		return m
+	}
+	a1, a2 := attrs(s1), attrs(s2)
+	// 1 primary hit, 1 L2 hit, 1 full miss, 1 put.
+	if a1["hits"] != "1" || a1["misses"] != "2" || a1["puts"] != "1" {
+		t.Fatalf("cache.l1 attrs = %v", a1)
+	}
+	if a2["hits"] != "1" || a2["misses"] != "1" {
+		t.Fatalf("cache.l2 attrs = %v", a2)
+	}
+}
+
+func TestTracedStoreFinishIdleEmitsNothing(t *testing.T) {
+	traced := NewTracedStore(cache.NewLRU(4))
+	tr := NewTrace(testID(10), 0)
+	traced.Finish(tr, 0)
+	if tr.Len() != 0 {
+		t.Fatalf("idle store emitted %d spans", tr.Len())
+	}
+}
+
+func TestTracedStoreSatisfiesLeveled(t *testing.T) {
+	var s cache.Store = NewTracedStore(cache.NewLRU(4))
+	if _, ok := s.(cache.Leveled); !ok {
+		t.Fatal("TracedStore must satisfy cache.Leveled")
+	}
+}

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/contenthash"
+)
+
+// ID is a 128-bit trace identifier. It reuses the contenthash digest
+// type, so it renders as 32 hex characters and hashes deterministically
+// for sampling decisions.
+type ID = contenthash.Digest
+
+// ParseID decodes a 32-hex-character trace ID (the header form).
+func ParseID(s string) (ID, bool) {
+	var id ID
+	if len(s) != 32 {
+		return id, false
+	}
+	for i := 0; i < 32; i++ {
+		c := s[i]
+		var v byte
+		switch {
+		case c >= '0' && c <= '9':
+			v = c - '0'
+		case c >= 'a' && c <= 'f':
+			v = c - 'a' + 10
+		case c >= 'A' && c <= 'F':
+			v = c - 'A' + 10
+		default:
+			return ID{}, false
+		}
+		if i%2 == 0 {
+			id[i/2] = v << 4
+		} else {
+			id[i/2] |= v
+		}
+	}
+	return id, true
+}
+
+// Trace propagation headers. A coordinator injects them into shard
+// requests; the service accepts them on any application route, so a
+// client (or an upstream service) can stitch its own ID through the
+// whole stack.
+const (
+	// TraceIDHeader carries the 32-hex-char trace ID. An incoming
+	// request bearing it is always traced (the caller already decided);
+	// the response echoes the ID back on every traced request.
+	TraceIDHeader = "X-Trace-Id"
+	// ParentSpanHeader carries the caller's span ID (decimal), so the
+	// callee's spans attach under the right parent when re-imported.
+	ParentSpanHeader = "X-Parent-Span"
+)
+
+// DefaultSpanLimit bounds the spans one trace retains. Past it new
+// spans are counted as dropped instead of growing without bound — a
+// traced 50k-scenario campaign must not hold 50k span trees alive.
+const DefaultSpanLimit = 16384
+
+// Attr is one key/value annotation of a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one completed operation within a trace. IDs are allocated
+// per trace, dense from 1; Parent 0 marks a root span.
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Trace is a bounded buffer of completed spans sharing one ID. It is
+// safe for concurrent use; a nil *Trace is a valid always-off trace.
+type Trace struct {
+	id       ID
+	nextSpan atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []Span
+	limit   int
+	dropped uint64
+}
+
+// NewTrace returns an empty recording trace. limit <= 0 selects
+// DefaultSpanLimit.
+func NewTrace(id ID, limit int) *Trace {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Trace{id: id, limit: limit}
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() ID { return t.id }
+
+// newSpanID allocates the next span ID.
+func (t *Trace) newSpanID() uint64 { return t.nextSpan.Add(1) }
+
+// record appends a completed span, counting it as dropped past the
+// span limit.
+func (t *Trace) record(s Span) {
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// Spans copies the completed spans (recording order).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped reports how many spans the limit discarded.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports how many spans the trace retains.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Adopt splices every span of sub under the given parent span of t:
+// sub's span IDs are remapped into t's ID space (preserving sub's
+// internal parent links) and sub's roots become children of parent.
+// Campaign scenarios record into a private scratch trace and adopt it
+// into the campaign trace, so parallel scenarios never contend on one
+// span buffer.
+func (t *Trace) Adopt(parent uint64, sub *Trace) {
+	if t == nil || sub == nil {
+		return
+	}
+	spans := sub.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	remap := make(map[uint64]uint64, len(spans))
+	for i := range spans {
+		remap[spans[i].ID] = t.newSpanID()
+	}
+	for i := range spans {
+		s := spans[i]
+		s.ID = remap[s.ID]
+		if p, ok := remap[s.Parent]; ok && s.Parent != 0 {
+			s.Parent = p
+		} else {
+			s.Parent = parent
+		}
+		t.record(s)
+	}
+	t.mu.Lock()
+	t.dropped += sub.Dropped()
+	t.mu.Unlock()
+}
+
+// ActiveSpan is an in-flight span. Obtain one from StartSpan; all
+// methods are nil-safe, so untraced call sites need no branching.
+type ActiveSpan struct {
+	tr   *Trace
+	span Span
+}
+
+// ctxKey keys the trace and the current span in a context.
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// ContextWithTrace returns ctx carrying the recording trace. A nil
+// trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the recording trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// SpanIDFrom returns the current span ID carried by ctx (0 at the
+// trace root).
+func SpanIDFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(spanKey).(uint64)
+	return id
+}
+
+// ContextWithSpanID returns ctx with the current span set explicitly —
+// used when the parent span ID arrived over the wire rather than from
+// a local StartSpan. Setting 0 resets the chain, so spans recorded
+// into a fresh scratch trace do not inherit a foreign parent ID.
+func ContextWithSpanID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, spanKey, id)
+}
+
+// StartSpan opens a span under the context's current span. When ctx
+// carries no recording trace it returns (ctx, nil) — and the nil
+// ActiveSpan's methods are no-ops — so the untraced path costs two
+// context lookups.
+func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	s := &ActiveSpan{tr: tr, span: Span{
+		ID:     tr.newSpanID(),
+		Parent: SpanIDFrom(ctx),
+		Name:   name,
+		Start:  time.Now(),
+	}}
+	return context.WithValue(ctx, spanKey, s.span.ID), s
+}
+
+// SetAttr annotates the span.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt annotates the span with an integer value.
+func (s *ActiveSpan) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, itoa(v))
+}
+
+// SetBool annotates the span with a boolean value.
+func (s *ActiveSpan) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	if v {
+		s.SetAttr(key, "true")
+	} else {
+		s.SetAttr(key, "false")
+	}
+}
+
+// ID returns the span's ID (0 on a nil span).
+func (s *ActiveSpan) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// End completes the span and records it into its trace.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.Dur = time.Since(s.span.Start)
+	s.tr.record(s.span)
+}
+
+// Inject writes the context's trace ID and current span ID into h, so
+// an outgoing HTTP request carries the trace across the process
+// boundary. Without a recording trace it is a no-op.
+func Inject(ctx context.Context, h http.Header) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return
+	}
+	h.Set(TraceIDHeader, tr.ID().String())
+	if parent := SpanIDFrom(ctx); parent != 0 {
+		h.Set(ParentSpanHeader, utoa(parent))
+	}
+}
+
+// itoa formats a signed integer without fmt (hot-path annotations).
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+// utoa formats an unsigned integer without fmt.
+func utoa(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// ParseSpanID decodes a decimal span ID (the header form).
+func ParseSpanID(s string) uint64 {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v
+}

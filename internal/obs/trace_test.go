@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testID(b byte) ID {
+	var id ID
+	for i := range id {
+		id[i] = b
+	}
+	return id
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	id := testID(0xa7)
+	got, ok := ParseID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseID(%q) = %v, %v", id.String(), got, ok)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("g", 32), strings.Repeat("0", 31), strings.Repeat("0", 33)} {
+		if _, ok := ParseID(bad); ok {
+			t.Fatalf("ParseID(%q) accepted", bad)
+		}
+	}
+	// Mixed case decodes.
+	up := strings.ToUpper(id.String())
+	if got, ok := ParseID(up); !ok || got != id {
+		t.Fatalf("ParseID upper = %v, %v", got, ok)
+	}
+}
+
+func TestStartSpanUntracedIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatalf("expected nil span without a trace")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("expected unchanged ctx without a trace")
+	}
+	// Every nil-receiver method must be safe.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", -3)
+	sp.SetBool("b", true)
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatalf("nil span ID = %d", sp.ID())
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTrace(testID(1), 0)
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	ctx2, child := StartSpan(ctx, "child")
+	if SpanIDFrom(ctx2) != child.ID() {
+		t.Fatalf("ctx current span = %d, want %d", SpanIDFrom(ctx2), child.ID())
+	}
+	child.SetInt("n", 42)
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Children end (and record) first.
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Fatalf("order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent %d != root id %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != 0 {
+		t.Fatalf("root parent = %d", spans[1].Parent)
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0] != (Attr{Key: "n", Value: "42"}) {
+		t.Fatalf("attrs = %v", spans[0].Attrs)
+	}
+}
+
+func TestTraceSpanLimit(t *testing.T) {
+	tr := NewTrace(testID(2), 3)
+	ctx := ContextWithTrace(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestAdoptRemapsIDs(t *testing.T) {
+	main := NewTrace(testID(3), 0)
+	ctx := ContextWithTrace(context.Background(), main)
+	_, parent := StartSpan(ctx, "campaign")
+
+	scratch := NewTrace(ID{}, 0)
+	sctx := ContextWithTrace(context.Background(), scratch)
+	sctx, outer := StartSpan(sctx, "scenario")
+	_, inner := StartSpan(sctx, "analyze")
+	inner.End()
+	outer.End()
+
+	main.Adopt(parent.ID(), scratch)
+	parent.End()
+
+	spans := main.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["scenario"].Parent != byName["campaign"].ID {
+		t.Fatalf("scenario parent %d != campaign id %d", byName["scenario"].Parent, byName["campaign"].ID)
+	}
+	if byName["analyze"].Parent != byName["scenario"].ID {
+		t.Fatalf("analyze parent %d != scenario id %d", byName["analyze"].Parent, byName["scenario"].ID)
+	}
+	// IDs must be unique after the remap.
+	seen := map[uint64]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestAdoptNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Adopt(1, NewTrace(ID{}, 0)) // must not panic
+	main := NewTrace(testID(4), 0)
+	main.Adopt(1, nil)
+	if main.Len() != 0 {
+		t.Fatalf("adopting nil recorded spans")
+	}
+}
+
+func TestImportWire(t *testing.T) {
+	main := NewTrace(testID(5), 0)
+	ctx := ContextWithTrace(context.Background(), main)
+	_, disp := StartSpan(ctx, "shard.dispatch")
+
+	wire := []WireSpan{
+		{ID: 1, Name: "shard", StartUS: 1000, DurUS: 500},
+		{ID: 2, Parent: 1, Name: "scenario", StartUS: 1100, DurUS: 200},
+	}
+	main.ImportWire(disp.ID(), wire)
+	disp.End()
+
+	spans := main.Spans()
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["shard"].Parent != disp.ID() {
+		t.Fatalf("shard parent = %d, want %d", byName["shard"].Parent, disp.ID())
+	}
+	if byName["scenario"].Parent != byName["shard"].ID {
+		t.Fatalf("scenario parent = %d, want %d", byName["scenario"].Parent, byName["shard"].ID)
+	}
+	if byName["scenario"].Dur != 200*time.Microsecond {
+		t.Fatalf("dur = %v", byName["scenario"].Dur)
+	}
+}
+
+func TestWireSpansRoundTrip(t *testing.T) {
+	tr := NewTrace(testID(6), 0)
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "op")
+	sp.SetAttr("k", "v")
+	sp.End()
+	ws := tr.WireSpans()
+	if len(ws) != 1 || ws[0].Name != "op" || len(ws[0].Attrs) != 1 {
+		t.Fatalf("wire spans = %+v", ws)
+	}
+}
+
+func TestInjectAndHeaders(t *testing.T) {
+	h := http.Header{}
+	Inject(context.Background(), h) // no trace: no-op
+	if len(h) != 0 {
+		t.Fatalf("untraced Inject wrote headers: %v", h)
+	}
+	tr := NewTrace(testID(7), 0)
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "root")
+	Inject(ctx, h)
+	if got := h.Get(TraceIDHeader); got != tr.ID().String() {
+		t.Fatalf("trace header = %q", got)
+	}
+	if got := ParseSpanID(h.Get(ParentSpanHeader)); got != sp.ID() {
+		t.Fatalf("parent header = %d, want %d", got, sp.ID())
+	}
+	sp.End()
+}
+
+func TestParseSpanID(t *testing.T) {
+	if ParseSpanID("123") != 123 {
+		t.Fatal("123")
+	}
+	if ParseSpanID("") != 0 || ParseSpanID("x1") != 0 {
+		t.Fatal("invalid input must parse to 0")
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := NewTrace(testID(8), 0)
+	ctx := ContextWithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, sp := StartSpan(ctx, "op")
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("len = %d, want 800", tr.Len())
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TenantHeader names the request header that attributes work to a
@@ -252,7 +254,11 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		if err := s.adm.wait(ctx); err != nil {
+		_, qsp := obs.StartSpan(ctx, "admission.queue_wait")
+		err := s.adm.wait(ctx)
+		qsp.SetBool("admitted", err == nil)
+		qsp.End()
+		if err != nil {
 			if errors.Is(err, errQueueFull) {
 				s.adm.count(tenant, true)
 				w.Header().Set("Retry-After", "1")

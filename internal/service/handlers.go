@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/distrib"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
 )
@@ -98,7 +99,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
+	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.storeFor(r), Workers: s.cfg.Workers})
 	a, err := sess.Analyze(s.cfg.MaxIterations)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "analysis: %v", err)
@@ -124,7 +125,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			var duration time.Duration
 			if duration, err = queryDuration(r, "duration", 200*time.Millisecond); err == nil {
-				s.simulate(w, body, index, seeds, duration)
+				s.simulate(w, r, body, index, seeds, duration)
 				return
 			}
 		}
@@ -132,7 +133,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 }
 
-func (s *Server) simulate(w http.ResponseWriter, body []byte, index, seeds int, duration time.Duration) {
+func (s *Server) simulate(w http.ResponseWriter, r *http.Request, body []byte, index, seeds int, duration time.Duration) {
 	sys, _, err := buildScenario(body, index)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
@@ -143,7 +144,7 @@ func (s *Server) simulate(w http.ResponseWriter, body []byte, index, seeds int, 
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.store, Workers: s.cfg.Workers})
+	sess := whatif.NewSystemSession(sys, whatif.Options{Store: s.storeFor(r), Workers: s.cfg.Workers})
 	a, err := sess.Analyze(s.cfg.MaxIterations)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, CodeAnalysisFailed, "analysis: %v", err)
@@ -202,7 +203,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) acquireSession(w http.ResponseWriter, r *http.Request) (*whatif.SystemSession, func(), bool) {
 	s.reg.Sweep()
 	id := r.PathValue("id")
+	_, sp := obs.StartSpan(r.Context(), "session.acquire")
 	sess, release, ok := s.reg.Acquire(id)
+	sp.SetAttr("session", id)
+	sp.SetBool("found", ok)
+	sp.End()
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeNotFound, "unknown session %q", id)
 		return nil, nil, false
@@ -452,15 +457,18 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 		MaxIterations: s.cfg.MaxIterations,
 		// Local scenario runs stack their private LRUs on the server's
 		// disk level; a distributed run strips Cache from the wire and
-		// each worker brings its own.
-		Cache: l2orNil(s.l2),
+		// each worker brings its own. Flight, like Cache, is process-
+		// local and never travels — the recorder keeps the slowest
+		// scenarios for GET /v1/debug/slowest.
+		Cache:  l2orNil(s.l2),
+		Flight: s.flight,
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 
-	cj := s.registerJob(job)
+	cj := s.registerJob(job, obs.TraceFrom(r.Context()), obs.SpanIDFrom(r.Context()))
 	writeJSON(w, http.StatusAccepted, CampaignStarted{ID: cj.id, Scenarios: job.Total()})
 }
 

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,58 +15,108 @@ var latencyBucketBounds = []time.Duration{
 	time.Second, 10 * time.Second,
 }
 
+// numLatencyBuckets sizes the per-route bucket array: one bucket per
+// bound plus the unbounded tail. TestLatencyBucketLabels pins it to
+// len(latencyBucketBounds)+1.
+const numLatencyBuckets = 6
+
 // LatencyBucketLabels label the histogram buckets in /v1/metrics.
-var LatencyBucketLabels = []string{
-	"<1ms", "<10ms", "<100ms", "<1s", "<10s", ">=10s",
+// They are derived from latencyBucketBounds so the two cannot drift.
+var LatencyBucketLabels = makeLatencyBucketLabels(latencyBucketBounds)
+
+func makeLatencyBucketLabels(bounds []time.Duration) []string {
+	out := make([]string, len(bounds)+1)
+	for i, b := range bounds {
+		out[i] = "<" + b.String()
+	}
+	out[len(bounds)] = ">=" + bounds[len(bounds)-1].String()
+	return out
 }
 
-// routeMetrics accumulates one route's counters.
+// routeMetrics accumulates one route's counters. All fields are
+// atomics: the observe path is lock-free once the route is registered.
 type routeMetrics struct {
-	count    uint64
-	errors   uint64 // responses with status >= 400
-	shed     uint64 // 429: rate limit or full queue
-	timeouts uint64 // 503: deadline expiry or drain
-	buckets  [6]uint64
+	count    atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	shed     atomic.Uint64 // 429: rate limit or full queue
+	timeouts atomic.Uint64 // 503: deadline expiry or drain
+	durNanos atomic.Uint64 // summed elapsed time (Prometheus _sum)
+	buckets  [numLatencyBuckets]atomic.Uint64
 }
 
 // metrics collects per-route request counters and latency histograms.
+// The route map is copy-on-write: New registers every route before the
+// server accepts traffic, so recording never takes the registration
+// lock — scrapes no longer serialize concurrent requests.
 type metrics struct {
-	mu     sync.Mutex
 	start  time.Time
-	routes map[string]*routeMetrics
+	routes atomic.Pointer[map[string]*routeMetrics]
+	mu     sync.Mutex // guards registration (map copy + swap) only
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), routes: map[string]*routeMetrics{}}
+	m := &metrics{start: time.Now()}
+	empty := map[string]*routeMetrics{}
+	m.routes.Store(&empty)
+	return m
 }
 
-// observe records one request against its route pattern.
+// register returns the route's counters, creating them on first use.
+// Registration copies the map under the lock and swaps the pointer, so
+// concurrent observers keep reading a consistent snapshot.
+func (m *metrics) register(route string) *routeMetrics {
+	if rm := (*m.routes.Load())[route]; rm != nil {
+		return rm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.routes.Load()
+	if rm := old[route]; rm != nil {
+		return rm
+	}
+	next := make(map[string]*routeMetrics, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	rm := &routeMetrics{}
+	next[route] = rm
+	m.routes.Store(&next)
+	return rm
+}
+
+// observe records one request against its route pattern — atomics
+// only on the fast path (the route was registered at mux build time).
 func (m *metrics) observe(route string, status int, elapsed time.Duration) {
+	rm := (*m.routes.Load())[route]
+	if rm == nil {
+		rm = m.register(route)
+	}
+	rm.observe(status, elapsed)
+}
+
+func (rm *routeMetrics) observe(status int, elapsed time.Duration) {
 	b := 0
 	for b < len(latencyBucketBounds) && elapsed >= latencyBucketBounds[b] {
 		b++
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rm := m.routes[route]
-	if rm == nil {
-		rm = &routeMetrics{}
-		m.routes[route] = rm
-	}
-	rm.count++
+	rm.count.Add(1)
 	if status >= 400 {
-		rm.errors++
+		rm.errors.Add(1)
 	}
 	switch status {
 	case http.StatusTooManyRequests:
-		rm.shed++
+		rm.shed.Add(1)
 	case http.StatusServiceUnavailable:
-		rm.timeouts++
+		rm.timeouts.Add(1)
 	}
-	rm.buckets[b]++
+	rm.buckets[b].Add(1)
+	if elapsed > 0 {
+		rm.durNanos.Add(uint64(elapsed))
+	}
 }
 
-// RouteMetrics is the wire form of one route's counters.
+// RouteMetrics is the wire form of one route's counters. DurNanos
+// feeds the Prometheus histogram _sum and stays out of the JSON body.
 type RouteMetrics struct {
 	Route    string   `json:"route"`
 	Count    uint64   `json:"count"`
@@ -73,19 +124,24 @@ type RouteMetrics struct {
 	Shed     uint64   `json:"shed"`
 	Timeouts uint64   `json:"timeouts"`
 	Buckets  []uint64 `json:"latency_buckets"`
+	DurNanos uint64   `json:"-"`
 }
 
 // snapshot returns the per-route counters sorted by route.
 func (m *metrics) snapshot() []RouteMetrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]RouteMetrics, 0, len(m.routes))
-	for route, rm := range m.routes {
-		out = append(out, RouteMetrics{
-			Route: route, Count: rm.count, Errors: rm.errors,
-			Shed: rm.shed, Timeouts: rm.timeouts,
-			Buckets: append([]uint64(nil), rm.buckets[:]...),
-		})
+	routes := *m.routes.Load()
+	out := make([]RouteMetrics, 0, len(routes))
+	for route, rm := range routes {
+		r := RouteMetrics{
+			Route: route, Count: rm.count.Load(), Errors: rm.errors.Load(),
+			Shed: rm.shed.Load(), Timeouts: rm.timeouts.Load(),
+			DurNanos: rm.durNanos.Load(),
+			Buckets:  make([]uint64, numLatencyBuckets),
+		}
+		for i := range rm.buckets {
+			r.Buckets[i] = rm.buckets[i].Load()
+		}
+		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
 	return out
@@ -185,16 +241,6 @@ type TenantWindow struct {
 	Tenant   string `json:"tenant"`
 	Requests uint64 `json:"requests"`
 	Shed     uint64 `json:"shed"`
-}
-
-// instrument wraps a handler, attributing its requests to route.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		startedAt := time.Now()
-		h(rec, r)
-		s.metrics.observe(route, rec.status, time.Since(startedAt))
-	}
 }
 
 // MetricsResponse is the response of GET /v1/metrics.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/whatif"
 )
@@ -89,6 +90,19 @@ type Config struct {
 	// MetricsHistory bounds how many windows the ring keeps (<= 0
 	// selects 32).
 	MetricsHistory int
+
+	// TraceSample is the fraction of unsolicited requests traced
+	// (0 selects obs.DefaultSampleRate; negative disables sampling).
+	// Requests carrying an X-Trace-Id header are always traced, and
+	// responses and reports are byte-identical traced or not.
+	TraceSample float64
+	// TraceBuffer bounds the traces retained for GET /v1/trace/{id}
+	// (<= 0 selects obs.DefaultTraceBuffer).
+	TraceBuffer int
+	// FlightSlowest sizes the flight recorder — the N slowest
+	// operations kept for GET /v1/debug/slowest (0 selects
+	// obs.DefaultFlightSlowest; negative disables the recorder).
+	FlightSlowest int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.MetricsHistory <= 0 {
 		c.MetricsHistory = 32
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = obs.DefaultSampleRate
+	}
 	return c
 }
 
@@ -133,15 +150,18 @@ func (c Config) withDefaults() Config {
 // serves the /v1 API behind the admission layer. Create with New,
 // expose with Handler.
 type Server struct {
-	cfg     Config
-	store   cache.Store // session/analyze memo store (LRU, or Tiered over l2)
-	l2      *cache.Disk // nil unless CacheDir is configured
-	reg     *whatif.Registry
-	metrics *metrics
-	history *metricsHistory
-	adm     *admission
-	worker  *distrib.Worker
-	mux     *http.ServeMux
+	cfg       Config
+	store     cache.Store // session/analyze memo store (LRU, or Tiered over l2)
+	l2        *cache.Disk // nil unless CacheDir is configured
+	reg       *whatif.Registry
+	metrics   *metrics
+	history   *metricsHistory
+	adm       *admission
+	worker    *distrib.Worker
+	collector *obs.Collector
+	flight    *obs.FlightRecorder // nil when FlightSlowest < 0
+	shardObs  shardCounters
+	mux       *http.ServeMux
 
 	ctx    context.Context // parent of all campaign jobs
 	cancel context.CancelFunc
@@ -169,18 +189,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TenantQuota > 0 {
 		reg.SetTenantQuota(cfg.TenantQuota)
 	}
+	var flight *obs.FlightRecorder
+	if cfg.FlightSlowest >= 0 {
+		flight = obs.NewFlightRecorder(cfg.FlightSlowest)
+	}
 	s := &Server{
-		cfg:     cfg,
-		store:   store,
-		l2:      l2,
-		reg:     reg,
-		metrics: newMetrics(),
-		history: newMetricsHistory(cfg.MetricsWindow, cfg.MetricsHistory),
-		adm:     newAdmission(cfg.MaxClients, cfg.QueueDepth, cfg.TenantRate, cfg.TenantBurst),
-		worker:  distrib.NewWorker(distrib.WorkerConfig{Workers: cfg.Workers, Cache: l2orNil(l2)}),
-		ctx:     ctx,
-		cancel:  cancel,
-		jobs:    map[string]*campaignJob{},
+		cfg:       cfg,
+		store:     store,
+		l2:        l2,
+		reg:       reg,
+		metrics:   newMetrics(),
+		history:   newMetricsHistory(cfg.MetricsWindow, cfg.MetricsHistory),
+		adm:       newAdmission(cfg.MaxClients, cfg.QueueDepth, cfg.TenantRate, cfg.TenantBurst),
+		worker:    distrib.NewWorker(distrib.WorkerConfig{Workers: cfg.Workers, Cache: l2orNil(l2)}),
+		collector: obs.NewCollector(cfg.TraceSample, cfg.TraceBuffer, 0),
+		flight:    flight,
+		ctx:       ctx,
+		cancel:    cancel,
+		jobs:      map[string]*campaignJob{},
 	}
 	mux := http.NewServeMux()
 	// Application routes pass the admission chain; operational routes
@@ -195,6 +221,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	ops("GET /v1/healthz", s.handleHealthz)
 	ops("GET /v1/metrics", s.handleMetrics)
+	ops("GET /metrics", s.handlePromMetrics)
+	ops("GET /v1/trace/{id}", s.handleTrace)
+	ops("GET /v1/debug/slowest", s.handleSlowest)
 	ops("POST "+distrib.ShardPath, s.worker.ShardHandler())
 	route("POST /v1/analyze", s.handleAnalyze)
 	route("POST /v1/simulate", s.handleSimulate)
@@ -359,7 +388,7 @@ func (s *Server) RestoreCampaigns(dir string) (restored int, err error) {
 			}
 			continue
 		}
-		s.registerJob(job)
+		s.registerJob(job, nil, 0)
 		restored++
 		os.Remove(path)
 	}
@@ -370,12 +399,21 @@ func (s *Server) RestoreCampaigns(dir string) (restored int, err error) {
 // Start happens before publication, so no observer can see a stateless
 // job (a cancel racing the create would otherwise be silently lost).
 // With WorkerAddrs configured the job runs distributed; resume reuses
-// the same runner, so a resumed campaign fans out again.
-func (s *Server) registerJob(job *campaign.Job) *campaignJob {
+// the same runner, so a resumed campaign fans out again. When tr is a
+// recording trace (the creating request was traced), the job runs
+// under it with parent as the root — the trace outlives the request
+// and collects the coordinator's and workers' spans.
+func (s *Server) registerJob(job *campaign.Job, tr *obs.Trace, parent uint64) *campaignJob {
 	s.jobsMu.Lock()
 	s.nextJob++
 	cj := &campaignJob{id: fmt.Sprintf("c%d", s.nextJob), job: job, watch: make(chan struct{})}
 	s.jobsMu.Unlock()
+	traced := func(ctx context.Context) context.Context {
+		if tr == nil {
+			return ctx
+		}
+		return obs.ContextWithSpanID(obs.ContextWithTrace(ctx, tr), parent)
+	}
 	if len(s.cfg.WorkerAddrs) > 0 {
 		cj.distributed = true
 		cj.run = func(ctx context.Context) (*campaign.Report, error) {
@@ -383,15 +421,20 @@ func (s *Server) registerJob(job *campaign.Job) *campaignJob {
 			cj.shards = ShardStatus{Total: len(job.PendingRanges(s.cfg.ShardSize)), Workers: len(s.cfg.WorkerAddrs)}
 			cj.bump()
 			cj.mu.Unlock()
-			return distrib.Run(ctx, job, distrib.Options{
+			return distrib.Run(traced(ctx), job, distrib.Options{
 				Workers:      s.cfg.WorkerAddrs,
 				ShardSize:    s.cfg.ShardSize,
 				ShardTimeout: s.cfg.ShardTimeout,
-				OnEvent:      cj.record,
+				OnEvent: func(e distrib.Event) {
+					s.shardObs.observe(e)
+					cj.record(e)
+				},
 			})
 		}
 	} else {
-		cj.run = job.Run
+		cj.run = func(ctx context.Context) (*campaign.Report, error) {
+			return job.Run(traced(ctx))
+		}
 	}
 	cj.mu.Lock()
 	cj.start(s.ctx)

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/distrib"
+	"repro/internal/obs"
+)
+
+// tracedStoreKey keys the request's tracing cache wrapper in its
+// context.
+type tracedStoreKey struct{}
+
+// instrument wraps a handler, attributing its requests to route and —
+// when the collector samples the request or the client supplied an
+// X-Trace-Id — recording a root span plus aggregated cache-tier spans.
+// Traced responses carry the trace ID back in the X-Trace-Id response
+// header; bodies are never touched, so responses stay byte-identical
+// with tracing on or off. The route's counters are registered here, at
+// mux construction, so the per-request observe path is lock-free.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.metrics.register(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr, parent := s.collector.StartRequest(r)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		startedAt := time.Now()
+		if tr == nil {
+			// Untraced fast path: atomic counters only.
+			h(rec, r)
+			rm.observe(rec.status, time.Since(startedAt))
+			return
+		}
+		w.Header().Set(obs.TraceIDHeader, tr.ID().String())
+		ctx := obs.ContextWithTrace(r.Context(), tr)
+		ctx = obs.ContextWithSpanID(ctx, parent)
+		ctx, sp := obs.StartSpan(ctx, route)
+		ts := obs.NewTracedStore(s.store)
+		ctx = context.WithValue(ctx, tracedStoreKey{}, ts)
+		h(rec, r.WithContext(ctx))
+		elapsed := time.Since(startedAt)
+		sp.SetInt("status", int64(rec.status))
+		sp.SetAttr("tenant", tenantOf(r))
+		sp.End()
+		ts.Finish(tr, sp.ID())
+		s.flight.Offer(route, startedAt, elapsed, tr.Subtree(sp.ID()))
+		rm.observe(rec.status, elapsed)
+	}
+}
+
+// storeFor returns the request's view of the shared analysis store:
+// the tracing wrapper installed by instrument on traced requests, the
+// bare store otherwise. Both views satisfy cache.Leveled, so sessions
+// count hits identically through either — the wrapper only observes.
+func (s *Server) storeFor(r *http.Request) cache.Store {
+	if ts, ok := r.Context().Value(tracedStoreKey{}).(*obs.TracedStore); ok && ts != nil {
+		return ts
+	}
+	return s.store
+}
+
+// shardCounters aggregates coordinator-side shard events across all
+// distributed campaign jobs, for the Prometheus exposition.
+type shardCounters struct {
+	dispatched     atomic.Uint64
+	done           atomic.Uint64
+	failed         atomic.Uint64
+	retries        atomic.Uint64
+	droppedWorkers atomic.Uint64
+	latencyNS      atomic.Uint64 // summed latency of completed shards
+}
+
+func (c *shardCounters) observe(e distrib.Event) {
+	switch e.Type {
+	case distrib.EventDispatch:
+		c.dispatched.Add(1)
+		if e.Attempt > 1 {
+			c.retries.Add(1)
+		}
+	case distrib.EventShardDone:
+		c.done.Add(1)
+		if e.ElapsedNS > 0 {
+			c.latencyNS.Add(uint64(e.ElapsedNS))
+		}
+	case distrib.EventShardFailed:
+		c.failed.Add(1)
+	case distrib.EventWorkerDropped:
+		c.droppedWorkers.Add(1)
+	}
+}
+
+// handleTrace serves GET /v1/trace/{id}: the retained trace as Chrome
+// trace_event JSON, loadable directly into chrome://tracing or
+// Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.collector.Get(r.PathValue("id"))
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, CodeNotFound, "unknown trace %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChrome(w)
+}
+
+// handleSlowest serves GET /v1/debug/slowest: the flight recorder's
+// retained slowest operations with their span trees.
+func (s *Server) handleSlowest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
+}
+
+// handlePromMetrics serves GET /metrics in the Prometheus text
+// exposition format — the same counters as the JSON /v1/metrics plus
+// the shard and trace families, emitted in a fixed family order with
+// sorted label sets so consecutive scrapes diff cleanly.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewProm(w)
+
+	p.Family("symtago_uptime_seconds", "gauge", "Seconds since the server started.")
+	p.Value("symtago_uptime_seconds", nil, time.Since(s.metrics.start).Seconds())
+
+	routes := s.metrics.snapshot()
+	p.Family("symtago_requests_total", "counter", "Requests by route.")
+	for _, rm := range routes {
+		p.Uint("symtago_requests_total", obs.Labels{"route", rm.Route}, rm.Count)
+	}
+	p.Family("symtago_request_errors_total", "counter", "Responses with status >= 400 by route.")
+	for _, rm := range routes {
+		p.Uint("symtago_request_errors_total", obs.Labels{"route", rm.Route}, rm.Errors)
+	}
+	p.Family("symtago_request_shed_total", "counter", "Requests shed (429) by route.")
+	for _, rm := range routes {
+		p.Uint("symtago_request_shed_total", obs.Labels{"route", rm.Route}, rm.Shed)
+	}
+	p.Family("symtago_request_timeouts_total", "counter", "Requests timed out or drained (503) by route.")
+	for _, rm := range routes {
+		p.Uint("symtago_request_timeouts_total", obs.Labels{"route", rm.Route}, rm.Timeouts)
+	}
+	bounds := make([]float64, len(latencyBucketBounds))
+	for i, b := range latencyBucketBounds {
+		bounds[i] = b.Seconds()
+	}
+	p.Family("symtago_request_duration_seconds", "histogram", "Request latency by route.")
+	for _, rm := range routes {
+		p.Histogram("symtago_request_duration_seconds", obs.Labels{"route", rm.Route},
+			bounds, rm.Buckets, float64(rm.DurNanos)/1e9)
+	}
+
+	queued, executing, tenants := s.adm.snapshot()
+	p.Family("symtago_admission_queued", "gauge", "Requests waiting for a worker slot.")
+	p.Uint("symtago_admission_queued", nil, uint64(queued))
+	p.Family("symtago_admission_executing", "gauge", "Requests holding a worker slot.")
+	p.Uint("symtago_admission_executing", nil, uint64(executing))
+	p.Family("symtago_admission_tenants", "gauge", "Tenants with a live token bucket.")
+	p.Uint("symtago_admission_tenants", nil, uint64(tenants))
+	p.Family("symtago_admission_max_clients", "gauge", "Worker slot capacity.")
+	p.Uint("symtago_admission_max_clients", nil, uint64(s.cfg.MaxClients))
+	p.Family("symtago_admission_queue_depth", "gauge", "Admission queue capacity.")
+	p.Uint("symtago_admission_queue_depth", nil, uint64(s.cfg.QueueDepth))
+	p.Family("symtago_draining", "gauge", "1 while the admission gate is closed for drain.")
+	draining := uint64(0)
+	if s.adm.draining.Load() {
+		draining = 1
+	}
+	p.Uint("symtago_draining", nil, draining)
+
+	tc := s.adm.snapshotTenants()
+	p.Family("symtago_tenant_requests_total", "counter", "Application requests by tenant.")
+	for _, t := range obs.SortedKeys(tc) {
+		p.Uint("symtago_tenant_requests_total", obs.Labels{"tenant", t}, tc[t].requests)
+	}
+	p.Family("symtago_tenant_shed_total", "counter", "Requests shed by tenant.")
+	for _, t := range obs.SortedKeys(tc) {
+		p.Uint("symtago_tenant_shed_total", obs.Labels{"tenant", t}, tc[t].shed)
+	}
+
+	// Cache tiers: the shared analysis store's levels. A tiered store
+	// reports both levels; a flat store is its own l1.
+	st := s.store.Stats()
+	tier := func(name string, cs cache.Stats) {
+		l := obs.Labels{"tier", name}
+		p.Uint("symtago_cache_hits_total", l, cs.Hits)
+		p.Uint("symtago_cache_misses_total", l, cs.Misses)
+		p.Uint("symtago_cache_evictions_total", l, cs.Evictions)
+		p.Uint("symtago_cache_corrupt_total", l, cs.Corrupt)
+		p.Uint("symtago_cache_entries", l, uint64(cs.Entries))
+		p.Uint("symtago_cache_bytes", l, uint64(cs.Bytes))
+	}
+	p.Family("symtago_cache_hits_total", "counter", "Cache hits by tier.")
+	p.Family("symtago_cache_misses_total", "counter", "Cache misses by tier.")
+	p.Family("symtago_cache_evictions_total", "counter", "Cache evictions by tier.")
+	p.Family("symtago_cache_corrupt_total", "counter", "Cache records dropped as unreadable by tier.")
+	p.Family("symtago_cache_entries", "gauge", "Resident cache entries by tier.")
+	p.Family("symtago_cache_bytes", "gauge", "Resident cache bytes by tier (disk tier only).")
+	if st.L1 != nil && st.L2 != nil {
+		tier("l1", *st.L1)
+		tier("l2", *st.L2)
+	} else {
+		tier("l1", st)
+	}
+
+	reg := s.reg.Stats()
+	sessHits := reg.Sessions.Hits + reg.Sessions.ReportHits
+	p.Family("symtago_sessions_active", "gauge", "Live what-if sessions.")
+	p.Uint("symtago_sessions_active", nil, uint64(reg.Active))
+	p.Family("symtago_sessions_tenants", "gauge", "Tenants holding sessions.")
+	p.Uint("symtago_sessions_tenants", nil, uint64(reg.Tenants))
+	p.Family("symtago_sessions_created_total", "counter", "Sessions created.")
+	p.Uint("symtago_sessions_created_total", nil, reg.Created)
+	p.Family("symtago_sessions_evicted_total", "counter", "Sessions evicted (TTL).")
+	p.Uint("symtago_sessions_evicted_total", nil, reg.Evicted)
+	p.Family("symtago_sessions_quota_evicted_total", "counter", "Sessions evicted by tenant quota.")
+	p.Uint("symtago_sessions_quota_evicted_total", nil, reg.QuotaEvicted)
+	p.Family("symtago_session_cache_hits_total", "counter", "Session memo hits (per-message plus whole-report).")
+	p.Uint("symtago_session_cache_hits_total", nil, sessHits)
+	p.Family("symtago_session_cache_misses_total", "counter", "Session memo misses.")
+	p.Uint("symtago_session_cache_misses_total", nil, reg.Sessions.Misses)
+
+	p.Family("symtago_shard_dispatch_total", "counter", "Shard attempts dispatched to workers (coordinator side).")
+	p.Uint("symtago_shard_dispatch_total", nil, s.shardObs.dispatched.Load())
+	p.Family("symtago_shard_done_total", "counter", "Shards completed and folded (coordinator side).")
+	p.Uint("symtago_shard_done_total", nil, s.shardObs.done.Load())
+	p.Family("symtago_shard_failed_total", "counter", "Shard attempts failed (coordinator side).")
+	p.Uint("symtago_shard_failed_total", nil, s.shardObs.failed.Load())
+	p.Family("symtago_shard_retries_total", "counter", "Shard attempts beyond the first (coordinator side).")
+	p.Uint("symtago_shard_retries_total", nil, s.shardObs.retries.Load())
+	p.Family("symtago_shard_dropped_workers_total", "counter", "Workers retired after consecutive failures.")
+	p.Uint("symtago_shard_dropped_workers_total", nil, s.shardObs.droppedWorkers.Load())
+	p.Family("symtago_shard_latency_seconds_sum", "counter", "Summed latency of completed shards.")
+	p.Value("symtago_shard_latency_seconds_sum", nil, float64(s.shardObs.latencyNS.Load())/1e9)
+	p.Family("symtago_worker_shards_served_total", "counter", "Shards computed by this process's worker endpoint.")
+	p.Uint("symtago_worker_shards_served_total", nil, s.worker.ShardsServed())
+	p.Family("symtago_worker_rows_served_total", "counter", "Rows computed by this process's worker endpoint.")
+	p.Uint("symtago_worker_rows_served_total", nil, s.worker.RowsServed())
+
+	s.jobsMu.Lock()
+	states := map[string]int{}
+	for _, cj := range s.jobs {
+		states[cj.stateNow()]++
+	}
+	s.jobsMu.Unlock()
+	p.Family("symtago_campaign_jobs", "gauge", "Campaign jobs by state.")
+	for _, state := range []string{"running", "done", "failed", "cancelled"} {
+		p.Uint("symtago_campaign_jobs", obs.Labels{"state", state}, uint64(states[state]))
+	}
+
+	p.Family("symtago_traces_retained", "gauge", "Traces held for GET /v1/trace/{id}.")
+	p.Uint("symtago_traces_retained", nil, uint64(s.collector.Len()))
+	p.Family("symtago_flight_offered_total", "counter", "Operations offered to the flight recorder.")
+	p.Uint("symtago_flight_offered_total", nil, s.flight.Offered())
+}
