@@ -10,7 +10,6 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cache"
 	"repro/internal/campaign"
 	"repro/internal/distrib"
 	"repro/internal/experiments"
@@ -40,6 +39,7 @@ func cmdCampaign(args []string) error {
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
 	cacheDir := fs.String("cache-dir", "", "local runs: on-disk second-level result cache (empty = memory only)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "disk cache budget in bytes (0 = 256 MiB)")
+	remoteCache := remoteCacheFlag(fs)
 	traceOut := fs.String("trace-out", "", "record the whole run at full rate and write Chrome trace_event JSON here")
 	flightN := fs.Int("flight", 0, "keep the N slowest scenarios' span trees; SIGQUIT dumps them as JSON to stderr (0 = off)")
 	if err := parseFlags(fs, args); err != nil {
@@ -82,14 +82,17 @@ func cmdCampaign(args []string) error {
 		Seeds:    *seeds,
 		Duration: *duration,
 	}
-	var disk *cache.Disk
-	if *cacheDir != "" {
-		d, err := cache.NewDisk(*cacheDir, *cacheBytes)
-		if err != nil {
-			return fmt.Errorf("campaign: cache dir: %w", err)
-		}
-		disk = d
-		cfg.Cache = d
+	store, disk, remote, err := sharedCache(*cacheDir, *cacheBytes, *remoteCache)
+	if err != nil {
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	if store != nil {
+		cfg.Cache = store
+	}
+	if remote != nil {
+		// Close flushes the write-behind queue, so a one-shot campaign's
+		// results reach the fleet before the process exits.
+		defer remote.Close()
 	}
 
 	// -trace-out records this one run at full rate into a standalone
@@ -120,7 +123,6 @@ func cmdCampaign(args []string) error {
 	start := time.Now()
 	var rep *campaign.Report
 	var corpus *scenario.Corpus
-	var err error
 	if addrs := splitAddrs(*workersAddr); len(addrs) > 0 {
 		rep, corpus, err = runDistributed(ctx, spec, cfg, distrib.Options{
 			Workers: addrs, ShardSize: *shard, ShardTimeout: *shardTimeout,
@@ -154,6 +156,11 @@ func cmdCampaign(args []string) error {
 		st := disk.Stats()
 		fmt.Printf("disk cache: %d entries, %d B, %d hits / %d misses\n",
 			st.Entries, st.Bytes, st.Hits, st.Misses)
+	}
+	if remote != nil {
+		rs := remote.RemoteStats()
+		fmt.Printf("remote cache: %d hits / %d misses, %d errors, breaker %s\n",
+			rs.Hits, rs.Misses, rs.Errors, rs.Breaker)
 	}
 	fmt.Println(rep.Render())
 	fmt.Printf("wall time %v\n", time.Since(start).Round(time.Millisecond))

@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"strings"
+
+	"repro/internal/cache"
 )
 
 // The flag helpers below register the flags shared by many
@@ -24,6 +26,37 @@ func scenarioFlag(fs *flag.FlagSet) *string {
 // drivers.
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+}
+
+// remoteCacheFlag registers the uniform -remote-cache flag.
+func remoteCacheFlag(fs *flag.FlagSet) *string {
+	return fs.String("remote-cache", "", "cacheserver base URL for the fleet-shared result tier (empty = off)")
+}
+
+// sharedCache composes the process's shared second-level store from
+// the -cache-dir/-cache-bytes/-remote-cache flags: local disk alone,
+// remote alone, or disk over remote (an L2/L3 stack — remote hits are
+// promoted onto the local disk). All three returns may be nil when
+// both flags are empty; the caller must Close a non-nil remote to
+// flush its write-behind queue.
+func sharedCache(cacheDir string, cacheBytes int64, remoteURL string) (store cache.Store, disk *cache.Disk, remote *cache.Remote, err error) {
+	if cacheDir != "" {
+		if disk, err = cache.NewDisk(cacheDir, cacheBytes); err != nil {
+			return nil, nil, nil, err
+		}
+		store = disk
+	}
+	if remoteURL != "" {
+		if remote, err = cache.NewRemote(cache.RemoteConfig{BaseURL: remoteURL}); err != nil {
+			return nil, nil, nil, err
+		}
+		if disk != nil {
+			store = cache.NewTiered(disk, remote)
+		} else {
+			store = remote
+		}
+	}
+	return store, disk, remote, nil
 }
 
 // splitAddrs parses a comma-separated -workers-addr value into the

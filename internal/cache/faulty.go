@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/contenthash"
+)
+
+// Fault-injection harness for cache tiers. Any tier's tests compose
+// these wrappers to prove the invariant the hierarchy is built on:
+// whatever a level returns — nothing, garbage, stale bytes, or nothing
+// until after the deadline — responses stay byte-identical, because a
+// degraded level only ever reads as a miss and a miss is always
+// answered by recomputing from the same inputs.
+//
+// Schedules are deterministic: the fault for the i-th operation is a
+// pure function of (seed, i), so a failing run replays exactly from its
+// seed. Under concurrency the assignment of operations to indices
+// depends on interleaving, but the injected fault multiset does not.
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+const (
+	// FaultNone passes the operation through.
+	FaultNone Fault = iota
+	// FaultError fails the operation outright (transport error, or a
+	// store-level miss).
+	FaultError
+	// FaultHang blocks past the caller's deadline before failing.
+	FaultHang
+	// FaultCorrupt flips payload bytes so the crc check must catch it.
+	FaultCorrupt
+	// FaultStale rewrites the record's format version to a skewed one.
+	FaultStale
+)
+
+// String names the fault for test output.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultHang:
+		return "hang"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultStale:
+		return "stale"
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// Schedule decides the fault injected into the i-th operation.
+// Implementations must be pure functions of the index (safe for
+// concurrent use).
+type Schedule interface {
+	Fault(op uint64) Fault
+}
+
+// ScheduleFunc adapts a function to a Schedule.
+type ScheduleFunc func(op uint64) Fault
+
+// Fault implements Schedule.
+func (f ScheduleFunc) Fault(op uint64) Fault { return f(op) }
+
+// Always injects f into every operation.
+func Always(f Fault) Schedule {
+	return ScheduleFunc(func(uint64) Fault { return f })
+}
+
+// EveryN injects f into every n-th operation (op n-1, 2n-1, ...),
+// passing the rest through.
+func EveryN(n uint64, f Fault) Schedule {
+	return ScheduleFunc(func(op uint64) Fault {
+		if n > 0 && op%n == n-1 {
+			return f
+		}
+		return FaultNone
+	})
+}
+
+// Seeded injects f with probability p per operation, decided by a
+// seeded hash of the operation index — deterministic for a given
+// (seed, p, f) regardless of timing.
+func Seeded(seed int64, p float64, f Fault) Schedule {
+	return ScheduleFunc(func(op uint64) Fault {
+		h := contenthash.New(uint64(seed))
+		h.Word(op)
+		d := h.Sum()
+		draw := float64(binary.LittleEndian.Uint64(d[:8])>>11) / float64(1<<53)
+		if draw < p {
+			return f
+		}
+		return FaultNone
+	})
+}
+
+// FaultyStore wraps a Store with an injection schedule, for proving
+// composition-level degradation without a network. Store values are
+// already validated (the disk and remote layers quarantine invalid
+// records before a value crosses Store.Get), so every fault manifests
+// the only way a Store level can degrade: FaultError, FaultCorrupt and
+// FaultStale read as a miss (and swallow the Put), FaultHang sleeps
+// HangFor first. Stats forward to the inner store untouched.
+type FaultyStore struct {
+	Inner Store
+	Sched Schedule
+	// HangFor is how long FaultHang blocks (default 10ms — Store calls
+	// carry no deadline, so the hang must end on its own).
+	HangFor time.Duration
+
+	ops      atomic.Uint64
+	injected atomic.Uint64
+}
+
+// Ops returns how many operations the wrapper has seen; Injected how
+// many had a fault injected.
+func (f *FaultyStore) Ops() uint64      { return f.ops.Load() }
+func (f *FaultyStore) Injected() uint64 { return f.injected.Load() }
+
+func (f *FaultyStore) fault() Fault {
+	ft := f.Sched.Fault(f.ops.Add(1) - 1)
+	if ft != FaultNone {
+		f.injected.Add(1)
+	}
+	if ft == FaultHang {
+		d := f.HangFor
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	return ft
+}
+
+// Get implements Store.
+func (f *FaultyStore) Get(key contenthash.Digest) (any, bool) {
+	if ft := f.fault(); ft != FaultNone && ft != FaultHang {
+		return nil, false
+	}
+	return f.Inner.Get(key)
+}
+
+// Put implements Store.
+func (f *FaultyStore) Put(key contenthash.Digest, value any) {
+	if ft := f.fault(); ft != FaultNone && ft != FaultHang {
+		return
+	}
+	f.Inner.Put(key, value)
+}
+
+// Stats implements Store.
+func (f *FaultyStore) Stats() Stats { return f.Inner.Stats() }
+
+// FaultyTransport injects faults between a Remote client and its
+// server at the HTTP layer, where all four failure modes are
+// physically distinct: errors fail the round trip, hangs block until
+// the request's own deadline cancels it, corruption flips record
+// payload bytes in flight (the client's crc must catch it), staleness
+// rewrites the record's format version (the client's version check
+// must catch it). Responses that carry no record pass through
+// untouched.
+type FaultyTransport struct {
+	// Inner performs the real round trips (nil = http.DefaultTransport).
+	Inner http.RoundTripper
+	Sched Schedule
+
+	ops      atomic.Uint64
+	injected atomic.Uint64
+	hangs    atomic.Uint64
+}
+
+// Ops returns how many round trips the transport has seen; Injected
+// how many had a fault injected.
+func (t *FaultyTransport) Ops() uint64      { return t.ops.Load() }
+func (t *FaultyTransport) Injected() uint64 { return t.injected.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	op := t.ops.Add(1) - 1
+	ft := t.Sched.Fault(op)
+	if ft != FaultNone {
+		t.injected.Add(1)
+	}
+	switch ft {
+	case FaultError:
+		return nil, fmt.Errorf("cache: injected transport error (op %d)", op)
+	case FaultHang:
+		// Hang past the deadline: the client's per-request context is
+		// the only way out, exactly like a black-holed peer.
+		t.hangs.Add(1)
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK || req.Method != http.MethodGet {
+		return resp, err
+	}
+	switch ft {
+	case FaultCorrupt, FaultStale:
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(raw) >= diskHeaderLen {
+			if ft == FaultCorrupt {
+				// Flip a payload byte; the crc no longer matches.
+				raw[len(raw)-1] ^= 0xFF
+			} else {
+				// Declare a skewed format version; crc still matches but
+				// the version check must refuse it.
+				binary.LittleEndian.PutUint16(raw[4:6], CodecVersion+1)
+			}
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+		resp.ContentLength = int64(len(raw))
+	}
+	return resp, err
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cacheserver"
+)
+
+// newRemoteTestServer starts a real cacheserver plus a service wired
+// to it as the fleet tier (with a local disk level, so the full
+// three-tier stack is live).
+func newRemoteTestServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	disk, err := cache.NewDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(cacheserver.New(disk).Handler())
+	t.Cleanup(cs.Close)
+	srv := mustServer(t, Config{Workers: 1, CacheDir: t.TempDir(), RemoteCache: cs.URL})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs.URL
+}
+
+// TestPromMetricsRemoteTier: with a remote cache configured, /metrics
+// exposes all three tiers plus the remote-client families (breaker
+// state, write-behind pipeline, fetch latency histogram).
+func TestPromMetricsRemoteTier(t *testing.T) {
+	_, base := newRemoteTestServer(t)
+	if status, body := do(t, "POST", base+"/v1/analyze", testSpec(t, 5)); status != http.StatusOK {
+		t.Fatalf("analyze: %d %s", status, body)
+	}
+	status, body := do(t, "GET", base+"/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", status, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`symtago_cache_hits_total{tier="l1"}`,
+		`symtago_cache_hits_total{tier="l2"}`,
+		`symtago_cache_hits_total{tier="remote"}`,
+		"# TYPE symtago_remote_cache_gets_total counter",
+		"symtago_remote_cache_errors_total 0",
+		"symtago_remote_cache_degraded_total 0",
+		`symtago_remote_cache_puts_total{outcome="queued"}`,
+		"symtago_remote_cache_breaker_state 0",
+		"symtago_remote_cache_breaker_opens_total 0",
+		"# TYPE symtago_remote_cache_fetch_seconds histogram",
+		`symtago_remote_cache_fetch_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRemoteTierResponseByteIdentical: the same request against a
+// remote-tier server and a plain one produces byte-identical response
+// bodies, cold and warm — the fleet tier must be invisible in every
+// payload.
+func TestRemoteTierResponseByteIdentical(t *testing.T) {
+	_, plain := newTestServer(t)
+	_, remote := newRemoteTestServer(t)
+	spec := testSpec(t, 11)
+	_, want := do(t, "POST", plain+"/v1/analyze", spec)
+	for _, pass := range []string{"cold", "warm"} {
+		status, got := do(t, "POST", remote+"/v1/analyze", spec)
+		if status != http.StatusOK {
+			t.Fatalf("%s analyze: %d %s", pass, status, got)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s remote-tier response differs from plain server", pass)
+		}
+	}
+}
+
+// TestTraceRemoteSpan: a traced request through the three-tier stack
+// records the aggregated cache.remote span once remote traffic
+// occurred.
+func TestTraceRemoteSpan(t *testing.T) {
+	_, base := newRemoteTestServer(t)
+	const id = "ffeeddccbbaa99887766554433221100"
+	status, body, _ := doTraced(t, "POST", base+"/v1/analyze", testSpec(t, 7), id)
+	if status != http.StatusOK {
+		t.Fatalf("traced analyze: %d %s", status, body)
+	}
+	status, tbody := do(t, "GET", base+"/v1/trace/"+id, "")
+	if status != http.StatusOK {
+		t.Fatalf("trace fetch: %d %s", status, tbody)
+	}
+	var export struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tbody, &export); err != nil {
+		t.Fatalf("trace body: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range export.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"cache.l1", "cache.remote"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}

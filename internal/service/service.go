@@ -71,6 +71,12 @@ type Config struct {
 	// CacheMaxBytes bounds the disk level (<= 0 selects
 	// cache.DefaultDiskBytes).
 	CacheMaxBytes int64
+	// RemoteCache, when non-empty, is the base URL of a `symtago
+	// cacheserver` process composed under the local tiers as the
+	// fleet-shared third level. Like the disk level it never changes a
+	// response byte: remote failures degrade to local-only behind a
+	// circuit breaker, and every degraded answer is just a miss.
+	RemoteCache string
 
 	// WorkerAddrs, when non-empty, runs campaigns distributed: the
 	// server coordinates shards over these worker base URLs (symtago
@@ -151,8 +157,10 @@ func (c Config) withDefaults() Config {
 // expose with Handler.
 type Server struct {
 	cfg       Config
-	store     cache.Store // session/analyze memo store (LRU, or Tiered over l2)
-	l2        *cache.Disk // nil unless CacheDir is configured
+	store     cache.Store   // session/analyze memo store (LRU, or Tiered over l2/remote)
+	l2        *cache.Disk   // nil unless CacheDir is configured
+	remote    *cache.Remote // nil unless RemoteCache is configured
+	shared    cache.Store   // the process-shared level under store (nil, l2, remote, or l2 over remote)
 	reg       *whatif.Registry
 	metrics   *metrics
 	history   *metricsHistory
@@ -176,13 +184,28 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	var l2 *cache.Disk
+	var remote *cache.Remote
 	var store cache.Store = whatif.NewStore(cfg.StoreCapacity)
 	if cfg.CacheDir != "" {
 		var err error
 		if l2, err = cache.NewDisk(cfg.CacheDir, cfg.CacheMaxBytes); err != nil {
 			return nil, fmt.Errorf("service: cache dir: %w", err)
 		}
-		store = cache.NewTiered(store, l2)
+	}
+	if cfg.RemoteCache != "" {
+		var err error
+		if remote, err = cache.NewRemote(cache.RemoteConfig{BaseURL: cfg.RemoteCache}); err != nil {
+			return nil, fmt.Errorf("service: remote cache: %w", err)
+		}
+	}
+	// The shared second level stacks local disk over the fleet tier
+	// (remote hits are promoted onto disk); the memo LRU sits on top.
+	// Composition by nesting keeps the pinned-stats contract: session
+	// counters see only primary-level hits, so responses stay
+	// byte-identical for any cache state.
+	shared := sharedLevel(l2, remote)
+	if shared != nil {
+		store = cache.NewTiered(store, shared)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := whatif.NewRegistry(cfg.SessionTTL)
@@ -197,11 +220,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		store:     store,
 		l2:        l2,
+		remote:    remote,
+		shared:    shared,
 		reg:       reg,
 		metrics:   newMetrics(),
 		history:   newMetricsHistory(cfg.MetricsWindow, cfg.MetricsHistory),
 		adm:       newAdmission(cfg.MaxClients, cfg.QueueDepth, cfg.TenantRate, cfg.TenantBurst),
-		worker:    distrib.NewWorker(distrib.WorkerConfig{Workers: cfg.Workers, Cache: l2orNil(l2)}),
+		worker:    distrib.NewWorker(distrib.WorkerConfig{Workers: cfg.Workers, Cache: shared}),
 		collector: obs.NewCollector(cfg.TraceSample, cfg.TraceBuffer, 0),
 		flight:    flight,
 		ctx:       ctx,
@@ -247,13 +272,19 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// l2orNil converts a possibly-nil *cache.Disk into a cache.Store
-// without boxing a typed nil into the interface.
-func l2orNil(l2 *cache.Disk) cache.Store {
-	if l2 == nil {
-		return nil
+// sharedLevel composes the process-shared cache level from the
+// optional disk and remote tiers: disk alone, remote alone, disk over
+// remote, or nil — without ever boxing a typed nil into the interface.
+func sharedLevel(l2 *cache.Disk, remote *cache.Remote) cache.Store {
+	switch {
+	case l2 != nil && remote != nil:
+		return cache.NewTiered(l2, remote)
+	case l2 != nil:
+		return l2
+	case remote != nil:
+		return remote
 	}
-	return l2
+	return nil
 }
 
 // Handler returns the service's HTTP handler. Error responses that
@@ -261,9 +292,15 @@ func l2orNil(l2 *cache.Disk) cache.Store {
 // uniform JSON error body.
 func (s *Server) Handler() http.Handler { return jsonFallback(s.mux) }
 
-// Close cancels every running campaign job. In-flight requests finish
-// normally; the owning http.Server handles connection shutdown.
-func (s *Server) Close() { s.cancel() }
+// Close cancels every running campaign job and flushes the remote
+// tier's write-behind queue. In-flight requests finish normally; the
+// owning http.Server handles connection shutdown.
+func (s *Server) Close() {
+	s.cancel()
+	if s.remote != nil {
+		s.remote.Close()
+	}
+}
 
 // StartDraining flips the admission gate: every subsequent application
 // request is answered 503/draining while operational routes stay up.
