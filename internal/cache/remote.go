@@ -136,8 +136,8 @@ type Remote struct {
 	errors      atomic.Uint64 // transport failures and unexpected statuses
 	retries     atomic.Uint64
 	corrupt     atomic.Uint64 // records failing crc/decode client-side
-	degraded    atomic.Uint64 // lookups answered locally because the breaker was open
-	collapsed   atomic.Uint64 // duplicate concurrent Gets folded into one fetch
+	degraded    atomic.Uint64 // lookups answered locally (breaker open or store closed)
+	collapsed   atomic.Uint64 // duplicate concurrent Gets folded into one fetch (outcome still counted in hits/misses)
 	skipped     atomic.Uint64 // Puts of values the codec does not carry
 	putsQueued  atomic.Uint64
 	putsSent    atomic.Uint64
@@ -199,14 +199,24 @@ func (r *Remote) Close() {
 // request.
 func (r *Remote) Get(key contenthash.Digest) (any, bool) {
 	r.gets.Add(1)
-	if !r.breaker.allow(time.Now()) {
+	r.closeMu.RLock()
+	closed := r.closed
+	r.closeMu.RUnlock()
+	if closed || !r.breaker.allow(time.Now()) {
 		r.degraded.Add(1)
 		r.misses.Add(1)
 		return nil, false
 	}
 	v, ok, dup := r.flights.do(key, func() (any, bool) { return r.fetch(key) })
 	if dup {
+		// The leader's fetch counted its own outcome; count this
+		// caller's too, so Gets == Hits + Misses holds per lookup.
 		r.collapsed.Add(1)
+		if ok {
+			r.hits.Add(1)
+		} else {
+			r.misses.Add(1)
+		}
 	}
 	return v, ok
 }
@@ -256,7 +266,10 @@ func (r *Remote) fetch(key contenthash.Digest) (any, bool) {
 // delivery. It never blocks: a full queue, an open breaker or a closed
 // store drops the record (recomputation elsewhere is the only cost).
 func (r *Remote) Put(key contenthash.Digest, value any) {
-	if !r.breaker.allow(time.Now()) {
+	// ready, not allow: Put only enqueues, so it must never consume the
+	// half-open probe token — the worker's sendPut arbitrates the probe
+	// for the round trip it actually performs.
+	if !r.breaker.ready(time.Now()) {
 		r.putsDropped.Add(1)
 		return
 	}
@@ -405,7 +418,9 @@ func (r *Remote) RemoteStats() RemoteStats {
 type RemoteStats struct {
 	// Gets counts lookups reaching the tier; Hits/Misses split their
 	// outcomes (Misses includes quarantined, degraded and failed
-	// lookups — every lookup ends as exactly one of the two).
+	// lookups; collapsed duplicates count the outcome they shared —
+	// every lookup ends as exactly one of the two, so Gets always
+	// equals Hits + Misses).
 	Gets, Hits, Misses uint64
 	// Errors counts transport failures and unexpected statuses;
 	// Retries the re-attempts they triggered.
@@ -413,9 +428,10 @@ type RemoteStats struct {
 	// Corrupt counts records quarantined client-side (crc mismatch,
 	// version skew, undecodable payload).
 	Corrupt uint64
-	// Degraded counts lookups answered all-miss because the breaker
-	// was open; Collapsed counts duplicate concurrent lookups folded
-	// into another flight's fetch.
+	// Degraded counts lookups answered all-miss without touching the
+	// network (breaker open, or the store already closed); Collapsed
+	// counts duplicate concurrent lookups folded into another flight's
+	// fetch.
 	Degraded, Collapsed uint64
 	// Skipped counts Puts of values the wire codec does not carry.
 	Skipped uint64
@@ -493,8 +509,25 @@ type breaker struct {
 	opens    uint64
 }
 
+// ready reports whether the breaker would admit a request right now,
+// without consuming the half-open probe token: false only while fully
+// open inside the cooldown window. It is for gates — like the
+// write-behind enqueue — that decide admission but never touch the
+// network themselves; callers that actually perform a round trip must
+// use allow(), whose probe they then resolve via success()/failure().
+func (b *breaker) ready(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerOpen || now.Sub(b.openedAt) >= b.cooldown
+}
+
 // allow reports whether a request may go to the network now. In the
-// half-open state exactly one caller (the probe) is let through.
+// half-open state exactly one caller (the probe) is let through, and it
+// MUST resolve the probe via success() or failure() — so only callers
+// that go on to perform a round trip may call allow (see ready).
 func (b *breaker) allow(now time.Time) bool {
 	if b.threshold < 0 {
 		return true
@@ -600,18 +633,27 @@ func (s *singleflight) do(key contenthash.Digest, fn func() (any, bool)) (v any,
 	return f.v, f.ok, false
 }
 
-// RemoteLatencyBounds are the fetch-latency histogram upper bounds.
-var RemoteLatencyBounds = []time.Duration{
+// remoteLatencyBounds are the fetch-latency histogram upper bounds.
+// The unexported array form keeps the bucket count a compile-time
+// constant, so latencyHist can never be sized out of step with it.
+var remoteLatencyBounds = [...]time.Duration{
 	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
 	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
 	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
 	1 * time.Second, 2500 * time.Millisecond,
 }
 
-// latencyHist is a fixed-bound histogram over RemoteLatencyBounds plus
+// RemoteLatencyBounds returns the fetch-latency histogram upper bounds
+// (a fresh copy per call; the overflow bucket is implicit).
+func RemoteLatencyBounds() []time.Duration {
+	b := remoteLatencyBounds
+	return b[:]
+}
+
+// latencyHist is a fixed-bound histogram over remoteLatencyBounds plus
 // an overflow bucket, all atomics.
 type latencyHist struct {
-	buckets [12]atomic.Uint64 // len(RemoteLatencyBounds) + overflow
+	buckets [len(remoteLatencyBounds) + 1]atomic.Uint64
 	sumNS   atomic.Uint64
 }
 
@@ -620,8 +662,8 @@ func (h *latencyHist) observe(d time.Duration) {
 		d = 0
 	}
 	i := 0
-	for ; i < len(RemoteLatencyBounds); i++ {
-		if d <= RemoteLatencyBounds[i] {
+	for ; i < len(remoteLatencyBounds); i++ {
+		if d <= remoteLatencyBounds[i] {
 			break
 		}
 	}

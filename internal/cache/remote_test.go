@@ -393,9 +393,10 @@ func TestRemoteWriteBehindNeverBlocks(t *testing.T) {
 	}
 }
 
-// TestRemoteAfterClose: post-Close traffic degrades cleanly.
+// TestRemoteAfterClose: post-Close traffic degrades cleanly — Puts
+// drop, Gets miss, and neither touches the network.
 func TestRemoteAfterClose(t *testing.T) {
-	r, _ := newTestRemote(t, nil)
+	r, fake := newTestRemote(t, nil)
 	key := digestOf(2)
 	r.Put(key, sampleRTAResult())
 	r.Close()
@@ -404,6 +405,59 @@ func TestRemoteAfterClose(t *testing.T) {
 	r.Put(key, sampleRTAResult())
 	if rs := r.RemoteStats(); rs.PutsDropped != dropped+1 {
 		t.Fatalf("post-Close Put not dropped: %+v", rs)
+	}
+	gets := fake.gets.Load()
+	if _, ok := r.Get(key); ok {
+		t.Fatal("post-Close Get reported a hit")
+	}
+	if fake.gets.Load() != gets {
+		t.Fatal("post-Close Get still sent a request")
+	}
+	if rs := r.RemoteStats(); rs.Gets != rs.Hits+rs.Misses {
+		t.Fatalf("post-Close counter imbalance: %+v", rs)
+	}
+}
+
+// TestRemotePutCannotWedgeHalfOpenBreaker: a Put racing ahead of any
+// Get at cooldown expiry must not consume the half-open probe token —
+// Put only enqueues, so if it took the probe nothing would ever resolve
+// it and the breaker would wedge half-open (all Gets degraded, all Puts
+// dropped) until process restart.
+func TestRemotePutCannotWedgeHalfOpenBreaker(t *testing.T) {
+	cooldown := 20 * time.Millisecond
+	r, fake := newTestRemote(t, func(c *RemoteConfig) {
+		c.Retries = -1
+		c.BreakerFailures = 1
+		c.BreakerCooldown = cooldown
+		c.PutWorkers = 1
+	})
+	key := digestOf(8)
+	r.Put(key, sampleRTAResult())
+	waitPutsSent(t, r, 1)
+
+	fake.failWith.Store(http.StatusInternalServerError)
+	r.Get(key) // opens the breaker
+	if rs := r.RemoteStats(); rs.Breaker != BreakerOpen {
+		t.Fatalf("breaker %v after a failure at threshold 1", rs.Breaker)
+	}
+	fake.failWith.Store(0)
+	time.Sleep(2 * cooldown)
+
+	// The racing Put: enqueue-only, so the probe must stay available
+	// for whichever round trip (this Put's worker or a Get) runs first.
+	r.Put(key, sampleRTAResult())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := r.Get(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker wedged half-open after a Put raced the probe")
+		}
+		time.Sleep(cooldown / 4)
+	}
+	if rs := r.RemoteStats(); rs.Breaker != BreakerClosed {
+		t.Fatalf("breaker %v after recovery", rs.Breaker)
 	}
 }
 
@@ -500,11 +554,11 @@ func TestRemoteConcurrentStorm(t *testing.T) {
 	}
 	wg.Wait()
 	r.Close()
-	// Every Get ends as exactly one of: a counted hit/miss (flight
-	// leaders and degraded lookups) or a collapse into another flight.
+	// Every Get ends as exactly one hit or miss — flight leaders,
+	// degraded lookups and collapsed duplicates alike.
 	rs := r.RemoteStats()
-	if rs.Gets != rs.Hits+rs.Misses+rs.Collapsed {
-		t.Fatalf("counter imbalance: gets %d != hits %d + misses %d + collapsed %d",
+	if rs.Gets != rs.Hits+rs.Misses {
+		t.Fatalf("counter imbalance: gets %d != hits %d + misses %d (collapsed %d)",
 			rs.Gets, rs.Hits, rs.Misses, rs.Collapsed)
 	}
 	if rs.PutsSent > rs.PutsQueued {
@@ -546,7 +600,7 @@ func TestRemoteBreakerFlapping(t *testing.T) {
 	if hits.Load() == 0 {
 		t.Fatalf("no hits through a flapping breaker: %+v", rs)
 	}
-	if rs.Gets != rs.Hits+rs.Misses+rs.Collapsed {
+	if rs.Gets != rs.Hits+rs.Misses {
 		t.Fatalf("counter imbalance under flapping: %+v", rs)
 	}
 }

@@ -2,6 +2,7 @@ package cacheserver
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"sync/atomic"
@@ -104,7 +105,15 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	rec, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cache.MaxRecordBytes))
 	if err != nil {
 		s.badRequests.Add(1)
-		http.Error(w, "record too large or unreadable", http.StatusRequestEntityTooLarge)
+		// 413 is reserved for oversize — a permanent refusal the client
+		// must not retry. Any other read failure (client abort mid-body,
+		// connection reset) says nothing about the record.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "record too large", http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "unreadable request body", http.StatusBadRequest)
+		}
 		return
 	}
 	s.bytesRead.Add(uint64(len(rec)))

@@ -290,8 +290,9 @@ func (s *Server) promRemote(p *obs.Prom) {
 	p.Uint("symtago_remote_cache_breaker_state", nil, uint64(rs.Breaker))
 	p.Family("symtago_remote_cache_breaker_opens_total", "counter", "Closed-to-open breaker transitions.")
 	p.Uint("symtago_remote_cache_breaker_opens_total", nil, rs.BreakerOpens)
-	bounds := make([]float64, len(cache.RemoteLatencyBounds))
-	for i, b := range cache.RemoteLatencyBounds {
+	lb := cache.RemoteLatencyBounds()
+	bounds := make([]float64, len(lb))
+	for i, b := range lb {
 		bounds[i] = b.Seconds()
 	}
 	p.Family("symtago_remote_cache_fetch_seconds", "histogram", "Remote fetch latency (one observation per served lookup).")
