@@ -905,12 +905,16 @@ func BenchmarkCampaign(b *testing.B) {
 
 // ---------------------------------------------------------------------
 // BenchmarkDistribCampaign measures the distributed fan-out path: the
-// same 64-scenario corpus as BenchmarkCampaign, but coordinated over
-// two in-process shard workers on the HTTP/JSON wire (corpus shipped
-// as spec+fingerprint, rows folded back by index). The byte-identity
+// same 64-scenario campaign as BenchmarkCampaign, but coordinated over
+// two in-process shard workers on the HTTP/JSON wire. The coordinator
+// streams shard specs — it never materializes the corpus; workers
+// generate their own slices and rows travel back gzip-compressed with
+// a partial fingerprint that the coordinator folds. The byte-identity
 // of the folded report against the serial run is pinned by the
 // internal/distrib tests; this benchmark tracks the wire + coordination
-// overhead so the gap to BenchmarkCampaign stays visible in CI.
+// overhead (run with -benchmem: allocs/op is dominated by rows, not
+// corpus materialization) and the pipelining win: "unpipelined" holds
+// one shard in flight per worker, "pipelined" holds four.
 // ---------------------------------------------------------------------
 
 func BenchmarkDistribCampaign(b *testing.B) {
@@ -918,29 +922,37 @@ func BenchmarkDistribCampaign(b *testing.B) {
 	defer w1.Close()
 	w2 := httptest.NewServer(distrib.NewWorker(distrib.WorkerConfig{}).Handler())
 	defer w2.Close()
-	corpus, err := scenario.Generate(scenario.Spec{Seed: 1, Count: 64})
-	if err != nil {
-		b.Fatal(err)
-	}
+	spec := scenario.Spec{Seed: 1, Count: 64}
 	cfg := campaign.Config{Duration: 100 * time.Millisecond}
-	var scenarios int
-	for i := 0; i < b.N; i++ {
-		job, err := campaign.NewJob(corpus, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rep, err := distrib.Run(context.Background(), job, distrib.Options{
-			Workers:   []string{w1.URL, w2.URL},
-			ShardSize: 8,
+	for _, variant := range []struct {
+		name  string
+		depth int
+	}{{"unpipelined", 1}, {"pipelined", 4}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var scenarios int
+			var wire int64
+			for i := 0; i < b.N; i++ {
+				job, err := campaign.NewSpecJob(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, stats, err := distrib.RunStats(context.Background(), job, distrib.Options{
+					Workers:       []string{w1.URL, w2.URL},
+					ShardSize:     8,
+					PipelineDepth: variant.depth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				scenarios = rep.Scenarios
+				wire = stats.BytesOnWire
+			}
+			b.ReportMetric(float64(scenarios), "scenarios")
+			b.ReportMetric(float64(wire), "wire_B")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		scenarios = rep.Scenarios
-	}
-	b.ReportMetric(float64(scenarios), "scenarios")
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/s")
 	}
 }
 

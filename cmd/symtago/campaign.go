@@ -36,6 +36,7 @@ func cmdCampaign(args []string) error {
 	quick := fs.Bool("quick", false, "64-scenario corpus with a 100ms simulation span")
 	workersAddr := fs.String("workers-addr", "", "comma-separated worker base URLs; run the campaign distributed")
 	shard := fs.Int("shard", 0, "scenarios per distributed shard (0 = 256)")
+	pipelineDepth := fs.Int("pipeline-depth", 0, "in-flight shards per worker (0 = 2; 1 disables pipelining)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
 	cacheDir := fs.String("cache-dir", "", "local runs: on-disk second-level result cache (empty = memory only)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "disk cache budget in bytes (0 = 256 MiB)")
@@ -126,7 +127,8 @@ func cmdCampaign(args []string) error {
 	if addrs := splitAddrs(*workersAddr); len(addrs) > 0 {
 		rep, corpus, err = runDistributed(ctx, spec, cfg, distrib.Options{
 			Workers: addrs, ShardSize: *shard, ShardTimeout: *shardTimeout,
-		}, *quick)
+			PipelineDepth: *pipelineDepth,
+		}, *quick, *corpusPath != "")
 	} else {
 		rep, corpus, err = experiments.RunCampaign(experiments.CampaignParams{
 			Spec: spec, Config: cfg, Quick: *quick, Context: ctx,
@@ -183,12 +185,15 @@ func cmdCampaign(args []string) error {
 	return nil
 }
 
-// runDistributed fans the campaign out over remote workers: the corpus
-// travels as spec+fingerprint (workers regenerate and verify), rows
-// fold back by index, and the report matches a local run byte for
-// byte. SIGINT/SIGTERM cancels the coordinator; workers abandon the
+// runDistributed fans the campaign out over remote workers on the
+// streamed protocol: each shard travels as (spec, range), workers
+// generate only their own slice, and the coordinator folds the
+// returned partial fingerprints instead of materializing the corpus —
+// the report still matches a local run byte for byte. Only when the
+// caller needs the corpus listing (needCorpus) is the corpus generated
+// here. SIGINT/SIGTERM cancels the coordinator; workers abandon the
 // cancelled shards at their next scenario boundary.
-func runDistributed(ctx context.Context, spec scenario.Spec, cfg campaign.Config, opts distrib.Options, quick bool) (*campaign.Report, *scenario.Corpus, error) {
+func runDistributed(ctx context.Context, spec scenario.Spec, cfg campaign.Config, opts distrib.Options, quick, needCorpus bool) (*campaign.Report, *scenario.Corpus, error) {
 	if quick {
 		if spec.Count == 0 {
 			spec.Count = 64
@@ -197,11 +202,17 @@ func runDistributed(ctx context.Context, spec scenario.Spec, cfg campaign.Config
 			cfg.Duration = 100 * time.Millisecond
 		}
 	}
-	corpus, err := scenario.Generate(spec)
-	if err != nil {
-		return nil, nil, fmt.Errorf("campaign: %w", err)
+	var corpus *scenario.Corpus
+	var job *campaign.Job
+	var err error
+	if needCorpus {
+		if corpus, err = scenario.Generate(spec); err != nil {
+			return nil, nil, fmt.Errorf("campaign: %w", err)
+		}
+		job, err = campaign.NewJob(corpus, cfg)
+	} else {
+		job, err = campaign.NewSpecJob(spec, cfg)
 	}
-	job, err := campaign.NewJob(corpus, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -220,10 +231,12 @@ func runDistributed(ctx context.Context, spec scenario.Spec, cfg campaign.Config
 			fmt.Fprintf(os.Stderr, "campaign: worker %s dropped after repeated failures\n", e.Worker)
 		}
 	}
-	rep, err := distrib.Run(ctx, job, opts)
+	rep, stats, err := distrib.RunStats(ctx, job, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	fmt.Fprintf(os.Stderr, "campaign: distributed: %d shards, %d retries, %d workers dropped, %d B on wire\n",
+		stats.Shards, stats.Retries, stats.DroppedWorkers, stats.BytesOnWire)
 	return rep, corpus, nil
 }
 

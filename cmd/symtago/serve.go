@@ -36,6 +36,7 @@ func cmdServe(args []string) error {
 	remoteCache := remoteCacheFlag(fs)
 	workersAddr := fs.String("workers-addr", "", "comma-separated worker base URLs; campaigns fan out over them")
 	shardSize := fs.Int("shard", 0, "scenarios per distributed shard (0 = 256)")
+	pipelineDepth := fs.Int("pipeline-depth", 0, "in-flight shards per worker (0 = 2; 1 disables pipelining)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard deadline (0 = 2m)")
 	metricsWindow := fs.Duration("metrics-window", 0, "/v1/metrics history capture period (0 = 1m, negative = off)")
 	traceSample := fs.Float64("trace-sample", 0, "fraction of requests traced (0 = default 0.01, negative = off; X-Trace-Id always traces)")
@@ -67,6 +68,7 @@ func cmdServe(args []string) error {
 		RemoteCache:    *remoteCache,
 		WorkerAddrs:    splitAddrs(*workersAddr),
 		ShardSize:      *shardSize,
+		PipelineDepth:  *pipelineDepth,
 		ShardTimeout:   *shardTimeout,
 		MetricsWindow:  *metricsWindow,
 		TraceSample:    *traceSample,

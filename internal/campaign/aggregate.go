@@ -95,10 +95,13 @@ type Report struct {
 }
 
 // aggregate folds rows (in index order) into the campaign report.
-func aggregate(corpus *scenario.Corpus, cfg Config, rows []ScenarioResult) *Report {
+// fingerprint is the already-verified corpus fingerprint — callers
+// resolve it (from the corpus, or the incremental fold of a streamed
+// job) before folding the report.
+func aggregate(spec scenario.Spec, fingerprint string, cfg Config, rows []ScenarioResult) *Report {
 	rep := &Report{
-		Spec:        corpus.Spec,
-		Fingerprint: corpus.Fingerprint().String(),
+		Spec:        spec,
+		Fingerprint: fingerprint,
 		Config:      cfg,
 		Rows:        rows,
 		Scenarios:   len(rows),

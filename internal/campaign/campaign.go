@@ -284,20 +284,33 @@ func RunShard(ctx context.Context, corpus *scenario.Corpus, cfg Config, start, c
 		return nil, fmt.Errorf("campaign: shard [%d,%d) outside corpus of %d",
 			start, start+count, len(corpus.Scenarios))
 	}
+	return RunScenarios(ctx, corpus.Scenarios[start:start+count], cfg)
+}
+
+// RunScenarios executes an already-generated slice of scenarios —
+// typically one drawn by scenario.GenerateRange on a streamed-protocol
+// worker — and returns their rows in slice order. Semantics match
+// RunShard (it is RunShard's body): rows are byte-identical to a local
+// Run of the same indices, and on context cancellation the partial
+// slice is discarded.
+func RunScenarios(ctx context.Context, scs []scenario.Scenario, cfg Config) ([]ScenarioResult, error) {
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("campaign: empty scenario slice")
+	}
 	cfg = cfg.withDefaults()
 	ctx, ssp := obs.StartSpan(ctx, "shard.run")
-	ssp.SetInt("start", int64(start))
-	ssp.SetInt("count", int64(count))
+	ssp.SetInt("start", int64(scs[0].Index))
+	ssp.SetInt("count", int64(len(scs)))
 	defer ssp.End()
-	rows := make([]ScenarioResult, count)
-	errs := make([]error, count)
+	rows := make([]ScenarioResult, len(scs))
+	errs := make([]error, len(scs))
 	var interrupted atomic.Bool
-	parallel.For(count, cfg.Workers, func(_, k int) {
+	parallel.For(len(scs), cfg.Workers, func(_, k int) {
 		if ctx.Err() != nil {
 			interrupted.Store(true)
 			return
 		}
-		row, err := runOne(ctx, &corpus.Scenarios[start+k], cfg)
+		row, err := runOne(ctx, &scs[k], cfg)
 		if err != nil {
 			errs[k] = err
 			return

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
+
+	"repro/internal/scenario"
 )
 
 // checkpointVersion guards the checkpoint wire format: a restore of a
@@ -41,7 +44,21 @@ type checkpointCfg struct {
 // of the same job: cancel the run first (the rows recorded up to the
 // cancellation are kept and captured here).
 func (j *Job) Checkpoint(w io.Writer) error {
-	ref, err := NewCorpusRef(j.corpus)
+	var ref CorpusRef
+	var err error
+	if j.corpus != nil {
+		ref, err = NewCorpusRef(j.corpus)
+	} else {
+		// A streamed job checkpoints its spec alone — the fingerprint is
+		// only known once the incremental fold completes, and a restore
+		// stays streamed (rows installed here fold lazily on resume).
+		ref, err = NewSpecRef(j.spec)
+		if err == nil {
+			j.mu.Lock()
+			ref.Fingerprint = j.expected
+			j.mu.Unlock()
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
@@ -80,17 +97,35 @@ func RestoreJob(r io.Reader) (*Job, error) {
 		return nil, fmt.Errorf("campaign: restore: checkpoint version %d, want %d",
 			cp.Version, checkpointVersion)
 	}
-	corpus, err := cp.Corpus.Resolve()
-	if err != nil {
-		return nil, fmt.Errorf("campaign: restore: %w", err)
-	}
-	j, err := NewJob(corpus, Config{
+	cfg := Config{
 		Workers: cp.Config.Workers, Seeds: cp.Config.Seeds,
 		Duration:      time.Duration(cp.Config.DurationNS),
 		StoreCapacity: cp.Config.StoreCapacity, MaxIterations: cp.Config.MaxIterations,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var j *Job
+	if cp.Corpus.Fingerprint == "" {
+		// Streamed checkpoint: restore stays spec-only; the resumed run
+		// re-derives every restored row's leaf at fold time, so tampering
+		// with the checkpointed spec still fails the final fingerprint
+		// check against any expectation the caller pins.
+		spec, perr := scenario.ParseSpec(strings.NewReader(cp.Corpus.Spec))
+		if perr != nil {
+			return nil, fmt.Errorf("campaign: restore: %w", perr)
+		}
+		var err error
+		j, err = NewSpecJob(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		corpus, err := cp.Corpus.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: restore: %w", err)
+		}
+		j, err = NewJob(corpus, cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	rows := make([]ScenarioResult, 0, len(cp.Rows))
 	for i := range cp.Rows {

@@ -40,11 +40,34 @@ func NewCorpusRef(corpus *scenario.Corpus) (CorpusRef, error) {
 	}, nil
 }
 
+// NewSpecRef captures a corpus by its generation spec alone, with no
+// fingerprint: the streamed-protocol form, where the corpus identity
+// is established after the fact by folding per-shard partial
+// fingerprints rather than asserted up front. A spec-only ref cannot
+// be Resolved whole — receivers draw their slice with ResolveRange.
+func NewSpecRef(spec scenario.Spec) (CorpusRef, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return CorpusRef{}, fmt.Errorf("campaign: spec ref: %w", err)
+	}
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		return CorpusRef{}, fmt.Errorf("campaign: spec ref: %w", err)
+	}
+	return CorpusRef{
+		Version: corpusRefVersion,
+		Spec:    specBuf.String(),
+	}, nil
+}
+
 // Resolve regenerates the corpus from the embedded spec and verifies
 // it against the recorded fingerprint.
 func (r CorpusRef) Resolve() (*scenario.Corpus, error) {
 	if r.Version != corpusRefVersion {
 		return nil, fmt.Errorf("campaign: corpus ref version %d, want %d", r.Version, corpusRefVersion)
+	}
+	if r.Fingerprint == "" {
+		return nil, fmt.Errorf("campaign: corpus ref carries no fingerprint; only ranges of it can be resolved")
 	}
 	spec, err := scenario.ParseSpec(strings.NewReader(r.Spec))
 	if err != nil {
@@ -59,4 +82,26 @@ func (r CorpusRef) Resolve() (*scenario.Corpus, error) {
 			fp, r.Fingerprint)
 	}
 	return corpus, nil
+}
+
+// ResolveRange draws only scenarios [start, start+count) of the
+// referenced corpus, plus the additive partial fingerprint of exactly
+// that slice. The cost is O(count) regardless of corpus size — the
+// worker-side half of the streamed protocol. The embedded fingerprint,
+// if any, is not checked here: a range cannot prove corpus identity,
+// so verification happens at the coordinator when the per-shard
+// partials fold to the full fingerprint.
+func (r CorpusRef) ResolveRange(start, count int) ([]scenario.Scenario, scenario.Partial, error) {
+	if r.Version != corpusRefVersion {
+		return nil, scenario.Partial{}, fmt.Errorf("campaign: corpus ref version %d, want %d", r.Version, corpusRefVersion)
+	}
+	spec, err := scenario.ParseSpec(strings.NewReader(r.Spec))
+	if err != nil {
+		return nil, scenario.Partial{}, fmt.Errorf("campaign: corpus ref spec: %w", err)
+	}
+	scs, err := scenario.GenerateRange(spec, start, count)
+	if err != nil {
+		return nil, scenario.Partial{}, fmt.Errorf("campaign: corpus ref range: %w", err)
+	}
+	return scs, scenario.PartialOf(scs), nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/contenthash"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
@@ -19,41 +20,103 @@ import (
 // interrupted and resumed, because rows are independent and the
 // aggregate folds them in corpus order.
 //
+// A job exists in one of two modes. A materialized job (NewJob) holds
+// the generated corpus. A streamed job (NewSpecJob) holds only the
+// spec: scenarios are generated on demand — per index locally, per
+// shard range on distributed workers — and the corpus fingerprint is
+// folded incrementally from scenario leaf digests, so a 50k-scenario
+// distributed campaign never materializes its corpus on the
+// coordinator. Reports are byte-identical across the two modes.
+//
 // Job is safe for concurrent Progress/Report reads while one Run is
 // executing; concurrent Runs of the same job are not supported.
 type Job struct {
-	corpus *scenario.Corpus
+	spec   scenario.Spec    // defaulted generation parameters
+	corpus *scenario.Corpus // nil for a streamed (spec-only) job
 	cfg    Config
+	total  int
 
 	mu        sync.Mutex
 	rows      []ScenarioResult
 	done      []bool
 	completed int
-	report    *Report
+	// leafed marks rows whose scenario leaf digest has been folded into
+	// partial; rows installed without a partial (checkpoint restore, v1
+	// wire) are folded lazily when the report fingerprint is resolved.
+	leafed  []bool
+	partial scenario.Partial
+	// expected, when set, is the corpus fingerprint the fold must
+	// reproduce — a shard whose rows were computed under a drifted or
+	// tampered corpus makes the final fold mismatch and fails the run.
+	expected string
+	report   *Report
 }
 
-// NewJob prepares a campaign over the corpus without starting it. The
-// configuration is defaulted exactly as Run defaults it.
+// NewJob prepares a campaign over a materialized corpus without
+// starting it. The configuration is defaulted exactly as Run defaults
+// it.
 func NewJob(corpus *scenario.Corpus, cfg Config) (*Job, error) {
 	if len(corpus.Scenarios) == 0 {
 		return nil, fmt.Errorf("campaign: empty corpus")
 	}
+	n := len(corpus.Scenarios)
 	return &Job{
+		spec:   corpus.Spec,
 		corpus: corpus,
 		cfg:    cfg.withDefaults(),
-		rows:   make([]ScenarioResult, len(corpus.Scenarios)),
-		done:   make([]bool, len(corpus.Scenarios)),
+		total:  n,
+		rows:   make([]ScenarioResult, n),
+		done:   make([]bool, n),
+		leafed: make([]bool, n),
+	}, nil
+}
+
+// NewSpecJob prepares a streamed campaign from generation parameters
+// alone: no scenario is drawn until it is needed, locally by index or
+// remotely by shard range. This is the coordinator-side form of the
+// distributed protocol — the job's memory footprint is O(rows), never
+// O(corpus).
+func NewSpecJob(spec scenario.Spec, cfg Config) (*Job, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	n := spec.Count
+	return &Job{
+		spec:   spec,
+		cfg:    cfg.withDefaults(),
+		total:  n,
+		rows:   make([]ScenarioResult, n),
+		done:   make([]bool, n),
+		leafed: make([]bool, n),
 	}, nil
 }
 
 // Total returns the corpus size.
-func (j *Job) Total() int { return len(j.corpus.Scenarios) }
+func (j *Job) Total() int { return j.total }
 
-// Corpus returns the corpus the job runs over.
+// Corpus returns the materialized corpus, or nil for a streamed job.
 func (j *Job) Corpus() *scenario.Corpus { return j.corpus }
+
+// Spec returns the job's (defaulted) generation parameters.
+func (j *Job) Spec() scenario.Spec { return j.spec }
+
+// Streamed reports whether the job runs from the spec alone.
+func (j *Job) Streamed() bool { return j.corpus == nil }
 
 // Config returns the job's effective (defaulted) configuration.
 func (j *Job) Config() Config { return j.cfg }
+
+// SetExpectedFingerprint pins the corpus fingerprint the incremental
+// fold must reproduce. Checkpoint restores and coordinators that know
+// the corpus identity set it; the final Run fails if the folded
+// fingerprint differs — the tamper/drift rejection of the streamed
+// protocol.
+func (j *Job) SetExpectedFingerprint(fp string) {
+	j.mu.Lock()
+	j.expected = fp
+	j.mu.Unlock()
+}
 
 // ShardRange is a contiguous run of scenario indices.
 type ShardRange struct {
@@ -71,7 +134,7 @@ func (r ShardRange) End() int { return r.Start + r.Count }
 // DefaultShardSize). The ranges are disjoint, ordered by Start, and
 // together hold exactly the scenarios that have no recorded row, so a
 // coordinator can dispatch them as shards and install the results via
-// InstallRows.
+// InstallShard.
 func (j *Job) PendingRanges(size int) []ShardRange {
 	if size <= 0 {
 		size = DefaultShardSize
@@ -95,7 +158,8 @@ func (j *Job) PendingRanges(size int) []ShardRange {
 
 // DefaultShardSize is the shard granularity when none is configured:
 // small enough that a retried shard wastes little work, large enough
-// that per-shard overhead (corpus lookup, HTTP round trip) amortises.
+// that per-shard overhead (slice generation, HTTP round trip)
+// amortises.
 const DefaultShardSize = 256
 
 // InstallRows records externally computed rows (a completed shard).
@@ -103,14 +167,50 @@ const DefaultShardSize = 256
 // retries may legitimately complete twice, and rows are deterministic,
 // so the duplicate carries the same values. An index outside the
 // corpus is an error. Installing the last pending rows does not fold
-// the report; the next Run (with nothing pending) folds and returns it.
+// the report; the next Run (with nothing pending) folds and returns
+// it. Rows installed here carry no leaf fold — their leaves are
+// resolved when the report fingerprint is (from the corpus, or by
+// regenerating the indices of a streamed job).
 func (j *Job) InstallRows(rows []ScenarioResult) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	_, err := j.installLocked(rows)
+	return err
+}
+
+// InstallShard records a completed shard together with its partial
+// fingerprint — the additive fold of the shard's scenario leaf
+// digests, computed by whoever generated the slice. The partial must
+// cover exactly the shard's rows. When every row is new the partial
+// merges into the job's incremental corpus fold; a duplicate shard
+// (retry that lost the race) is ignored whole, fold included, so no
+// leaf is ever counted twice.
+func (j *Job) InstallShard(rows []ScenarioResult, partial scenario.Partial) error {
+	if partial.N != len(rows) {
+		return fmt.Errorf("campaign: shard partial covers %d leaves for %d rows", partial.N, len(rows))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	installed, err := j.installLocked(rows)
+	if err != nil {
+		return err
+	}
+	if installed == len(rows) {
+		j.partial.Merge(partial)
+		for i := range rows {
+			j.leafed[rows[i].Index] = true
+		}
+	}
+	return nil
+}
+
+// installLocked records the new rows, returning how many were not
+// already done. Callers hold j.mu.
+func (j *Job) installLocked(rows []ScenarioResult) (installed int, err error) {
 	for i := range rows {
 		idx := rows[i].Index
 		if idx < 0 || idx >= len(j.rows) {
-			return fmt.Errorf("campaign: install row index %d outside corpus of %d", idx, len(j.rows))
+			return installed, fmt.Errorf("campaign: install row index %d outside corpus of %d", idx, len(j.rows))
 		}
 		if j.done[idx] {
 			continue
@@ -118,15 +218,16 @@ func (j *Job) InstallRows(rows []ScenarioResult) error {
 		j.rows[idx] = rows[i]
 		j.done[idx] = true
 		j.completed++
+		installed++
 	}
-	return nil
+	return installed, nil
 }
 
 // Progress returns how many scenarios have completed.
 func (j *Job) Progress() (completed, total int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.completed, len(j.corpus.Scenarios)
+	return j.completed, j.total
 }
 
 // Report returns the final report, or nil while scenarios are pending.
@@ -136,14 +237,70 @@ func (j *Job) Report() *Report {
 	return j.report
 }
 
+// scenarioAt returns scenario i: from the corpus when materialized,
+// generated on demand for a streamed job.
+func (j *Job) scenarioAt(i int) (*scenario.Scenario, error) {
+	if j.corpus != nil {
+		return &j.corpus.Scenarios[i], nil
+	}
+	return scenario.GenerateOne(j.spec, i)
+}
+
+// resolveFingerprintLocked completes the incremental corpus fold —
+// leaves not yet folded (local rows of a materialized job, rows
+// restored from a checkpoint, v1-wire shards) are resolved from the
+// corpus or regenerated by index — finalizes it into the corpus
+// fingerprint, and verifies it against the expected fingerprint and,
+// for a materialized job, the corpus itself. A mismatch means some
+// installed rows were computed over a different population than the
+// fold claims: the report would be silently wrong, so the run fails
+// loudly instead. Callers hold j.mu.
+func (j *Job) resolveFingerprintLocked() (string, error) {
+	for i, d := range j.done {
+		if !d || j.leafed[i] {
+			continue
+		}
+		var leaf contenthash.Digest
+		if j.corpus != nil {
+			leaf = scenario.Leaf(&j.corpus.Scenarios[i])
+		} else {
+			sc, err := scenario.GenerateOne(j.spec, i)
+			if err != nil {
+				return "", fmt.Errorf("campaign: %w", err)
+			}
+			leaf = scenario.Leaf(sc)
+		}
+		j.partial.Add(leaf)
+		j.leafed[i] = true
+	}
+	d, err := scenario.FingerprintFrom(j.spec, j.partial)
+	if err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	fp := d.String()
+	want := j.expected
+	if j.corpus != nil {
+		if cfp := j.corpus.Fingerprint().String(); want == "" {
+			want = cfp
+		} else if want != cfp {
+			return "", fmt.Errorf("campaign: expected fingerprint %s does not match the job's corpus %s", want, cfp)
+		}
+	}
+	if want != "" && fp != want {
+		return "", fmt.Errorf("campaign: folded corpus fingerprint %s does not match expected %s — a shard returned rows for a drifted or tampered corpus", fp, want)
+	}
+	return fp, nil
+}
+
 // Run processes every pending scenario, sharded over the worker pool.
 // On context cancellation it stops claiming new scenarios, keeps every
 // completed row, and returns the context error — a later Run resumes
 // from exactly the pending set. A scenario failure also leaves
 // completed rows in place (the deterministic first failure by index is
 // returned; failed scenarios stay pending). When the last scenario
-// completes, the aggregate report is folded once and returned; calling
-// Run on a finished job returns the same report.
+// completes, the incremental corpus fold is verified and the aggregate
+// report folded once and returned; calling Run on a finished job
+// returns the same report.
 func (j *Job) Run(ctx context.Context) (*Report, error) {
 	j.mu.Lock()
 	if j.report != nil {
@@ -172,15 +329,25 @@ func (j *Job) Run(ctx context.Context) (*Report, error) {
 			return
 		}
 		i := pending[k]
-		row, err := runOne(ctx, &j.corpus.Scenarios[i], j.cfg)
+		sc, err := j.scenarioAt(i)
 		if err != nil {
 			errs[k] = err
 			return
 		}
+		row, err := runOne(ctx, sc, j.cfg)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		leaf := scenario.Leaf(sc)
 		j.mu.Lock()
 		j.rows[i] = row
 		j.done[i] = true
 		j.completed++
+		if !j.leafed[i] {
+			j.partial.Add(leaf)
+			j.leafed[i] = true
+		}
 		j.mu.Unlock()
 	})
 	if err := parallel.FirstError(errs); err != nil {
@@ -192,6 +359,10 @@ func (j *Job) Run(ctx context.Context) (*Report, error) {
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.report = aggregate(j.corpus, j.cfg, j.rows)
+	fp, err := j.resolveFingerprintLocked()
+	if err != nil {
+		return nil, err
+	}
+	j.report = aggregate(j.spec, fp, j.cfg, j.rows)
 	return j.report, nil
 }

@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func specJobConfig() Config {
+	return Config{Workers: 2, Seeds: 1, Duration: 50e6}
+}
+
+func renderAll(t *testing.T, r *Report) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(r.Render())
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSpecJobMatchesCorpusJob: a streamed job run locally produces the
+// identical report to a materialized job — same fingerprint, same
+// rendered bytes.
+func TestSpecJobMatchesCorpusJob(t *testing.T) {
+	spec := scenario.Spec{Seed: 21, Count: 10}
+	cfg := specJobConfig()
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sj, err := NewSpecJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sj.Streamed() || sj.Corpus() != nil {
+		t.Fatal("spec job is not streamed")
+	}
+	got, err := sj.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != corpus.Fingerprint().String() {
+		t.Fatalf("streamed fingerprint %s != corpus %s", got.Fingerprint, corpus.Fingerprint())
+	}
+	if renderAll(t, got) != renderAll(t, want) {
+		t.Fatal("streamed report differs from materialized run")
+	}
+}
+
+// shardRows computes a shard exactly the way a v2 worker does:
+// generate the slice, run it, fold its partial.
+func shardRows(t *testing.T, spec scenario.Spec, cfg Config, start, count int) ([]ScenarioResult, scenario.Partial) {
+	t.Helper()
+	scs, err := scenario.GenerateRange(spec, start, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunScenarios(context.Background(), scs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, scenario.PartialOf(scs)
+}
+
+// TestSpecJobInstallShards: a streamed job fed entirely by worker-style
+// shards folds the identical report, and duplicate shard installs
+// (retries that lost the race) change nothing.
+func TestSpecJobInstallShards(t *testing.T) {
+	spec := scenario.Spec{Seed: 21, Count: 10}
+	cfg := specJobConfig()
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sj, err := NewSpecJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sj.PendingRanges(3) {
+		rows, partial := shardRows(t, spec, cfg, r.Start, r.Count)
+		if err := sj.InstallShard(rows, partial); err != nil {
+			t.Fatal(err)
+		}
+		// A duplicate install must be ignored whole — fold included.
+		if err := sj.InstallShard(rows, partial); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sj.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(t, got) != renderAll(t, want) {
+		t.Fatal("shard-fed streamed report differs from materialized run")
+	}
+}
+
+// TestInstallShardTamperRejected: a shard whose partial fingerprint
+// does not describe the true corpus slice fails the final fold — on a
+// materialized job (corpus is the reference) and on a streamed job
+// with a pinned expected fingerprint.
+func TestInstallShardTamperRejected(t *testing.T) {
+	spec := scenario.Spec{Seed: 21, Count: 6}
+	cfg := specJobConfig()
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := func(job *Job) error {
+		t.Helper()
+		ranges := job.PendingRanges(3)
+		for i, r := range ranges {
+			rows, partial := shardRows(t, spec, cfg, r.Start, r.Count)
+			if i == 0 {
+				partial.A++ // a drifted generator or corrupted wire
+			}
+			if err := job.InstallShard(rows, partial); err != nil {
+				return err
+			}
+		}
+		_, err := job.Run(context.Background())
+		return err
+	}
+
+	mj, err := NewJob(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tamper(mj); err == nil || !strings.Contains(err.Error(), "tampered") {
+		t.Fatalf("materialized job accepted tampered shard: %v", err)
+	}
+
+	sj, err := NewSpecJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj.SetExpectedFingerprint(corpus.Fingerprint().String())
+	if err := tamper(sj); err == nil || !strings.Contains(err.Error(), "tampered") {
+		t.Fatalf("streamed job accepted tampered shard: %v", err)
+	}
+
+	// A partial whose count does not cover its rows is refused at
+	// install time.
+	j, err := NewSpecJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, partial := shardRows(t, spec, cfg, 0, 3)
+	partial.N--
+	if err := j.InstallShard(rows, partial); err == nil {
+		t.Fatal("InstallShard accepted a partial covering the wrong row count")
+	}
+}
+
+// TestSpecJobCheckpointRestore: a streamed job checkpoints without
+// materializing, restores streamed, and finishes to the identical
+// report.
+func TestSpecJobCheckpointRestore(t *testing.T) {
+	spec := scenario.Spec{Seed: 21, Count: 10}
+	cfg := specJobConfig()
+	corpus, err := scenario.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sj, err := NewSpecJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, partial := shardRows(t, spec, cfg, 0, 4)
+	if err := sj.InstallShard(rows, partial); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sj.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreJob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Streamed() {
+		t.Fatal("restored spec-only checkpoint materialized a corpus")
+	}
+	if done, total := restored.Progress(); done != 4 || total != 10 {
+		t.Fatalf("restored progress %d/%d, want 4/10", done, total)
+	}
+	got, err := restored.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(t, got) != renderAll(t, want) {
+		t.Fatal("restored streamed report differs from materialized run")
+	}
+}

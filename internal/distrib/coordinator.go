@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,7 +15,13 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
+
+// DefaultPipelineDepth is the per-worker in-flight shard window when
+// none is configured: deep enough to overlap dispatch latency with
+// execution, shallow enough that a dropped worker strands little work.
+const DefaultPipelineDepth = 2
 
 // Options parameterises a distributed campaign run.
 type Options struct {
@@ -24,6 +31,11 @@ type Options struct {
 	// ShardSize bounds scenarios per shard (<= 0 selects
 	// campaign.DefaultShardSize).
 	ShardSize int
+	// PipelineDepth bounds how many shards may be in flight to one
+	// worker at once (<= 0 selects DefaultPipelineDepth; 1 disables
+	// pipelining). The merged report is byte-identical for every depth —
+	// rows install by scenario index and the fold is order-free.
+	PipelineDepth int
 	// ShardTimeout is the per-attempt deadline of one shard (default
 	// 2m). A timed-out attempt counts as a failure and the shard is
 	// retried, possibly on another worker.
@@ -32,7 +44,7 @@ type Options struct {
 	// (default 3).
 	MaxAttempts int
 	// DropAfter is how many consecutive failures retire a worker
-	// (default 3). Its in-flight shard is requeued for the survivors.
+	// (default 3). Its in-flight shards are requeued for the survivors.
 	DropAfter int
 	// Client is the HTTP client shards travel over (default
 	// http.DefaultClient; per-attempt deadlines come from ShardTimeout,
@@ -47,6 +59,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.ShardSize <= 0 {
 		o.ShardSize = campaign.DefaultShardSize
+	}
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = DefaultPipelineDepth
 	}
 	if o.ShardTimeout <= 0 {
 		o.ShardTimeout = 2 * time.Minute
@@ -94,6 +109,21 @@ type Event struct {
 	// ElapsedNS is the attempt's wall-clock duration, set on shard_done
 	// and shard_failed events.
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	// Bytes is the response body size as it travelled (post-compression),
+	// set on shard_done events.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// Stats summarises a distributed run for operators: it accumulates
+// across the coordinator's events, so a caller that also passes OnEvent
+// sees both.
+type Stats struct {
+	// Shards counts installed shards; Retries counts failed attempts
+	// that were requeued; DroppedWorkers counts retired workers.
+	Shards, Retries, DroppedWorkers int
+	// BytesOnWire totals shard response bodies as they travelled
+	// (post-compression).
+	BytesOnWire int64
 }
 
 type shardTask struct {
@@ -114,6 +144,15 @@ type coordinator struct {
 	allDone   chan struct{}
 	doneOnce  sync.Once
 
+	stats   Stats
+	statsMu sync.Mutex
+
+	// legacy records workers that answered a v2 request with "want 1":
+	// further shards to them travel as WireVersionLegacy, which needs a
+	// fingerprint-ful reference (a streamed run cannot use them).
+	legacyMu sync.Mutex
+	legacy   map[string]bool
+
 	// fatal records the first unrecoverable failure and cancels the run.
 	fatalMu  sync.Mutex
 	fatalErr error
@@ -124,27 +163,44 @@ type coordinator struct {
 
 // Run executes the job's pending scenarios over the workers and folds
 // the final report. The report is byte-identical to a local
-// (*campaign.Job).Run for any worker set, shard size, or failure
-// schedule: rows are installed by scenario index and the fold is the
-// same serial aggregate. Run fails when a shard exhausts MaxAttempts,
-// when every worker has been dropped with shards still pending, or
-// when ctx is cancelled; the job keeps the rows installed so far, so
-// a later Run — local or distributed — resumes from the pending set.
+// (*campaign.Job).Run for any worker set, shard size, pipeline depth,
+// or failure schedule: rows are installed by scenario index and the
+// fold is the same serial aggregate. For a streamed job the coordinator
+// ships only (spec, range) per shard and folds the workers' partial
+// fingerprints — the corpus is never materialized on this side. Run
+// fails when a shard exhausts MaxAttempts, when every worker has been
+// dropped with shards still pending, or when ctx is cancelled; the job
+// keeps the rows installed so far, so a later Run — local or
+// distributed — resumes from the pending set.
 func Run(ctx context.Context, job *campaign.Job, opts Options) (*campaign.Report, error) {
+	rep, _, err := RunStats(ctx, job, opts)
+	return rep, err
+}
+
+// RunStats is Run plus the accumulated run statistics (valid even when
+// the run fails).
+func RunStats(ctx context.Context, job *campaign.Job, opts Options) (*campaign.Report, Stats, error) {
 	opts = opts.withDefaults()
 	if len(opts.Workers) == 0 {
-		return nil, fmt.Errorf("distrib: no workers")
+		return nil, Stats{}, fmt.Errorf("distrib: no workers")
 	}
 	shards := job.PendingRanges(opts.ShardSize)
 	if len(shards) == 0 {
-		return job.Run(ctx)
+		rep, err := job.Run(ctx)
+		return rep, Stats{}, err
 	}
 	_, rsp := obs.StartSpan(ctx, "corpus.ref")
-	ref, err := campaign.NewCorpusRef(job.Corpus())
-	rsp.SetAttr("fingerprint", ref.Fingerprint)
+	var ref campaign.CorpusRef
+	var err error
+	if job.Streamed() {
+		ref, err = campaign.NewSpecRef(job.Spec())
+	} else {
+		ref, err = campaign.NewCorpusRef(job.Corpus())
+		rsp.SetAttr("fingerprint", ref.Fingerprint)
+	}
 	rsp.End()
 	if err != nil {
-		return nil, fmt.Errorf("distrib: %w", err)
+		return nil, Stats{}, fmt.Errorf("distrib: %w", err)
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -156,6 +212,7 @@ func Run(ctx context.Context, job *campaign.Job, opts Options) (*campaign.Report
 		opts:    opts,
 		queue:   make(chan *shardTask, len(shards)),
 		allDone: make(chan struct{}),
+		legacy:  make(map[string]bool),
 		cancel:  cancel,
 	}
 	c.remaining.Store(int64(len(shards)))
@@ -173,64 +230,110 @@ func Run(ctx context.Context, job *campaign.Job, opts Options) (*campaign.Report
 	}
 	wg.Wait()
 
+	c.statsMu.Lock()
+	stats := c.stats
+	c.statsMu.Unlock()
 	c.fatalMu.Lock()
 	fatal := c.fatalErr
 	c.fatalMu.Unlock()
 	switch {
 	case fatal != nil:
-		return nil, fatal
+		return nil, stats, fatal
 	case ctx.Err() != nil:
-		return nil, ctx.Err()
+		return nil, stats, ctx.Err()
 	case c.remaining.Load() > 0:
-		return nil, fmt.Errorf("distrib: all %d workers dropped with %d shards pending",
+		return nil, stats, fmt.Errorf("distrib: all %d workers dropped with %d shards pending",
 			len(opts.Workers), c.remaining.Load())
 	}
-	return job.Run(ctx)
+	rep, err := job.Run(ctx)
+	return rep, stats, err
 }
 
+// workerLoop pumps shards to one worker, keeping up to PipelineDepth
+// in flight: a free slot pulls the next queued shard and dispatches it
+// on its own goroutine, so the worker's pool never drains while an
+// acknowledgement is in transit. Consecutive failures (counted across
+// the in-flight window) retire the worker; its unfinished shards have
+// already requeued themselves for the survivors.
 func (c *coordinator) workerLoop(ctx context.Context, addr string) {
-	consecutive := 0
+	slots := make(chan struct{}, c.opts.PipelineDepth)
+	for i := 0; i < c.opts.PipelineDepth; i++ {
+		slots <- struct{}{}
+	}
+	var consecutive atomic.Int64
+	dropped := make(chan struct{})
+	var dropOnce sync.Once
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-c.allDone:
 			return
+		case <-dropped:
+			return
+		case <-slots:
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.allDone:
+			return
+		case <-dropped:
+			return
 		case t := <-c.queue:
 			c.emit(Event{Type: EventDispatch, Worker: addr, Shard: t.r, Attempt: t.attempts + 1})
-			t0 := time.Now()
-			err := c.runShard(ctx, addr, t)
-			elapsed := time.Since(t0)
-			if err == nil {
-				consecutive = 0
-				c.emit(Event{Type: EventShardDone, Worker: addr, Shard: t.r,
-					Attempt: t.attempts + 1, ElapsedNS: int64(elapsed)})
-				if c.remaining.Add(-1) == 0 {
-					c.doneOnce.Do(func() { close(c.allDone) })
+			wg.Add(1)
+			go func(t *shardTask) {
+				defer wg.Done()
+				defer func() { slots <- struct{}{} }()
+				t0 := time.Now()
+				bytes, err := c.runShard(ctx, addr, t)
+				elapsed := time.Since(t0)
+				if err == nil {
+					consecutive.Store(0)
+					c.statsMu.Lock()
+					c.stats.Shards++
+					c.stats.BytesOnWire += bytes
+					c.statsMu.Unlock()
+					c.emit(Event{Type: EventShardDone, Worker: addr, Shard: t.r,
+						Attempt: t.attempts + 1, ElapsedNS: int64(elapsed), Bytes: bytes})
+					if c.remaining.Add(-1) == 0 {
+						c.doneOnce.Do(func() { close(c.allDone) })
+					}
 					return
 				}
-				continue
-			}
-			if ctx.Err() != nil {
-				// Cancelled mid-flight: not the worker's fault. Requeue so
-				// a restarted run still sees the shard as pending.
+				if ctx.Err() != nil {
+					// Cancelled mid-flight: not the worker's fault. Requeue so
+					// a restarted run still sees the shard as pending.
+					c.queue <- t
+					return
+				}
+				t.attempts++
+				c.statsMu.Lock()
+				c.stats.Retries++
+				c.statsMu.Unlock()
+				c.emit(Event{Type: EventShardFailed, Worker: addr, Shard: t.r,
+					Attempt: t.attempts, Err: err.Error(), ElapsedNS: int64(elapsed)})
+				if t.attempts >= c.opts.MaxAttempts {
+					c.fail(fmt.Errorf("distrib: shard [%d,%d) failed %d times, last on %s: %w",
+						t.r.Start, t.r.End(), t.attempts, addr, err))
+					return
+				}
 				c.queue <- t
-				return
-			}
-			t.attempts++
-			c.emit(Event{Type: EventShardFailed, Worker: addr, Shard: t.r,
-				Attempt: t.attempts, Err: err.Error(), ElapsedNS: int64(elapsed)})
-			if t.attempts >= c.opts.MaxAttempts {
-				c.fail(fmt.Errorf("distrib: shard [%d,%d) failed %d times, last on %s: %w",
-					t.r.Start, t.r.End(), t.attempts, addr, err))
-				return
-			}
-			c.queue <- t
-			consecutive++
-			if consecutive >= c.opts.DropAfter {
-				c.emit(Event{Type: EventWorkerDropped, Worker: addr, Shard: t.r, Attempt: t.attempts, Err: err.Error()})
-				return
-			}
+				if consecutive.Add(1) >= int64(c.opts.DropAfter) {
+					dropOnce.Do(func() {
+						c.statsMu.Lock()
+						c.stats.DroppedWorkers++
+						c.statsMu.Unlock()
+						c.emit(Event{Type: EventWorkerDropped, Worker: addr, Shard: t.r,
+							Attempt: t.attempts, Err: err.Error()})
+						close(dropped)
+					})
+				}
+			}(t)
 		}
 	}
 }
@@ -254,12 +357,34 @@ func (c *coordinator) emit(e Event) {
 	c.eventMu.Unlock()
 }
 
+// isLegacy reports whether addr has been downgraded to the v1 wire.
+func (c *coordinator) isLegacy(addr string) bool {
+	c.legacyMu.Lock()
+	defer c.legacyMu.Unlock()
+	return c.legacy[addr]
+}
+
+// countingReader counts bytes as they come off the wire, before any
+// decompression.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 // runShard executes one attempt of one shard against one worker under
 // the per-shard deadline, verifies the response is exactly the
-// requested range, and installs the rows. When ctx carries a trace the
-// request travels with trace headers and the worker's spans come back
-// in the response, spliced under this attempt's dispatch span.
-func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) (err error) {
+// requested range, and installs the rows (with their partial
+// fingerprint under the v2 wire). It returns the response body size as
+// it travelled. When ctx carries a trace the request travels with
+// trace headers and the worker's spans come back in the response,
+// spliced under this attempt's dispatch span.
+func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) (wireBytes int64, err error) {
 	sctx, sp := obs.StartSpan(ctx, "shard.dispatch")
 	sp.SetAttr("worker", addr)
 	sp.SetInt("start", int64(t.r.Start))
@@ -272,60 +397,105 @@ func (c *coordinator) runShard(ctx context.Context, addr string, t *shardTask) (
 		sp.End()
 	}()
 
+	version := WireVersion
+	if c.isLegacy(addr) {
+		version = WireVersionLegacy
+	}
+	if version == WireVersionLegacy && c.ref.Fingerprint == "" {
+		// Skew rule: the legacy wire resolves the whole corpus by
+		// fingerprint, which a streamed run never computes up front.
+		return 0, fmt.Errorf("worker %s: speaks wire version %d, which cannot serve a streamed (fingerprint-less) corpus",
+			addr, WireVersionLegacy)
+	}
+
 	attemptCtx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
 	defer cancel()
 
 	body, err := json.Marshal(ShardRequest{
-		Version: WireVersion,
+		Version: version,
 		Corpus:  c.ref,
 		Start:   t.r.Start,
 		Count:   t.r.Count,
 		Config:  c.cfg,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	url := strings.TrimRight(addr, "/") + ShardPath
 	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Ask for compressed rows explicitly: setting the header ourselves
+	// disables the transport's transparent decompression, so the raw
+	// byte count below measures what actually travelled.
+	req.Header.Set("Accept-Encoding", "gzip")
 	obs.Inject(sctx, req.Header)
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("worker %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
+		// An old worker rejects the v2 request with its own expected
+		// version. Remember the downgrade and retry this attempt on the
+		// legacy wire instead of burning a failure.
+		if version == WireVersion && resp.StatusCode == http.StatusBadRequest &&
+			bytes.Contains(msg, []byte("shard wire version")) &&
+			bytes.Contains(msg, []byte(fmt.Sprintf("want %d", WireVersionLegacy))) {
+			c.legacyMu.Lock()
+			c.legacy[addr] = true
+			c.legacyMu.Unlock()
+			sp.SetAttr("downgrade", "v1")
+			return c.runShard(ctx, addr, t)
+		}
+		return 0, fmt.Errorf("worker %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
+	}
+	cr := &countingReader{r: resp.Body}
+	var payload io.Reader = cr
+	if strings.Contains(resp.Header.Get("Content-Encoding"), "gzip") {
+		gz, gerr := gzip.NewReader(cr)
+		if gerr != nil {
+			return cr.n, fmt.Errorf("worker %s: response: %w", addr, gerr)
+		}
+		defer gz.Close()
+		payload = gz
 	}
 	var sr ShardResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return fmt.Errorf("worker %s: response: %w", addr, err)
+	if err := json.NewDecoder(payload).Decode(&sr); err != nil {
+		return cr.n, fmt.Errorf("worker %s: response: %w", addr, err)
 	}
-	if sr.Version != WireVersion {
-		return fmt.Errorf("worker %s: wire version %d, want %d", addr, sr.Version, WireVersion)
+	if sr.Version != version {
+		return cr.n, fmt.Errorf("worker %s: wire version %d, want %d", addr, sr.Version, version)
 	}
 	if len(sr.Rows) != t.r.Count {
-		return fmt.Errorf("worker %s: %d rows for a shard of %d", addr, len(sr.Rows), t.r.Count)
+		return cr.n, fmt.Errorf("worker %s: %d rows for a shard of %d", addr, len(sr.Rows), t.r.Count)
 	}
 	rows := make([]campaign.ScenarioResult, len(sr.Rows))
 	for i := range sr.Rows {
 		row, err := sr.Rows[i].Result()
 		if err != nil {
-			return fmt.Errorf("worker %s: %w", addr, err)
+			return cr.n, fmt.Errorf("worker %s: %w", addr, err)
 		}
 		if row.Index != t.r.Start+i {
-			return fmt.Errorf("worker %s: row %d has index %d, want %d",
+			return cr.n, fmt.Errorf("worker %s: row %d has index %d, want %d",
 				addr, i, row.Index, t.r.Start+i)
 		}
 		rows[i] = row
 	}
-	if err := c.job.InstallRows(rows); err != nil {
-		return err
+	if sr.Version == WireVersion {
+		partial, perr := scenario.ParsePartial(sr.Partial)
+		if perr != nil {
+			return cr.n, fmt.Errorf("worker %s: %w", addr, perr)
+		}
+		if err := c.job.InstallShard(rows, partial); err != nil {
+			return cr.n, err
+		}
+	} else if err := c.job.InstallRows(rows); err != nil {
+		return cr.n, err
 	}
 	obs.TraceFrom(ctx).ImportWire(sp.ID(), sr.Spans)
-	return nil
+	return cr.n, nil
 }

@@ -1,10 +1,13 @@
 package distrib
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -30,13 +33,16 @@ type WorkerConfig struct {
 }
 
 // Worker computes campaign shards on behalf of a coordinator. It is
-// stateless across campaigns apart from two pure caches: regenerated
-// corpora (by fingerprint) and the optional shared analysis level.
+// stateless across campaigns apart from three pure caches: regenerated
+// corpora (by fingerprint, the legacy wire), generated slices (by
+// spec + range, the streamed wire) and the optional shared analysis
+// level.
 type Worker struct {
 	cfg WorkerConfig
 
 	mu      sync.Mutex
 	corpora []corpusEntry
+	slices  []sliceEntry
 
 	shardsServed atomic.Uint64
 	rowsServed   atomic.Uint64
@@ -45,6 +51,22 @@ type Worker struct {
 type corpusEntry struct {
 	fingerprint string
 	corpus      *scenario.Corpus
+}
+
+// maxSliceEntries bounds the streamed-range MRU. Slices are scenario
+// specs, not results, so 64 shards' worth is cheap; a retried or
+// re-dispatched shard (same spec, same range) regenerates nothing.
+const maxSliceEntries = 64
+
+// gzipPool recycles response compressors: a gzip.Writer carries its
+// deflate window (~800 KiB) and would otherwise be reallocated per
+// shard response.
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+type sliceEntry struct {
+	key     string
+	scs     []scenario.Scenario
+	partial scenario.Partial
 }
 
 // NewWorker builds a worker.
@@ -99,7 +121,7 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
 		return
 	}
-	if req.Version != WireVersion {
+	if req.Version != WireVersion && req.Version != WireVersionLegacy {
 		http.Error(rw, fmt.Sprintf("shard wire version %d, want %d", req.Version, WireVersion),
 			http.StatusBadRequest)
 		return
@@ -118,19 +140,46 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	ctx, root := obs.StartSpan(ctx, "worker.shard")
 	root.SetInt("start", int64(req.Start))
 	root.SetInt("count", int64(req.Count))
+	root.SetInt("version", int64(req.Version))
 
-	_, csp := obs.StartSpan(ctx, "corpus.resolve")
-	corpus, cached, err := w.corpus(req.Corpus)
-	csp.SetBool("cached", cached)
-	csp.End()
-	if err != nil {
-		root.End()
-		http.Error(rw, err.Error(), http.StatusBadRequest)
-		return
+	// Version 2 draws only the requested slice — O(count) regardless of
+	// corpus size — and folds its partial fingerprint. Version 1 keeps
+	// the legacy whole-corpus path: regenerate (through the fingerprint-
+	// keyed cache), verify, slice.
+	var rows []campaign.ScenarioResult
+	var partial scenario.Partial
+	var err error
+	if req.Version == WireVersion {
+		_, gsp := obs.StartSpan(ctx, "corpus.range")
+		var scs []scenario.Scenario
+		var cached bool
+		scs, partial, cached, err = w.slice(req.Corpus, req.Start, req.Count)
+		gsp.SetBool("cached", cached)
+		gsp.End()
+		if err != nil {
+			root.End()
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg := req.Config.Campaign(w.cfg.Workers)
+		cfg.Cache = w.cfg.Cache
+		rows, err = campaign.RunScenarios(ctx, scs, cfg)
+	} else {
+		_, csp := obs.StartSpan(ctx, "corpus.resolve")
+		var corpus *scenario.Corpus
+		var cached bool
+		corpus, cached, err = w.corpus(req.Corpus)
+		csp.SetBool("cached", cached)
+		csp.End()
+		if err != nil {
+			root.End()
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg := req.Config.Campaign(w.cfg.Workers)
+		cfg.Cache = w.cfg.Cache
+		rows, err = campaign.RunShard(ctx, corpus, cfg, req.Start, req.Count)
 	}
-	cfg := req.Config.Campaign(w.cfg.Workers)
-	cfg.Cache = w.cfg.Cache
-	rows, err := campaign.RunShard(ctx, corpus, cfg, req.Start, req.Count)
 	root.End()
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
@@ -139,19 +188,68 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	resp := ShardResponse{Version: WireVersion, Rows: make([]campaign.WireRow, len(rows))}
+	resp := ShardResponse{Version: req.Version, Rows: make([]campaign.WireRow, len(rows))}
 	for i := range rows {
 		resp.Rows[i] = campaign.NewWireRow(&rows[i])
+	}
+	if req.Version == WireVersion {
+		resp.Partial = partial.String()
 	}
 	if wtr != nil {
 		resp.Spans = wtr.WireSpans()
 	}
+	// Rows dominate the response; compress them when the requester asked
+	// for it. Old coordinators interoperate either way: Go's default
+	// transport advertises gzip itself and decompresses transparently.
+	out := io.Writer(rw)
 	rw.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(rw).Encode(&resp); err != nil {
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		rw.Header().Set("Content-Encoding", "gzip")
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(rw)
+		defer func() {
+			gz.Close()
+			gzipPool.Put(gz)
+		}()
+		out = gz
+	}
+	if err := json.NewEncoder(out).Encode(&resp); err != nil {
 		return // mid-body failure; coordinator sees a decode error and retries
 	}
 	w.shardsServed.Add(1)
 	w.rowsServed.Add(uint64(len(rows)))
+}
+
+// slice resolves a streamed range through the worker's range-keyed
+// MRU, reporting whether the cache already held it. Entries are shared
+// read-only across shard runs, exactly like the cached corpora.
+func (w *Worker) slice(ref campaign.CorpusRef, start, count int) ([]scenario.Scenario, scenario.Partial, bool, error) {
+	key := fmt.Sprintf("%s\x00%d:%d", ref.Spec, start, count)
+	w.mu.Lock()
+	for i := range w.slices {
+		if w.slices[i].key == key {
+			e := w.slices[i]
+			copy(w.slices[1:i+1], w.slices[:i])
+			w.slices[0] = e
+			w.mu.Unlock()
+			return e.scs, e.partial, true, nil
+		}
+	}
+	w.mu.Unlock()
+
+	// Generate outside the lock: generation is deterministic, so
+	// concurrent duplicates agree and the last one wins harmlessly.
+	scs, partial, err := ref.ResolveRange(start, count)
+	if err != nil {
+		return nil, scenario.Partial{}, false, err
+	}
+	w.mu.Lock()
+	w.slices = append([]sliceEntry{{key, scs, partial}}, w.slices...)
+	if len(w.slices) > maxSliceEntries {
+		w.slices = w.slices[:maxSliceEntries]
+	}
+	w.mu.Unlock()
+	return scs, partial, false, nil
 }
 
 // corpus resolves a corpus reference through the worker's

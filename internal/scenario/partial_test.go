@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestGenerateRangeConcatenatesToFullCorpus is the property behind the
+// streamed distributed protocol: for random specs and random shard
+// boundaries, worker-style slice generation concatenates to exactly
+// the corpus a coordinator would have generated — byte-identical under
+// the canonical encoding — and the per-slice partial fingerprints fold
+// to the corpus fingerprint.
+func TestGenerateRangeConcatenatesToFullCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		spec := Spec{Seed: rng.Int63n(1 << 30), Count: 1 + rng.Intn(40)}
+		full, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		var concat []Scenario
+		var fold Partial
+		for start := 0; start < spec.Count; {
+			count := 1 + rng.Intn(spec.Count-start)
+			slice, err := GenerateRange(spec, start, count)
+			if err != nil {
+				t.Fatalf("trial %d: range [%d,%d): %v", trial, start, start+count, err)
+			}
+			concat = append(concat, slice...)
+			fold.Merge(PartialOf(slice))
+			start += count
+		}
+
+		var wantBuf, gotBuf bytes.Buffer
+		if err := full.Encode(&wantBuf); err != nil {
+			t.Fatal(err)
+		}
+		rebuilt := &Corpus{Spec: full.Spec, Scenarios: concat}
+		if err := rebuilt.Encode(&gotBuf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+			t.Fatalf("trial %d (seed %d count %d): concatenated slices differ from full corpus",
+				trial, spec.Seed, spec.Count)
+		}
+
+		d, err := FingerprintFrom(spec, fold)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d != full.Fingerprint() {
+			t.Fatalf("trial %d: folded fingerprint %s != corpus fingerprint %s",
+				trial, d, full.Fingerprint())
+		}
+	}
+}
+
+// TestPartialFoldIsOrderAndShardingFree: the fold is additive, so any
+// merge order and any partition give the same partial.
+func TestPartialFoldIsOrderAndShardingFree(t *testing.T) {
+	spec := Spec{Seed: 5, Count: 9}
+	corpus, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PartialOf(corpus.Scenarios)
+
+	// Reverse-order per-scenario fold.
+	var rev Partial
+	for i := len(corpus.Scenarios) - 1; i >= 0; i-- {
+		rev.Add(Leaf(&corpus.Scenarios[i]))
+	}
+	if rev != want {
+		t.Fatalf("reverse fold %v != forward fold %v", rev, want)
+	}
+
+	// Uneven shards merged out of order.
+	var merged Partial
+	for _, r := range [][2]int{{4, 5}, {0, 4}} {
+		slice, err := GenerateRange(spec, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(PartialOf(slice))
+	}
+	if merged != want {
+		t.Fatalf("sharded fold %v != forward fold %v", merged, want)
+	}
+}
+
+// TestTamperedSliceRejectedByFold: a slice whose content drifted from
+// the spec (a worker with a skewed generator, or a corrupted wire)
+// folds to a different fingerprint than the true corpus.
+func TestTamperedSliceRejectedByFold(t *testing.T) {
+	spec := Spec{Seed: 3, Count: 8}
+	corpus, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := GenerateRange(spec, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRange(spec, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with one scenario of the second slice.
+	b[1].Seed++
+
+	var fold Partial
+	fold.Merge(PartialOf(a))
+	fold.Merge(PartialOf(b))
+	d, err := FingerprintFrom(spec, fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == corpus.Fingerprint() {
+		t.Fatal("tampered slice folded to the true corpus fingerprint")
+	}
+
+	// Swapping two scenarios (indices travel in the leaves) must also
+	// change the fold.
+	c, err := GenerateRange(spec, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c[2], c[5] = c[5], c[2]
+	c[2].Index, c[5].Index = 2, 5
+	if sd, _ := FingerprintFrom(spec, PartialOf(c)); sd == corpus.Fingerprint() {
+		t.Fatal("swapped scenarios folded to the true corpus fingerprint")
+	}
+
+	// An incomplete fold is refused outright.
+	if _, err := FingerprintFrom(spec, PartialOf(a)); err == nil {
+		t.Fatal("incomplete fold finalized without error")
+	}
+}
+
+// TestPartialWireRoundTrip pins the String/ParsePartial encoding.
+func TestPartialWireRoundTrip(t *testing.T) {
+	spec := Spec{Seed: 9, Count: 6}
+	scs, err := GenerateRange(spec, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartialOf(scs)
+	got, err := ParsePartial(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip %v != %v", got, p)
+	}
+	for _, bad := range []string{"", "xyz", "0123:4", p.String()[:20]} {
+		if _, err := ParsePartial(bad); err == nil {
+			t.Fatalf("ParsePartial(%q) accepted garbage", bad)
+		}
+	}
+}

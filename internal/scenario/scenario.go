@@ -484,7 +484,16 @@ func (s *Scenario) Build() (*core.System, []whatif.SystemChange, error) {
 // the determinism contract the tests pin.
 func (c *Corpus) Encode(w io.Writer) error {
 	bw := &errWriter{w: w}
-	sp := c.Spec
+	encodeSpecHeader(bw, c.Spec)
+	for i := range c.Scenarios {
+		encodeScenario(bw, &c.Scenarios[i])
+	}
+	return bw.err
+}
+
+// encodeSpecHeader writes the three-line corpus header of the
+// canonical listing.
+func encodeSpecHeader(bw *errWriter, sp Spec) {
 	bw.printf("corpus seed=%d count=%d buses=[%d,%d] messages=[%d,%d] rates=%v\n",
 		sp.Seed, sp.Count, sp.MinBuses, sp.MaxBuses, sp.MinMessages, sp.MaxMessages, sp.BitRates)
 	bw.printf("known=[%g,%g] shuffle=[%g,%g] p_worst=%g p_err=%g p_tdma=%g p_shallow=%g\n",
@@ -494,42 +503,48 @@ func (c *Corpus) Encode(w io.Writer) error {
 	bw.printf("gwperiod=[%v,%v] fifo=[%d,%d] flows=[%d,%d] changes<=%d\n",
 		sp.GatewayPeriodMin, sp.GatewayPeriodMax, sp.FIFODepthMin, sp.FIFODepthMax,
 		sp.FlowsMin, sp.FlowsMax, sp.MaxChanges)
-	for i := range c.Scenarios {
-		s := &c.Scenarios[i]
-		bw.printf("scenario %d seed=%d worst=%t burst=%t\n",
-			s.Index, s.Seed, s.WorstStuffing, s.BurstErrors)
-		for _, b := range s.Buses {
-			bw.printf("  bus %s seed=%d rate=%d ecus=%d gws=%d msgs=%d known=%.6f shuffle=%.6f\n",
-				b.Name, b.Gen.Seed, b.Gen.BitRate, b.Gen.ECUs, b.Gen.Gateways,
-				b.Gen.Messages, b.Gen.KnownJitterFraction, b.Gen.IDShuffle)
-		}
-		for _, g := range s.Gateways {
-			srcs := make([]string, len(g.Flows))
-			for i, f := range g.Flows {
-				srcs[i] = fmt.Sprint(f.SourceIndex)
-			}
-			bw.printf("  gw %s from=%d service=%v batch=%d policy=%d depth=%d flows=[%s]\n",
-				g.Name, g.FromBus, g.ServicePeriod, g.Batch, g.Policy, g.QueueDepth,
-				strings.Join(srcs, ","))
-		}
-		if t := s.TDMA; t != nil {
-			bw.printf("  tdma slots=%d len=%v periods=%v feed=%v src=%d\n",
-				t.Slots, t.SlotLength, t.Periods, t.FeedPeriod, t.FeedSourceIndex)
-		}
-		for _, ch := range s.Changes {
-			bw.printf("  change kind=%d bus=%d msg=%d frac=%.6f dlc=%d\n",
-				ch.Kind, ch.Bus, ch.Message, ch.Frac, ch.DLC)
-		}
-	}
-	return bw.err
 }
 
-// Fingerprint digests the canonical encoding — a compact corpus
-// identity for reports and cache keys.
+// encodeScenario writes one scenario's canonical block. The block is
+// the unit of the partial-fingerprint scheme: Leaf digests exactly
+// these bytes, so a slice generated on a shard worker hashes
+// identically to the same indices of a full corpus listing.
+func encodeScenario(bw *errWriter, s *Scenario) {
+	bw.printf("scenario %d seed=%d worst=%t burst=%t\n",
+		s.Index, s.Seed, s.WorstStuffing, s.BurstErrors)
+	for _, b := range s.Buses {
+		bw.printf("  bus %s seed=%d rate=%d ecus=%d gws=%d msgs=%d known=%.6f shuffle=%.6f\n",
+			b.Name, b.Gen.Seed, b.Gen.BitRate, b.Gen.ECUs, b.Gen.Gateways,
+			b.Gen.Messages, b.Gen.KnownJitterFraction, b.Gen.IDShuffle)
+	}
+	for _, g := range s.Gateways {
+		srcs := make([]string, len(g.Flows))
+		for i, f := range g.Flows {
+			srcs[i] = fmt.Sprint(f.SourceIndex)
+		}
+		bw.printf("  gw %s from=%d service=%v batch=%d policy=%d depth=%d flows=[%s]\n",
+			g.Name, g.FromBus, g.ServicePeriod, g.Batch, g.Policy, g.QueueDepth,
+			strings.Join(srcs, ","))
+	}
+	if t := s.TDMA; t != nil {
+		bw.printf("  tdma slots=%d len=%v periods=%v feed=%v src=%d\n",
+			t.Slots, t.SlotLength, t.Periods, t.FeedPeriod, t.FeedSourceIndex)
+	}
+	for _, ch := range s.Changes {
+		bw.printf("  change kind=%d bus=%d msg=%d frac=%.6f dlc=%d\n",
+			ch.Kind, ch.Bus, ch.Message, ch.Frac, ch.DLC)
+	}
+}
+
+// Fingerprint is the compact corpus identity used by reports, cache
+// keys and the distributed shard protocol. It is compositional: the
+// additive fold of every scenario's Leaf digest, finalized together
+// with the spec header (FingerprintFrom), so shard workers that each
+// generated only a slice of the corpus can reproduce the exact same
+// digest by returning per-shard Partials for the coordinator to fold —
+// no participant ever needs the whole corpus in memory.
 func (c *Corpus) Fingerprint() contenthash.Digest {
-	h := newHashWriter()
-	_ = c.Encode(h)
-	return h.Sum()
+	return fingerprintFrom(c.Spec, PartialOf(c.Scenarios))
 }
 
 // errWriter folds fmt errors so Encode stays readable.
@@ -550,8 +565,8 @@ type hashWriter struct {
 	h contenthash.Hasher
 }
 
-func newHashWriter() *hashWriter {
-	return &hashWriter{h: contenthash.New(tagScenario)}
+func newHashWriter(tag uint64) *hashWriter {
+	return &hashWriter{h: contenthash.New(tag)}
 }
 
 func (hw *hashWriter) Write(p []byte) (int, error) {

@@ -447,12 +447,7 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 			"corpus of %d scenarios exceeds the %d-scenario cap", effective, s.cfg.MaxCampaignScenarios)
 		return
 	}
-	corpus, err := scenario.Generate(sp)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
-		return
-	}
-	job, err := campaign.NewJob(corpus, campaign.Config{
+	cfg := campaign.Config{
 		Workers: s.cfg.Workers, Seeds: seeds, Duration: duration,
 		MaxIterations: s.cfg.MaxIterations,
 		// Local scenario runs stack their private LRUs on the server's
@@ -462,7 +457,19 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 		// slowest scenarios for GET /v1/debug/slowest.
 		Cache:  s.shared,
 		Flight: s.flight,
-	})
+	}
+	var job *campaign.Job
+	if len(s.cfg.WorkerAddrs) > 0 {
+		// Distributed: stream the spec — the coordinator ships (spec,
+		// range) per shard and folds the workers' partial fingerprints,
+		// so the corpus is never materialized on this server.
+		job, err = campaign.NewSpecJob(sp, cfg)
+	} else {
+		var corpus *scenario.Corpus
+		if corpus, err = scenario.Generate(sp); err == nil {
+			job, err = campaign.NewJob(corpus, cfg)
+		}
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return

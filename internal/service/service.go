@@ -86,6 +86,9 @@ type Config struct {
 	// ShardSize bounds scenarios per distributed shard (<= 0 selects
 	// campaign.DefaultShardSize).
 	ShardSize int
+	// PipelineDepth bounds in-flight shards per worker (<= 0 selects
+	// distrib.DefaultPipelineDepth; 1 disables pipelining).
+	PipelineDepth int
 	// ShardTimeout is the per-attempt deadline of one shard (<= 0
 	// selects the distrib default).
 	ShardTimeout time.Duration
@@ -459,9 +462,10 @@ func (s *Server) registerJob(job *campaign.Job, tr *obs.Trace, parent uint64) *c
 			cj.bump()
 			cj.mu.Unlock()
 			return distrib.Run(traced(ctx), job, distrib.Options{
-				Workers:      s.cfg.WorkerAddrs,
-				ShardSize:    s.cfg.ShardSize,
-				ShardTimeout: s.cfg.ShardTimeout,
+				Workers:       s.cfg.WorkerAddrs,
+				ShardSize:     s.cfg.ShardSize,
+				PipelineDepth: s.cfg.PipelineDepth,
+				ShardTimeout:  s.cfg.ShardTimeout,
 				OnEvent: func(e distrib.Event) {
 					s.shardObs.observe(e)
 					cj.record(e)

@@ -71,22 +71,30 @@ type shardCounters struct {
 	retries        atomic.Uint64
 	droppedWorkers atomic.Uint64
 	latencyNS      atomic.Uint64 // summed latency of completed shards
+	wireBytes      atomic.Uint64 // shard response bodies as they travelled
+	inflight       atomic.Int64  // dispatched minus settled (pipeline occupancy)
 }
 
 func (c *shardCounters) observe(e distrib.Event) {
 	switch e.Type {
 	case distrib.EventDispatch:
 		c.dispatched.Add(1)
+		c.inflight.Add(1)
 		if e.Attempt > 1 {
 			c.retries.Add(1)
 		}
 	case distrib.EventShardDone:
 		c.done.Add(1)
+		c.inflight.Add(-1)
 		if e.ElapsedNS > 0 {
 			c.latencyNS.Add(uint64(e.ElapsedNS))
 		}
+		if e.Bytes > 0 {
+			c.wireBytes.Add(uint64(e.Bytes))
+		}
 	case distrib.EventShardFailed:
 		c.failed.Add(1)
+		c.inflight.Add(-1)
 	case distrib.EventWorkerDropped:
 		c.droppedWorkers.Add(1)
 	}
@@ -242,6 +250,10 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Uint("symtago_shard_dropped_workers_total", nil, s.shardObs.droppedWorkers.Load())
 	p.Family("symtago_shard_latency_seconds_sum", "counter", "Summed latency of completed shards.")
 	p.Value("symtago_shard_latency_seconds_sum", nil, float64(s.shardObs.latencyNS.Load())/1e9)
+	p.Family("symtago_shard_wire_bytes_total", "counter", "Shard response bytes as they travelled (post-compression, coordinator side).")
+	p.Uint("symtago_shard_wire_bytes_total", nil, s.shardObs.wireBytes.Load())
+	p.Family("symtago_shard_inflight", "gauge", "Shards currently in flight across all workers (pipeline occupancy).")
+	p.Value("symtago_shard_inflight", nil, float64(s.shardObs.inflight.Load()))
 	p.Family("symtago_worker_shards_served_total", "counter", "Shards computed by this process's worker endpoint.")
 	p.Uint("symtago_worker_shards_served_total", nil, s.worker.ShardsServed())
 	p.Family("symtago_worker_rows_served_total", "counter", "Rows computed by this process's worker endpoint.")

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# check-docs.sh — the docs gate's reference check: every repo file path
+# and every CLI flag named in docs/*.md and README.md must actually
+# exist, so renamed files, rolled bench baselines and retired flags
+# cannot leave dead references behind.
+#
+# What counts as a reference:
+#   * path-looking tokens rooted at a known repo directory
+#     (internal/, cmd/, docs/, scripts/, examples/, bench/) or a
+#     top-level UPPERCASE file (README.md, DESIGN.md, BENCH_PR10.json…);
+#     tokens containing globs (*), ellipses (...) or template
+#     placeholders (<...>, {...}) are skipped
+#   * backtick-quoted flag tokens (`-pipeline-depth`), checked as
+#     flag-definition string literals in cmd/symtago
+#
+# Exits non-zero listing every dead reference.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+doc_files=(README.md docs/*.md)
+
+# --- file/path references -------------------------------------------------
+# Strip URLs first so host/path segments are not mistaken for files.
+refs=$(sed -E 's#https?://[^ )`"]+##g' "${doc_files[@]}" |
+  grep -oE '(\./)?((internal|cmd|docs|scripts|examples|bench)/[A-Za-z0-9_./*-]+|[A-Z][A-Z0-9_]*\.(md|json|txt))' |
+  sed 's#^\./##' | sort -u)
+
+while IFS= read -r ref; do
+  [ -z "$ref" ] && continue
+  case "$ref" in
+    *'*'*|*'...'*) continue ;;            # globs and ellipses are prose, not paths
+  esac
+  ref=${ref%.}                            # sentence-final dot
+  if [ ! -e "$ref" ]; then
+    echo "dead file reference: $ref" >&2
+    echo "  in: $(grep -l -- "$ref" "${doc_files[@]}" | tr '\n' ' ')" >&2
+    fail=1
+  fi
+done <<<"$refs"
+
+# --- flag references ------------------------------------------------------
+# A doc that names `-some-flag` must match a flag definition (a quoted
+# "some-flag" literal alongside fs.*(...)) somewhere in cmd/symtago.
+flags=$(grep -ohE '`-[a-z][a-z0-9-]*`' "${doc_files[@]}" docs/*.md | tr -d '`' | sort -u)
+while IFS= read -r flag; do
+  [ -z "$flag" ] && continue
+  name=${flag#-}
+  if ! grep -qR "\"$name\"" cmd/symtago; then
+    echo "dead flag reference: $flag (no \"$name\" flag defined in cmd/symtago)" >&2
+    echo "  in: $(grep -l -- "\`$flag\`" "${doc_files[@]}" | tr '\n' ' ')" >&2
+    fail=1
+  fi
+done <<<"$flags"
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs reference check FAILED" >&2
+  exit 1
+fi
+n_refs=$(wc -l <<<"$refs" | tr -d ' ')
+n_flags=$(wc -l <<<"$flags" | tr -d ' ')
+echo "docs reference check ok: $n_refs paths and $n_flags flags verified across ${#doc_files[@]} docs"
